@@ -1,0 +1,42 @@
+# Convenience targets for development.
+
+PYTHON ?= python
+
+.PHONY: install test bench bench-full coverage tables figures report calibrate clean
+
+install:
+	$(PYTHON) -m pip install -e .[test]
+
+test:
+	$(PYTHON) -m pytest tests/
+
+test-fast:
+	REPRO_SIM_CYCLES=3000 $(PYTHON) -m pytest tests/ -x -q
+
+bench:
+	REPRO_BENCH_CYCLES=5000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+bench-full:
+	REPRO_BENCH_CYCLES=30000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+tables:
+	for t in I II III IV V VI VII VIII IX X XI XII; do \
+		$(PYTHON) -m repro table $$t; echo; \
+	done
+
+figures:
+	for f in 3 4 5 6 7 8; do \
+		for s in 3 6 9 12; do \
+			$(PYTHON) -m repro figure $$f --stages $$s; echo; \
+		done; \
+	done
+
+report:
+	$(PYTHON) -m repro report --cycles 20000 > EXPERIMENTS.md
+
+calibrate:
+	$(PYTHON) -m repro calibrate
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache build dist *.egg-info src/*.egg-info

@@ -1,0 +1,35 @@
+"""Shared benchmark configuration.
+
+Each benchmark regenerates one paper table or figure (via
+``repro.analysis``) and asserts the *shape* of the reproduction -- who
+wins, by roughly what factor -- rather than absolute timings.  The
+simulation effort is deliberately modest so the whole suite runs in
+minutes; set ``REPRO_BENCH_CYCLES`` (or ``REPRO_SIM_CYCLES``) higher for
+paper-grade statistics.
+"""
+
+import os
+
+import pytest
+
+
+def bench_cycles(default: int = 8_000) -> int:
+    """Benchmark simulation length (env-overridable)."""
+    value = os.environ.get("REPRO_BENCH_CYCLES") or os.environ.get("REPRO_SIM_CYCLES")
+    return max(2_000, int(value)) if value else default
+
+
+@pytest.fixture
+def cycles() -> int:
+    """Cycles per simulated run in this benchmark session."""
+    return bench_cycles()
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Time a callable exactly once (simulations are too slow to repeat)."""
+
+    def _run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

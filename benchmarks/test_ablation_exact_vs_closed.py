@@ -1,0 +1,53 @@
+"""Ablation A1: exact series layer vs closed forms.
+
+The library carries two independent routes to the first-stage moments:
+the paper's closed forms (Eqs. 2/3, microseconds) and the exact series
+expansion of Theorem 1 (milliseconds).  This benchmark measures the
+cost ratio and re-asserts the exact agreement -- the justification for
+using the closed forms everywhere hot while keeping the transform as
+the source of truth.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.arrivals import UniformTraffic
+from repro.core.first_stage import FirstStageQueue
+from repro.core.formulas import uniform_unit_mean, uniform_unit_variance
+from repro.service import DeterministicService
+
+CASES = [(2, Fraction(1, 2)), (4, Fraction(3, 10)), (8, Fraction(4, 5))]
+
+
+def test_closed_forms(benchmark):
+    def closed():
+        return [
+            (uniform_unit_mean(k, p), uniform_unit_variance(k, p)) for k, p in CASES
+        ]
+
+    values = benchmark(closed)
+    assert len(values) == len(CASES)
+
+
+def test_exact_transform(benchmark):
+    def exact():
+        out = []
+        for k, p in CASES:
+            q = FirstStageQueue(UniformTraffic(k=k, p=p), DeterministicService(1))
+            raw = q.waiting_transform.raw_moments(2)
+            out.append((raw[1], raw[2] - raw[1] ** 2))
+        return out
+
+    values = benchmark(exact)
+    closed = [(uniform_unit_mean(k, p), uniform_unit_variance(k, p)) for k, p in CASES]
+    # the two routes agree exactly -- zero tolerance
+    assert values == closed
+
+
+def test_pmf_extraction_cost(benchmark):
+    """Extracting 512 pmf terms (the expensive analytic operation)."""
+    q = FirstStageQueue(UniformTraffic(k=2, p=Fraction(4, 5)), DeterministicService(1))
+
+    pmf = benchmark(q.waiting_pmf, 512)
+    assert pmf.sum() == pytest.approx(1.0, abs=1e-6)

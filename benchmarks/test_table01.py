@@ -1,0 +1,35 @@
+"""Table I: waiting times and variances, load varying (k=2, m=1, q=0).
+
+Shape assertions (the paper's qualitative content):
+
+* stage 1 of the simulation matches the exact ANALYSIS row;
+* later stages exceed stage 1 and settle near the ESTIMATE row;
+* the inflation grows with load (r(rho) increasing).
+"""
+
+import numpy as np
+
+
+from repro.analysis.tables import table_I
+
+
+def test_table_I(run_once, cycles):
+    result = run_once(table_I, n_cycles=cycles, loads=(0.2, 0.5, 0.8))
+    print("\n" + result.to_text())
+    inflations = []
+    for col in result.columns:
+        sim1 = col.stage_means[0]
+        deep = float(np.mean(col.stage_means[-3:]))
+        # first stage agrees with the exact analysis
+        assert abs(sim1 - col.analysis_mean) / col.analysis_mean < 0.10
+        # deep stages sit near the Section IV estimate
+        assert abs(deep - col.estimate_mean) / col.estimate_mean < 0.12
+        # and strictly above the first stage (the paper's key observation)
+        assert deep > sim1
+        # variance panel: same two comparisons
+        assert abs(col.stage_variances[0] - col.analysis_variance) / col.analysis_variance < 0.15
+        deep_v = float(np.mean(col.stage_variances[-3:]))
+        assert abs(deep_v - col.estimate_variance) / col.estimate_variance < 0.20
+        inflations.append(deep / sim1)
+    # r(rho) grows with rho
+    assert inflations[0] < inflations[-1]

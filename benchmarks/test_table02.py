@@ -1,0 +1,29 @@
+"""Table II: switch size varying (p=0.5, m=1, q=0).
+
+Shape: per-stage waits *rise* with k at equal load (more inputs
+share each output port: Eq. 6 gives (1 - 1/k) lambda / 2(1 - lambda),
+increasing toward the k -> infinity limit), while the later-stage
+inflation *shrinks* like ``1 + 4 rho / 5k``.
+"""
+
+import numpy as np
+
+
+from repro.analysis.tables import table_II
+
+
+def test_table_II(run_once, cycles):
+    result = run_once(table_II, n_cycles=cycles, degrees=(2, 4, 8))
+    print("\n" + result.to_text())
+    deep_means = []
+    inflations = []
+    for col in result.columns:
+        assert abs(col.stage_means[0] - col.analysis_mean) / col.analysis_mean < 0.10
+        deep = float(np.mean(col.stage_means[-3:]))
+        assert abs(deep - col.estimate_mean) / col.estimate_mean < 0.12
+        deep_means.append(deep)
+        inflations.append(deep / col.stage_means[0])
+    # waits rise with switch size (Eq. 6's (1 - 1/k) factor)...
+    assert deep_means[0] < deep_means[1] < deep_means[2]
+    # ...while the later-stage inflation falls (a ~ 4/5k)
+    assert inflations[0] > inflations[1] > inflations[2]

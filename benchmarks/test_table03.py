@@ -1,0 +1,38 @@
+"""Table III: message size varying at fixed intensity rho = 0.5 (k=2).
+
+Shape: at fixed rho the deep-stage mean grows linearly in m (paper
+Eq. 15: w_inf = 0.3 m here) and the variance quadratically (Eq. 16);
+the first stage matches Eq. (8) exactly.
+"""
+
+import numpy as np
+
+
+from repro.analysis.tables import table_III
+
+
+def test_table_III(run_once, cycles):
+    sizes = (2, 4, 8)
+    result = run_once(table_III, n_cycles=cycles, sizes=sizes)
+    print("\n" + result.to_text())
+    deep_means, deep_vars = [], []
+    for col, m in zip(result.columns, sizes):
+        assert abs(col.stage_means[0] - col.analysis_mean) / col.analysis_mean < 0.10
+        deep = float(np.mean(col.stage_means[-3:]))
+        deep_v = float(np.mean(col.stage_variances[-3:]))
+        assert abs(deep - col.estimate_mean) / col.estimate_mean < 0.12
+        assert abs(deep_v - col.estimate_variance) / col.estimate_variance < 0.25
+        deep_means.append(deep)
+        deep_vars.append(deep_v)
+    # linear mean growth: doubling m doubles the deep-stage wait
+    assert deep_means[1] / deep_means[0] == pytest_approx(2.0, 0.15)
+    assert deep_means[2] / deep_means[1] == pytest_approx(2.0, 0.15)
+    # quadratic variance growth
+    assert deep_vars[1] / deep_vars[0] == pytest_approx(4.0, 0.3)
+    assert deep_vars[2] / deep_vars[1] == pytest_approx(4.0, 0.3)
+
+
+def pytest_approx(value, rel):
+    import pytest
+
+    return pytest.approx(value, rel=rel)

@@ -1,0 +1,28 @@
+"""Table V: favourite-output bias varying (p=0.5, k=2, m=1).
+
+Shape: the decoded ESTIMATE row -- factors (1.2 - 0.2 q) for the mean
+and (1.375 - 0.375 q) for the variance on the exact first stage --
+tracks the destination-routed banyan simulation at every bias, and
+waits fall monotonically with q at every stage.
+"""
+
+import numpy as np
+
+
+from repro.analysis.tables import table_V
+
+
+def test_table_V(run_once, cycles):
+    result = run_once(
+        table_V, n_cycles=cycles, biases=(0.0, 0.25, 0.5, 0.75)
+    )
+    print("\n" + result.to_text())
+    deep_means = []
+    for col in result.columns:
+        assert abs(col.stage_means[0] - col.analysis_mean) / col.analysis_mean < 0.10
+        deep = float(np.mean(col.stage_means[-3:]))
+        deep_v = float(np.mean(col.stage_variances[-3:]))
+        assert abs(deep - col.estimate_mean) / col.estimate_mean < 0.10
+        assert abs(deep_v - col.estimate_variance) / col.estimate_variance < 0.15
+        deep_means.append(deep)
+    assert all(a > b for a, b in zip(deep_means, deep_means[1:]))

@@ -1,0 +1,71 @@
+"""Buffer sizing: how big do the 'infinite' buffers really need to be?
+
+The paper idealises output queues as infinite, noting that "for
+light-to-moderate loads, moderate-sized buffers provide approximately
+the same performance as infinite buffers", and lists finite-buffer
+formulas as future work.  This example does the engineering exercise
+with the machinery the paper provides:
+
+* the exact buffered-work distribution comes from the Theorem 1
+  component ``Psi(z)``;
+* its geometric tail sizes a buffer for any loss target;
+* a finite-buffer simulation confirms the sizing.
+
+Run:  python examples/buffer_sizing.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    DeterministicService,
+    FirstStageQueue,
+    NetworkConfig,
+    NetworkSimulator,
+    UniformTraffic,
+)
+from repro.core.finite_buffers import overflow_probability, suggested_capacity
+
+TARGETS = (1e-3, 1e-6, 1e-9)
+LOADS = (0.3, 0.5, 0.7, 0.9)
+
+
+def main() -> None:
+    print("buffer slots needed per output port (k=2, unit messages)")
+    header = "  ".join(f"loss<={t:.0e}" for t in TARGETS)
+    print(f"{'p':>5}  {header}  tail decay/slot")
+    for p in LOADS:
+        q = FirstStageQueue(UniformTraffic(k=2, p=Fraction(str(p))), DeterministicService(1))
+        caps = [suggested_capacity(q, t) for t in TARGETS]
+        from repro.core.finite_buffers import work_tail
+
+        decay = work_tail(q).decay
+        cells = "  ".join(f"{c:9d}" for c in caps)
+        print(f"{p:5.2f}  {cells}  {decay:14.4f}")
+
+    print(
+        "\nmoderate loads need single-digit buffers even for 1e-9 loss --"
+        "\nthe paper's infinite-buffer idealisation is cheap to realise;"
+        "\nonly near saturation does the geometric tail flatten and the"
+        "\nrequired buffering grow."
+    )
+
+    # confirm one design point by simulation (single stage: each stage
+    # of a deep network adds its own ~equal loss contribution, so a
+    # network-level budget divides the target by the stage count)
+    p, target = 0.7, 1e-3
+    q = FirstStageQueue(UniformTraffic(k=2, p=Fraction(str(p))), DeterministicService(1))
+    cap = suggested_capacity(q, target) + 1  # +1: same-cycle arrival slack
+    cfg = NetworkConfig(
+        k=2, n_stages=1, p=p, buffer_capacity=cap,
+        topology="random", width=256, seed=3,
+    )
+    sim = NetworkSimulator(cfg).run(60_000)
+    print(
+        f"\nsimulated check at p={p}: capacity {cap} slots -> "
+        f"drop rate {sim.dropped / sim.injected:.2e} "
+        f"(target {target:.0e}, tail prediction {overflow_probability(q, cap - 1):.2e})"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+"""Bursty traffic: where the paper's i.i.d. assumption ends.
+
+Theorem 1 assumes "the number of messages arriving at successive cycles
+... are independent"; the paper itself notes the later stages violate
+this, which is why Section IV is an approximation.  This example makes
+the boundary quantitative with a Markov-modulated Bernoulli source that
+has the *same marginal* as uniform traffic but tunable burst length:
+
+* the i.i.d. analysis (which only sees the marginal) predicts one
+  waiting time;
+* simulation shows the true wait growing with burst length while the
+  marginal -- and hence the prediction -- stays fixed;
+* the *exact* Markov-modulated analysis (``repro.core.markov_queue``,
+  a numerical solution of the model the paper's companion [12]
+  abandoned in closed form) tracks the simulation at every burst
+  length.
+
+The message for network designers is the paper's own, sharpened: mean
+load alone does not determine delay once sources are correlated; the
+Section IV inflation factors absorb exactly this kind of (mild)
+correlation for internal stages, but strongly bursty *external* sources
+need a different analysis.
+
+Run:  python examples/bursty_traffic.py
+"""
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro import (
+    DeterministicService,
+    FirstStageQueue,
+    MarkovModulatedTraffic,
+)
+from repro.core.markov_queue import MMBPQueueAnalysis
+from repro.simulation.queue_sim import simulate_first_stage_queue
+
+BURSTS = (1, 2, 10, 50, 200)  # mean cycles between state flips ~ burst length
+
+
+def main() -> None:
+    service = DeterministicService(1)
+    print("MMBP source, marginal rate 0.5 msgs/cycle, k=2 (states 0.1 / 0.4 per input)")
+    print(
+        f"{'burst len':>9} {'lag-1 corr':>10} {'iid predict':>11} "
+        f"{'exact MMBP':>10} {'sim wait':>9} {'penalty':>7}"
+    )
+    for burst in BURSTS:
+        flip = Fraction(1, 2) if burst == 1 else Fraction(1, burst)
+        traffic = MarkovModulatedTraffic(
+            k=2, rates=(Fraction(1, 10), Fraction(2, 5)), flip=flip
+        )
+        prediction = float(FirstStageQueue(traffic, service).waiting_mean())
+        exact = MMBPQueueAnalysis(traffic, max_level=512)
+        sim = simulate_first_stage_queue(
+            traffic, service, 600_000, rng=np.random.default_rng(burst)
+        )
+        print(
+            f"{burst:9d} {traffic.autocorrelation(1):10.3f} "
+            f"{prediction:11.4f} {exact.waiting_mean():10.4f} "
+            f"{sim.mean():9.4f} {exact.burstiness_penalty():7.2f}"
+        )
+    print(
+        "\nthe i.i.d. prediction is exact for uncorrelated cycles"
+        "\n(burst length 1) and falls progressively behind as bursts"
+        "\ngrow -- queueing is driven by the *correlation time* of the"
+        "\nload, not just its marginal distribution.  The exact"
+        "\nMarkov-modulated analysis recovers the simulated value at"
+        "\nevery burst length."
+    )
+
+
+if __name__ == "__main__":
+    main()

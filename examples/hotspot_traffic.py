@@ -1,0 +1,54 @@
+"""Nonuniform (favourite-output) traffic: private memory vs shared data.
+
+Section III-A-3's motivating scenario: "each input is likely to have a
+distinct favorite output port (e.g., the output port connecting a
+processor to its private memory)."  This example studies how the bias
+``q`` reshapes delay in a 256-port banyan:
+
+* the exact first-stage mean falls with q -- for 2x2 switches
+  ``E w = p (1 - q^2) / (4 (1 - p))`` -- because the matched input can
+  send the tagged port at most one message per cycle either way, while
+  bias drains the unmatched input's traffic;
+* at later stages favoured traffic streams conflict-free, so deep-stage
+  waits fall further (Section IV-D);
+* both effects are checked against a destination-routed simulation.
+
+Run:  python examples/hotspot_traffic.py
+"""
+
+from fractions import Fraction
+
+from repro import LaterStageModel, NetworkConfig, NetworkSimulator
+from repro.core import formulas
+
+P = 0.5
+STAGES = 8  # 256-port banyan
+
+
+def main() -> None:
+    print(f"favourite-output traffic, k=2, p={P}, {STAGES}-stage banyan")
+    print(f"{'q':>5} {'w1 exact':>9} {'w_inf pred':>10} {'w1 sim':>8} {'w_deep sim':>10}")
+    for q in (0.0, 0.25, 0.5, 0.75):
+        w1 = float(formulas.nonuniform_mean(2, Fraction(str(P)), Fraction(str(q))))
+        model = LaterStageModel(k=2, p=P, q=q)
+        w_inf = float(model.limit_mean())
+        cfg = NetworkConfig(k=2, n_stages=STAGES, p=P, q=q, seed=21)
+        sim = NetworkSimulator(cfg).run(15_000)
+        w_deep = float(sim.stage_means[-2:].mean())
+        print(f"{q:5.2f} {w1:9.4f} {w_inf:10.4f} {sim.stage_means[0]:8.4f} {w_deep:10.4f}")
+
+    print(
+        "\nwaits fall with bias at every stage: the matched input offers"
+        "\nthe tagged port at most one message per cycle regardless of q,"
+        "\nwhile bias drains the other input's traffic; deep stages gain"
+        "\nmost because favoured streams route conflict-free (the identity"
+        "\npermutation is realizable by an omega network)."
+    )
+
+    # the q = 1 sanity check from the paper: no queueing at all
+    w1_full_bias = formulas.nonuniform_mean(2, Fraction(str(P)), 1)
+    print(f"\nq=1 exact first-stage wait: {w1_full_bias} (paper: 'E(w) = 0')")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Message-size study: the paper's headline design warning.
+
+Section VI: "For a fixed traffic intensity rho, the average waiting time
+increases linearly in m, and the variance increases quadratically in m.
+Thus, while using larger messages may save the overhead of duplicating
+the same routing information over several packets, it may dramatically
+increase delays in all but very lightly loaded networks."
+
+This example quantifies that trade-off for an RP3-like configuration
+(read requests vs multi-word cache-line replies):
+
+* constant message sizes m in {1, 2, 4, 8} at equal traffic intensity;
+* the RP3-flavoured mixed workload -- short requests + long replies --
+  via the Section III-D-2 / IV-C multi-size analysis;
+* validation of both against simulation.
+
+Run:  python examples/rp3_message_sizes.py
+"""
+
+from fractions import Fraction
+
+from repro import (
+    LaterStageModel,
+    NetworkConfig,
+    NetworkDelayModel,
+    NetworkSimulator,
+)
+
+RHO = 0.5
+STAGES = 6
+
+
+def main() -> None:
+    print(f"constant message sizes at traffic intensity rho={RHO}, {STAGES} stages")
+    print(f"{'m':>3} {'p':>7} {'total mean':>11} {'total std':>10} {'p99':>7}")
+    for m in (1, 2, 4, 8):
+        p = Fraction(str(RHO)) / m
+        model = LaterStageModel(k=2, p=p, m=m)
+        net = NetworkDelayModel(stages=STAGES, model=model)
+        mean = float(net.total_waiting_mean())
+        std = float(net.total_waiting_variance()) ** 0.5
+        p99 = net.gamma_approximation().quantile(0.99)
+        print(f"{m:3d} {float(p):7.4f} {mean:11.3f} {std:10.3f} {p99:7.2f}")
+    print("mean grows ~linearly in m, std ~linearly (variance quadratically).")
+
+    # --- RP3-flavoured mixed traffic ----------------------------------
+    sizes, probs = (1, 8), (Fraction(3, 4), Fraction(1, 4))  # requests vs replies
+    mbar = sum(s * g for s, g in zip(sizes, probs))
+    p = Fraction(str(RHO)) / mbar
+    model = LaterStageModel(k=2, p=p, sizes=sizes, probabilities=probs)
+    net = NetworkDelayModel(stages=STAGES, model=model)
+    print(
+        f"\nmixed workload: sizes {sizes} with weights {tuple(map(str, probs))}, "
+        f"mean size {mbar}, p={float(p):.4f}"
+    )
+    print(f"  exact first-stage mean wait: {float(model.stage_mean(1)):.4f}")
+    print(f"  predicted deep-stage mean  : {float(model.limit_mean()):.4f}")
+    print(f"  predicted total mean/std   : {float(net.total_waiting_mean()):.3f} / "
+          f"{float(net.total_waiting_variance()) ** 0.5:.3f}")
+
+    cfg = NetworkConfig(
+        k=2, n_stages=STAGES, p=float(p), sizes=sizes,
+        probabilities=tuple(float(g) for g in probs),
+        topology="random", width=128, seed=9,
+    )
+    sim = NetworkSimulator(cfg).run(30_000)
+    print(f"  simulated first-stage mean : {sim.stage_means[0]:.4f}")
+    print(f"  simulated deep-stage mean  : {sim.stage_means[-1]:.4f}")
+    print(f"  simulated total mean/std   : {sim.total_waiting_mean():.3f} / "
+          f"{sim.total_waiting_variance() ** 0.5:.3f}")
+
+
+if __name__ == "__main__":
+    main()

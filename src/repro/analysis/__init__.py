@@ -1,0 +1,49 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+Each ``table_*`` / ``figure_*`` function assembles the right traffic
+model, runs the simulator, evaluates the corresponding analysis, and
+returns a structured result object that
+
+* renders to text laid out like the paper (``.to_text()``), and
+* exposes the raw numbers for the benchmark assertions.
+
+The experiment index lives in DESIGN.md; EXPERIMENTS.md records the
+paper-vs-measured outcome for each entry.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.compare import ComparisonRow, relative_error
+from repro.analysis.tables import (
+    StageTableResult,
+    TotalsTableResult,
+    CorrelationTableResult,
+    table_I,
+    table_II,
+    table_III,
+    table_IV,
+    table_V,
+    table_VI,
+    table_totals,
+    TOTALS_CONFIGS,
+)
+from repro.analysis.figures import FigureResult, figure_waiting_histogram, FIGURE_CONFIGS
+
+__all__ = [
+    "ComparisonRow",
+    "relative_error",
+    "StageTableResult",
+    "TotalsTableResult",
+    "CorrelationTableResult",
+    "table_I",
+    "table_II",
+    "table_III",
+    "table_IV",
+    "table_V",
+    "table_VI",
+    "table_totals",
+    "TOTALS_CONFIGS",
+    "FigureResult",
+    "figure_waiting_histogram",
+    "FIGURE_CONFIGS",
+]

@@ -1,0 +1,43 @@
+"""Small comparison records shared by the table/figure generators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["ComparisonRow", "relative_error", "max_relative_error"]
+
+
+def relative_error(simulated: float, predicted: float, floor: float = 1e-9) -> float:
+    """``|sim - pred| / max(|sim|, floor)`` -- symmetric enough for reports."""
+    return abs(simulated - predicted) / max(abs(simulated), floor)
+
+
+def max_relative_error(simulated, predicted, floor: float = 1e-9) -> float:
+    """Worst relative error across two parallel arrays."""
+    simulated = np.asarray(simulated, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    return float(
+        (np.abs(simulated - predicted) / np.maximum(np.abs(simulated), floor)).max()
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (simulated, predicted) pair with a label."""
+
+    label: str
+    simulated: float
+    predicted: float
+
+    @property
+    def error(self) -> float:
+        """Relative error of the prediction."""
+        return relative_error(self.simulated, self.predicted)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.label}: sim={self.simulated:.4f} pred={self.predicted:.4f} "
+            f"({100 * self.error:.1f}%)"
+        )

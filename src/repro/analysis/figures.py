@@ -1,0 +1,116 @@
+"""Regenerate the paper's Figures 3--8.
+
+Each figure overlays the simulated distribution of the *total* waiting
+time through an ``n``-stage network on the moment-matched gamma
+approximation of Section V.  :func:`figure_waiting_histogram` produces
+the data; rendering (ASCII, for a terminal) lives in
+:mod:`repro.analysis.report`.
+
+Figure index (all ``k = 2``; panels at 3, 6, 9, 12 stages):
+
+=======  ==========  =====
+figure   ``p``       ``m``
+=======  ==========  =====
+3        0.2         1
+4        0.05        4
+5        0.5         1
+6        0.125       4
+7        0.8         1
+8        0.2         4
+=======  ==========  =====
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.tables import _DEEP_WIDTH, default_cycles
+from repro.core.distributions import GammaApproximant
+from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
+from repro.core.total_delay import NetworkDelayModel
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+
+__all__ = ["FigureResult", "figure_waiting_histogram", "FIGURE_CONFIGS"]
+
+#: (p, m) per paper figure number.
+FIGURE_CONFIGS: Dict[int, Tuple[float, int]] = {
+    3: (0.2, 1),
+    4: (0.05, 4),
+    5: (0.5, 1),
+    6: (0.125, 4),
+    7: (0.8, 1),
+    8: (0.2, 4),
+}
+
+
+@dataclass
+class FigureResult:
+    """One panel: simulated total-wait pmf vs the gamma overlay."""
+
+    figure_id: int
+    p: float
+    m: int
+    stages: int
+    histogram: np.ndarray          # simulated P(total wait = j)
+    gamma_bins: np.ndarray         # gamma approximation, same bins
+    gamma: GammaApproximant
+    samples: int
+
+    def total_variation_distance(self) -> float:
+        """TV distance between histogram and gamma bins (plus tail mass)."""
+        inside = 0.5 * np.abs(self.histogram - self.gamma_bins).sum()
+        tail = 0.5 * abs(
+            (1.0 - self.histogram.sum()) - (1.0 - self.gamma_bins.sum())
+        )
+        return float(inside + tail)
+
+    @property
+    def n_bins(self) -> int:
+        return self.histogram.size
+
+
+def figure_waiting_histogram(
+    figure_id: int,
+    stages: int,
+    n_cycles: Optional[int] = None,
+    n_bins: Optional[int] = None,
+    seed: int = 808,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> FigureResult:
+    """Simulate one panel of Figures 3--8 and fit the Section V gamma.
+
+    ``stages`` is the network depth (the paper shows 3, 6, 9, 12).
+    ``n_bins`` defaults to covering 99.9% of the fitted gamma.
+    """
+    if figure_id not in FIGURE_CONFIGS:
+        raise KeyError(
+            f"unknown figure {figure_id}; pick from {sorted(FIGURE_CONFIGS)}"
+        )
+    p, m = FIGURE_CONFIGS[figure_id]
+    n_cycles = n_cycles or default_cycles()
+    model = LaterStageModel(k=2, p=Fraction(str(p)), m=m, constants=constants)
+    net = NetworkDelayModel(stages=stages, model=model)
+    gamma = net.gamma_approximation()
+    if n_bins is None:
+        n_bins = max(8, int(np.ceil(gamma.quantile(0.999))) + 2)
+    cfg = NetworkConfig(
+        k=2, n_stages=stages, p=p, message_size=m,
+        topology="random", width=_DEEP_WIDTH, seed=seed + figure_id * 29 + stages,
+    )
+    sim = NetworkSimulator(cfg).run(n_cycles)
+    totals = sim.total_waits()
+    counts = np.bincount(totals.astype(np.int64), minlength=n_bins)[:n_bins]
+    return FigureResult(
+        figure_id=figure_id,
+        p=p,
+        m=m,
+        stages=stages,
+        histogram=counts / totals.size,
+        gamma_bins=gamma.integer_bin_probabilities(n_bins),
+        gamma=gamma,
+        samples=totals.size,
+    )

@@ -1,0 +1,459 @@
+"""Regenerate the paper's Tables I--XII.
+
+Every generator returns a structured result with three panels, mirroring
+the paper's layout:
+
+* per-stage **simulation** rows (``w_i``, ``v_i`` at stages 1..n);
+* an **ANALYSIS** row -- the exact first-stage values (Section II/III);
+* an **ESTIMATE** row -- the Section IV deep-stage approximation.
+
+The totals tables (VII--XII) instead compare predicted total mean /
+variance (Section V) against the simulated totals for ``n`` = 3, 6, 9,
+12 stages.
+
+Simulation effort is controlled by ``n_cycles`` (and the environment
+variable ``REPRO_SIM_CYCLES`` consulted by :func:`default_cycles`), so
+the same code serves quick CI smoke levels and paper-grade runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
+from repro.core.total_delay import NetworkDelayModel, covariance_chain_constants
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+
+__all__ = [
+    "default_cycles",
+    "StageTableResult",
+    "TotalsTableResult",
+    "CorrelationTableResult",
+    "table_I",
+    "table_II",
+    "table_III",
+    "table_IV",
+    "table_V",
+    "table_VI",
+    "table_totals",
+    "TOTALS_CONFIGS",
+]
+
+#: The six scenarios of Tables VII--XII / Figures 3--8 (all k = 2).
+#: OCR note: the headers of Tables X and XII both read "p=0.125, m=4";
+#: the body text lists rho in {0.2, 0.5, 0.8} for m in {1, 4}, so the
+#: six configurations below are the consistent reading (Table XII gets
+#: p = 0.2, matching Figure 8).
+TOTALS_CONFIGS: Dict[str, Tuple[float, int]] = {
+    "VII": (0.2, 1),
+    "VIII": (0.05, 4),
+    "IX": (0.5, 1),
+    "X": (0.125, 4),
+    "XI": (0.8, 1),
+    "XII": (0.2, 4),
+}
+
+_DEEP_WIDTH = 128  # width used in width-decoupled (random-routing) runs
+
+
+def default_cycles(fallback: int = 30_000) -> int:
+    """Simulation length: ``REPRO_SIM_CYCLES`` env var or ``fallback``."""
+    value = os.environ.get("REPRO_SIM_CYCLES")
+    if value is None:
+        return fallback
+    return max(2_000, int(value))
+
+
+# ----------------------------------------------------------------------
+# per-stage tables (I -- V)
+# ----------------------------------------------------------------------
+
+@dataclass
+class StageColumn:
+    """One parameter setting of a per-stage table."""
+
+    label: str
+    stage_means: np.ndarray
+    stage_variances: np.ndarray
+    analysis_mean: float
+    analysis_variance: float
+    estimate_mean: float
+    estimate_variance: float
+
+
+@dataclass
+class StageTableResult:
+    """A Tables I--V style result: stages x parameter columns."""
+
+    table_id: str
+    title: str
+    n_stages: int
+    columns: List[StageColumn] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready structure (lists, floats) for downstream tooling."""
+        return {
+            "table": self.table_id,
+            "title": self.title,
+            "n_stages": self.n_stages,
+            "columns": [
+                {
+                    "label": c.label,
+                    "stage_means": [float(x) for x in c.stage_means],
+                    "stage_variances": [float(x) for x in c.stage_variances],
+                    "analysis_mean": c.analysis_mean,
+                    "analysis_variance": c.analysis_variance,
+                    "estimate_mean": c.estimate_mean,
+                    "estimate_variance": c.estimate_variance,
+                }
+                for c in self.columns
+            ],
+        }
+
+    def to_text(self) -> str:
+        """Render in the paper's layout (stages, then ANALYSIS/ESTIMATE)."""
+        head = f"TABLE {self.table_id}: {self.title}"
+        labels = " | ".join(f"{c.label:>17}" for c in self.columns)
+        lines = [head, f"{'':12} | {labels}"]
+        sub = " | ".join(f"{'w':>8} {'v':>8}" for _ in self.columns)
+        lines.append(f"{'':12} | {sub}")
+        for i in range(self.n_stages):
+            cells = " | ".join(
+                f"{c.stage_means[i]:8.4f} {c.stage_variances[i]:8.4f}"
+                for c in self.columns
+            )
+            lines.append(f"stage {i + 1:<6} | {cells}")
+        cells = " | ".join(
+            f"{c.analysis_mean:8.4f} {c.analysis_variance:8.4f}" for c in self.columns
+        )
+        lines.append(f"{'ANALYSIS':12} | {cells}")
+        cells = " | ".join(
+            f"{c.estimate_mean:8.4f} {c.estimate_variance:8.4f}" for c in self.columns
+        )
+        lines.append(f"{'ESTIMATE':12} | {cells}")
+        return "\n".join(lines)
+
+
+def _stage_column(
+    label: str,
+    config: NetworkConfig,
+    model: LaterStageModel,
+    n_cycles: int,
+) -> StageColumn:
+    result = NetworkSimulator(config).run(n_cycles)
+    return StageColumn(
+        label=label,
+        stage_means=result.stage_means,
+        stage_variances=result.stage_variances,
+        analysis_mean=float(model.stage_mean(1)),
+        analysis_variance=float(model.stage_variance(1)),
+        estimate_mean=float(model.limit_mean()),
+        estimate_variance=float(model.limit_variance()),
+    )
+
+
+def table_I(
+    loads: Sequence[float] = (0.2, 0.4, 0.5, 0.6, 0.8),
+    n_stages: int = 8,
+    n_cycles: Optional[int] = None,
+    seed: int = 101,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> StageTableResult:
+    """Table I: waiting times and variances, ``p`` varying (k=2, m=1, q=0)."""
+    n_cycles = n_cycles or default_cycles()
+    out = StageTableResult("I", "p varying (k=2, m=1, q=0)", n_stages)
+    for i, p in enumerate(loads):
+        cfg = NetworkConfig(
+            k=2, n_stages=n_stages, p=p, topology="random",
+            width=_DEEP_WIDTH, seed=seed + i,
+        )
+        model = LaterStageModel(k=2, p=p, constants=constants)
+        out.columns.append(_stage_column(f"p={p}", cfg, model, n_cycles))
+    return out
+
+
+def table_II(
+    degrees: Sequence[int] = (2, 4, 8),
+    p: float = 0.5,
+    n_stages: int = 6,
+    n_cycles: Optional[int] = None,
+    seed: int = 202,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> StageTableResult:
+    """Table II: ``k`` varying (p=0.5, m=1, q=0)."""
+    n_cycles = n_cycles or default_cycles()
+    out = StageTableResult("II", "k varying (p=0.5, m=1, q=0)", n_stages)
+    for i, k in enumerate(degrees):
+        width = {2: 128, 4: 256, 8: 512}.get(k, k ** 3)
+        cfg = NetworkConfig(
+            k=k, n_stages=n_stages, p=p, topology="random",
+            width=width, seed=seed + i,
+        )
+        model = LaterStageModel(k=k, p=p, constants=constants)
+        out.columns.append(_stage_column(f"k={k}", cfg, model, n_cycles))
+    return out
+
+
+def table_III(
+    sizes: Sequence[int] = (2, 4, 8, 16),
+    rho: float = 0.5,
+    n_stages: int = 8,
+    n_cycles: Optional[int] = None,
+    seed: int = 303,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> StageTableResult:
+    """Table III: ``p`` and ``m`` varying with ``rho = 0.5`` (k=2, q=0)."""
+    n_cycles = n_cycles or default_cycles()
+    out = StageTableResult("III", f"m varying at rho={rho} (k=2, q=0)", n_stages)
+    for i, m in enumerate(sizes):
+        p = rho / m
+        cfg = NetworkConfig(
+            k=2, n_stages=n_stages, p=p, message_size=m,
+            topology="random", width=_DEEP_WIDTH, seed=seed + i,
+        )
+        model = LaterStageModel(k=2, p=Fraction(str(rho)) / m, m=m, constants=constants)
+        out.columns.append(_stage_column(f"m={m}", cfg, model, n_cycles))
+    return out
+
+
+def table_IV(
+    mixes: Sequence[Tuple[float, float]] = ((1.0, 0.0), (0.75, 0.25), (0.5, 0.5), (0.25, 0.75), (0.0, 1.0)),
+    sizes: Tuple[int, int] = (4, 8),
+    rho: float = 0.5,
+    n_stages: int = 8,
+    n_cycles: Optional[int] = None,
+    seed: int = 404,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> StageTableResult:
+    """Table IV: sizes 4 and 8 mixed, ``(g1, g2)`` varying (rho=0.5, k=2)."""
+    n_cycles = n_cycles or default_cycles()
+    out = StageTableResult(
+        "IV", f"size mix m={sizes} varying at rho={rho} (k=2, q=0)", n_stages
+    )
+    for i, (g1, g2) in enumerate(mixes):
+        g1f, g2f = Fraction(str(g1)), Fraction(str(g2))
+        mbar = sizes[0] * g1f + sizes[1] * g2f
+        p = Fraction(str(rho)) / mbar
+        # drop zero-probability components (MultiSizeService requires
+        # strictly positive mixing weights for listed sizes)
+        use_sizes = [mi for mi, gi in zip(sizes, (g1f, g2f)) if gi > 0]
+        use_probs = [gi for gi in (g1f, g2f) if gi > 0]
+        if len(use_sizes) == 1:
+            cfg = NetworkConfig(
+                k=2, n_stages=n_stages, p=float(p), message_size=use_sizes[0],
+                topology="random", width=_DEEP_WIDTH, seed=seed + i,
+            )
+            model = LaterStageModel(k=2, p=p, m=use_sizes[0], constants=constants)
+        else:
+            cfg = NetworkConfig(
+                k=2, n_stages=n_stages, p=float(p),
+                sizes=tuple(use_sizes), probabilities=tuple(float(g) for g in use_probs),
+                topology="random", width=_DEEP_WIDTH, seed=seed + i,
+            )
+            model = LaterStageModel(
+                k=2, p=p, sizes=use_sizes, probabilities=use_probs, constants=constants
+            )
+        out.columns.append(
+            _stage_column(f"g=({g1},{g2})", cfg, model, n_cycles)
+        )
+    return out
+
+
+def table_V(
+    biases: Sequence[float] = (0.0, 0.25, 0.5, 0.75),
+    p: float = 0.5,
+    n_stages: int = 8,
+    n_cycles: Optional[int] = None,
+    seed: int = 505,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> StageTableResult:
+    """Table V: favourite bias ``q`` varying (p=0.5, k=2, m=1).
+
+    Needs destination routing, hence a true ``2**n_stages``-wide banyan.
+    """
+    n_cycles = n_cycles or default_cycles()
+    out = StageTableResult("V", f"q varying (p={p}, k=2, m=1)", n_stages)
+    for i, q in enumerate(biases):
+        cfg = NetworkConfig(k=2, n_stages=n_stages, p=p, q=q, seed=seed + i)
+        model = LaterStageModel(k=2, p=p, q=q, constants=constants)
+        out.columns.append(_stage_column(f"q={q}", cfg, model, n_cycles))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Table VI: correlations
+# ----------------------------------------------------------------------
+
+@dataclass
+class CorrelationTableResult:
+    """Simulated stage-to-stage correlations vs the covariance-chain model."""
+
+    table_id: str
+    title: str
+    simulated: np.ndarray  # full correlation matrix
+    chain_a: float
+    chain_b: float
+
+    def model_correlation(self, lag: int) -> float:
+        """Modelled correlation at ``lag`` stages apart: ``a b^(lag-1)``."""
+        if lag < 1:
+            return 1.0
+        return self.chain_a * self.chain_b ** (lag - 1)
+
+    def lag_profile(self) -> np.ndarray:
+        """Mean simulated correlation at each lag ``1..n-1``."""
+        n = self.simulated.shape[0]
+        return np.array(
+            [np.mean(np.diagonal(self.simulated, offset=lag)) for lag in range(1, n)]
+        )
+
+    def to_text(self) -> str:
+        n = self.simulated.shape[0]
+        lines = [f"TABLE {self.table_id}: {self.title}", "simulated correlation matrix:"]
+        for i in range(n):
+            lines.append(
+                " ".join(
+                    f"{self.simulated[i, j]:7.4f}" if j >= i else "       "
+                    for j in range(n)
+                )
+            )
+        lines.append("lag profile (simulated vs chain model a*b^(lag-1)):")
+        for lag, sim in enumerate(self.lag_profile(), start=1):
+            lines.append(
+                f"  lag {lag}: sim={sim:7.4f}  model={self.model_correlation(lag):7.4f}"
+            )
+        return "\n".join(lines)
+
+
+def table_VI(
+    p: float = 0.5,
+    n_stages: int = 8,
+    n_cycles: Optional[int] = None,
+    seed: int = 606,
+) -> CorrelationTableResult:
+    """Table VI: correlations of waiting times between stages (k=2, p=0.5, m=1)."""
+    n_cycles = n_cycles or default_cycles()
+    cfg = NetworkConfig(
+        k=2, n_stages=n_stages, p=p, topology="random",
+        width=_DEEP_WIDTH, seed=seed,
+    )
+    result = NetworkSimulator(cfg).run(n_cycles)
+    a, b = covariance_chain_constants(2, Fraction(str(p)))
+    return CorrelationTableResult(
+        table_id="VI",
+        title=f"stage correlations (k=2, p={p}, m=1)",
+        simulated=result.stage_correlations(),
+        chain_a=float(a),
+        chain_b=float(b),
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables VII -- XII: totals
+# ----------------------------------------------------------------------
+
+@dataclass
+class TotalsRow:
+    """One network depth of a totals table."""
+
+    stages: int
+    sim_mean: float
+    sim_variance: float
+    pred_mean: float
+    pred_variance: float
+    pred_variance_independent: float
+    samples: int
+
+
+@dataclass
+class TotalsTableResult:
+    """A Tables VII--XII style result."""
+
+    table_id: str
+    title: str
+    p: float
+    m: int
+    rows: List[TotalsRow] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        """JSON-ready structure for downstream tooling."""
+        return {
+            "table": self.table_id,
+            "title": self.title,
+            "p": self.p,
+            "m": self.m,
+            "rows": [
+                {
+                    "stages": r.stages,
+                    "sim_mean": r.sim_mean,
+                    "sim_variance": r.sim_variance,
+                    "pred_mean": r.pred_mean,
+                    "pred_variance": r.pred_variance,
+                    "pred_variance_independent": r.pred_variance_independent,
+                    "samples": r.samples,
+                }
+                for r in self.rows
+            ],
+        }
+
+    def to_text(self) -> str:
+        lines = [
+            f"TABLE {self.table_id}: {self.title}",
+            f"{'stages':>7} | {'sim mean':>9} {'sim var':>9} | "
+            f"{'pred mean':>9} {'pred var':>9} | {'var (indep)':>11}",
+        ]
+        for r in self.rows:
+            lines.append(
+                f"{r.stages:7d} | {r.sim_mean:9.3f} {r.sim_variance:9.3f} | "
+                f"{r.pred_mean:9.3f} {r.pred_variance:9.3f} | "
+                f"{r.pred_variance_independent:11.3f}"
+            )
+        return "\n".join(lines)
+
+
+def table_totals(
+    table_id: str,
+    depths: Sequence[int] = (3, 6, 9, 12),
+    n_cycles: Optional[int] = None,
+    seed: int = 707,
+    constants: InterpolationConstants = PAPER_CONSTANTS,
+) -> TotalsTableResult:
+    """One of Tables VII--XII: total waiting time, predictions vs simulation.
+
+    ``table_id`` selects the (p, m) scenario from :data:`TOTALS_CONFIGS`.
+    """
+    if table_id not in TOTALS_CONFIGS:
+        raise KeyError(f"unknown totals table {table_id!r}; pick from {sorted(TOTALS_CONFIGS)}")
+    p, m = TOTALS_CONFIGS[table_id]
+    n_cycles = n_cycles or default_cycles()
+    out = TotalsTableResult(
+        table_id, f"total waiting time (k=2, p={p}, m={m})", p, m
+    )
+    model = LaterStageModel(k=2, p=Fraction(str(p)), m=m, constants=constants)
+    for i, n in enumerate(depths):
+        cfg = NetworkConfig(
+            k=2, n_stages=n, p=p, message_size=m,
+            topology="random", width=_DEEP_WIDTH, seed=seed + 13 * i,
+        )
+        sim = NetworkSimulator(cfg).run(n_cycles)
+        totals = sim.total_waits()
+        net = NetworkDelayModel(stages=n, model=model)
+        out.rows.append(
+            TotalsRow(
+                stages=n,
+                sim_mean=float(totals.mean()),
+                sim_variance=float(totals.var(ddof=1)),
+                pred_mean=float(net.total_waiting_mean()),
+                pred_variance=float(net.total_waiting_variance("covariance")),
+                pred_variance_independent=float(
+                    net.total_waiting_variance("independent")
+                ),
+                samples=totals.size,
+            )
+        )
+    return out

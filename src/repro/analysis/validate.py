@@ -1,0 +1,157 @@
+"""Fast end-to-end self-validation (``python -m repro validate``).
+
+Runs the reproduction's load-bearing cross-checks in under a minute and
+prints a pass/fail table -- the thing to run after an install or a
+change to convince yourself the tower still stands:
+
+1. **closed forms == exact transform** (zero tolerance, instant);
+2. **Theorem 1 == Lindley simulation** (first-stage pmf, statistical);
+3. **network stage 1 == Theorem 1** (the engine's anchor);
+4. **Section IV estimate ~= deep stages** (the approximation layer);
+5. **Section V totals ~= simulated totals** (chain variance included);
+6. **finite-buffer tail ~= simulated drops** (extension sanity).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Callable, List
+
+import numpy as np
+
+__all__ = ["ValidationCheck", "run_validation", "render_validation"]
+
+
+@dataclass
+class ValidationCheck:
+    """Outcome of one cross-check."""
+
+    name: str
+    passed: bool
+    detail: str
+    seconds: float
+
+
+def _check(name: str, fn: Callable[[], str]) -> ValidationCheck:
+    started = time.time()
+    try:
+        detail = fn()
+        return ValidationCheck(name, True, detail, time.time() - started)
+    except AssertionError as exc:
+        return ValidationCheck(name, False, str(exc), time.time() - started)
+
+
+def run_validation(n_cycles: int = 8_000, seed: int = 365) -> List[ValidationCheck]:
+    """Execute all cross-checks; never raises, reports per-check."""
+    from repro.arrivals import UniformTraffic
+    from repro.core import formulas
+    from repro.core.finite_buffers import overflow_probability
+    from repro.core.first_stage import FirstStageQueue
+    from repro.core.later_stages import LaterStageModel
+    from repro.core.total_delay import NetworkDelayModel
+    from repro.service import DeterministicService
+    from repro.simulation.network import NetworkConfig, NetworkSimulator
+    from repro.simulation.queue_sim import simulate_first_stage_queue
+
+    checks: List[ValidationCheck] = []
+
+    def closed_vs_exact() -> str:
+        worst = Fraction(0)
+        for k in (2, 4, 8):
+            for p_num in (2, 5, 8):
+                p = Fraction(p_num, 10)
+                q = FirstStageQueue(UniformTraffic(k=k, p=p), DeterministicService(1))
+                gap = abs(formulas.uniform_unit_mean(k, p) - q.waiting_moment_exact(1))
+                worst = max(worst, gap)
+        assert worst == 0, f"closed-form/transform gap {worst}"
+        return "9 parameter points, exact agreement"
+
+    checks.append(_check("closed forms == exact transform", closed_vs_exact))
+
+    def theorem_vs_lindley() -> str:
+        arr = UniformTraffic(k=2, p=Fraction(1, 2))
+        srv = DeterministicService(1)
+        sim = simulate_first_stage_queue(
+            arr, srv, 300_000, rng=np.random.default_rng(seed)
+        )
+        exact = FirstStageQueue(arr, srv).waiting_pmf(10)
+        gap = float(np.abs(sim.pmf(10) - exact).max())
+        assert gap < 0.01, f"pmf gap {gap:.4f}"
+        return f"max pmf bin gap {gap:.4f} over 300k cycles"
+
+    checks.append(_check("Theorem 1 == Lindley simulation", theorem_vs_lindley))
+
+    cfg = NetworkConfig(
+        k=2, n_stages=8, p=0.5, topology="random", width=128, seed=seed
+    )
+    result = NetworkSimulator(cfg).run(n_cycles)
+
+    def network_stage1() -> str:
+        err = abs(result.stage_means[0] - 0.25) / 0.25
+        assert err < 0.08, f"stage-1 error {100 * err:.1f}%"
+        return f"stage-1 mean {result.stage_means[0]:.4f} vs exact 0.25"
+
+    checks.append(_check("network stage 1 == Theorem 1", network_stage1))
+
+    def deep_stage_estimate() -> str:
+        deep = float(np.mean(result.stage_means[-3:]))
+        model = LaterStageModel(k=2, p=Fraction(1, 2))
+        est = float(model.limit_mean())
+        err = abs(deep - est) / est
+        assert err < 0.08, f"deep-stage error {100 * err:.1f}%"
+        return f"deep mean {deep:.4f} vs estimate {est:.4f}"
+
+    checks.append(_check("Section IV deep-stage estimate", deep_stage_estimate))
+
+    def totals_prediction() -> str:
+        model = LaterStageModel(k=2, p=Fraction(1, 2))
+        net = NetworkDelayModel(stages=8, model=model)
+        sim_mean = result.total_waiting_mean()
+        sim_var = result.total_waiting_variance()
+        pred_mean = float(net.total_waiting_mean())
+        pred_var = float(net.total_waiting_variance())
+        err_m = abs(sim_mean - pred_mean) / sim_mean
+        err_v = abs(sim_var - pred_var) / sim_var
+        assert err_m < 0.08 and err_v < 0.15, (
+            f"total errors mean {100 * err_m:.1f}%, var {100 * err_v:.1f}%"
+        )
+        return (
+            f"mean {sim_mean:.3f}/{pred_mean:.3f}, "
+            f"variance {sim_var:.3f}/{pred_var:.3f} (sim/pred)"
+        )
+
+    checks.append(_check("Section V total prediction", totals_prediction))
+
+    def finite_buffer_tail() -> str:
+        q = FirstStageQueue(UniformTraffic(k=2, p=Fraction(7, 10)), DeterministicService(1))
+        predicted = overflow_probability(q, 6)
+        fb_cfg = NetworkConfig(
+            k=2, n_stages=2, p=0.7, buffer_capacity=6,
+            topology="random", width=128, seed=seed + 1,
+        )
+        fb = NetworkSimulator(fb_cfg).run(n_cycles)
+        observed = fb.dropped / max(fb.injected, 1)
+        assert observed < predicted * 10 + 1e-6, (
+            f"drops {observed:.2e} vs tail {predicted:.2e}"
+        )
+        return f"drop rate {observed:.2e} vs tail bound {predicted:.2e}"
+
+    checks.append(_check("finite-buffer tail heuristic", finite_buffer_tail))
+
+    return checks
+
+
+def render_validation(checks: List[ValidationCheck]) -> str:
+    """Pass/fail table."""
+    lines = ["self-validation:"]
+    for c in checks:
+        status = "PASS" if c.passed else "FAIL"
+        lines.append(f"  [{status}] {c.name} ({c.seconds:.1f}s) -- {c.detail}")
+    n_fail = sum(not c.passed for c in checks)
+    lines.append(
+        f"{len(checks) - n_fail}/{len(checks)} checks passed"
+        + ("" if n_fail == 0 else f" ({n_fail} FAILED)")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Arrival-process models: everything the paper plugs in for ``R(z)``.
+
+``R(z)`` is the probability generating function of the number of
+*messages arriving in one clock cycle* at a tagged output port of a
+first-stage ``k x s`` switch.  The paper's probabilistic assumption (1)
+is that these per-cycle counts are i.i.d.; the subpackage provides the
+standard cases of Section III plus fully general compound arrivals:
+
+================================  =====================================
+model                             paper section
+================================  =====================================
+:class:`UniformTraffic`           III-A-1 (uniform, single arrivals)
+:class:`BulkUniformTraffic`       III-A-2 (constant batch size ``b``)
+:class:`RandomBulkTraffic`        III-A-2 generalised (random batches)
+:class:`FavoriteOutputTraffic`    III-A-3 (nonuniform, bias ``q``)
+:class:`CustomArrivals`           Section II in full generality
+:class:`MarkovModulatedTraffic`   beyond Section II: bursty arrivals
+                                  (simulation-first; see its docs)
+================================  =====================================
+
+Every model exposes the same dual interface:
+
+* the **exact** side -- :meth:`~ArrivalProcess.pgf` and factorial
+  moments (``R'(1) = lambda``, ``R''(1)``, ``R'''(1)``) used by the
+  analytic layer;
+* the **sampling** side -- :meth:`~ArrivalProcess.sample_counts`, a
+  vectorised NumPy generator of per-cycle counts used by the
+  single-queue simulator to validate the analysis.
+
+The two sides are tested against each other (sampled moments converge
+to the exact ones), which is the library's guarantee that simulation
+and analysis speak about the same traffic.
+"""
+
+from __future__ import annotations
+
+from repro.arrivals.base import ArrivalProcess
+from repro.arrivals.bernoulli import UniformTraffic
+from repro.arrivals.bulk import BulkUniformTraffic, RandomBulkTraffic
+from repro.arrivals.nonuniform import FavoriteOutputTraffic
+from repro.arrivals.compound import CustomArrivals
+from repro.arrivals.markov import MarkovModulatedTraffic
+
+__all__ = [
+    "ArrivalProcess",
+    "UniformTraffic",
+    "BulkUniformTraffic",
+    "RandomBulkTraffic",
+    "FavoriteOutputTraffic",
+    "CustomArrivals",
+    "MarkovModulatedTraffic",
+]

@@ -1,0 +1,74 @@
+"""Abstract interface shared by every arrival-process model."""
+
+from __future__ import annotations
+
+import abc
+from fractions import Fraction
+
+import numpy as np
+
+from repro.series.pgf import PGF
+
+__all__ = ["ArrivalProcess"]
+
+
+class ArrivalProcess(abc.ABC):
+    """Number of messages arriving per clock cycle at one output port.
+
+    Subclasses must provide the exact generating function
+    (:meth:`pgf`) and a vectorised sampler (:meth:`sample_counts`); the
+    moment helpers (:attr:`rate`, :meth:`factorial_moment`) are derived
+    from the PGF and cached, since the PGF itself is immutable.
+    """
+
+    @abc.abstractmethod
+    def pgf(self) -> PGF:
+        """The exact PGF ``R(z)`` of the per-cycle arrival count."""
+
+    @abc.abstractmethod
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Draw ``size`` i.i.d. per-cycle arrival counts (int array)."""
+
+    # ------------------------------------------------------------------
+    # derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def rate(self) -> Fraction:
+        """The mean arrival rate ``lambda = R'(1)`` (messages per cycle)."""
+        return self._cached_pgf().mean()
+
+    def factorial_moment(self, order: int):
+        """``R^{(order)}(1)``, the paper's ``R''(1)``, ``R'''(1)``, ..."""
+        return self._cached_pgf().factorial_moment(order)
+
+    def variance(self):
+        """Variance of the per-cycle arrival count."""
+        return self._cached_pgf().variance()
+
+    def _cached_pgf(self) -> PGF:
+        cached = getattr(self, "_pgf_cache", None)
+        if cached is None:
+            cached = self.pgf()
+            # object.__setattr__ so frozen dataclass subclasses can cache too
+            object.__setattr__(self, "_pgf_cache", cached)
+        return cached
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+    def empirical_pgf_check(
+        self,
+        rng: np.random.Generator,
+        n_samples: int = 200_000,
+        max_count: int = 32,
+    ) -> float:
+        """Max absolute deviation between sampled and exact pmf prefix.
+
+        A self-test hook: returns ``max_j |phat_j - p_j|`` over
+        ``j < max_count``.  Used by the test-suite to certify that the
+        sampler and the transform describe the same process.
+        """
+        counts = self.sample_counts(rng, n_samples)
+        hist = np.bincount(counts, minlength=max_count)[:max_count] / n_samples
+        exact = np.asarray(self._cached_pgf().pmf(max_count), dtype=float)
+        return float(np.abs(hist - exact).max())

@@ -1,0 +1,73 @@
+"""Uniform traffic with single arrivals (paper Section III-A-1).
+
+Each of the ``k`` input ports of a first-stage switch receives a message
+with probability ``p`` per cycle, and each message is routed uniformly at
+random to one of the ``s`` output ports.  The tagged output port then
+sees a Binomial(``k``, ``p/s``) number of arrivals per cycle:
+
+.. math:: R(z) = \\left(1 - \\frac{p}{s} + \\frac{p}{s} z\\right)^k,
+
+with the factorial moments the paper uses throughout:
+
+.. math::
+
+    R'(1) &= \\lambda = \\frac{kp}{s}, \\\\
+    R''(1) &= \\lambda^2 (1 - 1/k), \\\\
+    R'''(1) &= \\lambda^3 (1 - 1/k)(1 - 2/k).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+from repro.series.polynomial import as_exact
+
+__all__ = ["UniformTraffic"]
+
+
+@dataclass(frozen=True)
+class UniformTraffic(ArrivalProcess):
+    """Binomial arrivals at one output port of a ``k x s`` switch.
+
+    Parameters
+    ----------
+    k:
+        Number of switch input ports.
+    p:
+        Probability that an input port receives a message in a cycle.
+    s:
+        Number of switch output ports (defaults to ``k``).
+    """
+
+    k: int
+    p: Fraction
+    s: int | None = None
+
+    def __post_init__(self) -> None:
+        s = self.k if self.s is None else self.s
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", as_exact(self.p))
+        if self.k < 1 or s < 1:
+            raise ModelError(f"switch dimensions must be positive, got {self.k}x{s}")
+        if not 0 <= self.p <= 1:
+            raise ModelError(f"input load p={self.p} outside [0, 1]")
+
+    @property
+    def per_port_probability(self) -> Fraction:
+        """Probability ``p/s`` that a given input sends to the tagged output."""
+        return self.p / self.s
+
+    def pgf(self) -> PGF:
+        return PGF.binomial(self.k, self.per_port_probability)
+
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.binomial(self.k, float(self.per_port_probability), size=size)
+
+    def __str__(self) -> str:
+        return f"UniformTraffic(k={self.k}, s={self.s}, p={self.p})"

@@ -1,0 +1,145 @@
+"""Bulk (batch) arrivals (paper Section III-A-2).
+
+"In many systems, the size of a message exceeds the size of a
+transmission packet; a message is transmitted in several packets.  These
+packets arrive at the first stage of the network in one bulk."
+
+With probability ``p`` per cycle an input port receives a *bulk*; the
+whole bulk is routed to one uniformly-chosen output port.  For a
+constant bulk of ``b`` packets the tagged output port sees
+
+.. math:: R(z) = \\left(1 - \\frac{p}{s} + \\frac{p}{s} z^b\\right)^k,
+
+so ``lambda = kpb/s`` and (writing ``beta = kp/s`` for the bulk rate)
+
+.. math::
+
+    R''(1) &= \\beta\\,b(b-1) + \\beta^2 b^2 (1 - 1/k), \\\\
+
+which reduces to Section III-A-1 when ``b = 1``.
+:class:`RandomBulkTraffic` generalises to a random bulk-size
+distribution ``B(z)``: ``R(z) = (1 - p/s + (p/s) B(z))^k``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+from repro.series.polynomial import Polynomial, as_exact
+from repro.series.rational import RationalFunction
+
+__all__ = ["BulkUniformTraffic", "RandomBulkTraffic"]
+
+
+@dataclass(frozen=True)
+class BulkUniformTraffic(ArrivalProcess):
+    """Constant-size bulks under uniform traffic.
+
+    Parameters
+    ----------
+    k, p, s:
+        As in :class:`~repro.arrivals.bernoulli.UniformTraffic`.
+    b:
+        Bulk size (packets per message batch), ``b >= 1``.
+    """
+
+    k: int
+    p: Fraction
+    b: int
+    s: int | None = None
+
+    def __post_init__(self) -> None:
+        s = self.k if self.s is None else self.s
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", as_exact(self.p))
+        if self.k < 1 or s < 1:
+            raise ModelError(f"switch dimensions must be positive, got {self.k}x{s}")
+        if not 0 <= self.p <= 1:
+            raise ModelError(f"input load p={self.p} outside [0, 1]")
+        if self.b < 1:
+            raise ModelError(f"bulk size must be >= 1, got {self.b}")
+
+    def pgf(self) -> PGF:
+        a = self.p / self.s
+        # (1 - a + a z^b)^k
+        base = Polynomial([1 - a] + [0] * (self.b - 1) + [a])
+        return PGF(RationalFunction(base ** self.k), validate=False)
+
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        bulks = rng.binomial(self.k, float(self.p / self.s), size=size)
+        return bulks * self.b
+
+    def __str__(self) -> str:
+        return f"BulkUniformTraffic(k={self.k}, s={self.s}, p={self.p}, b={self.b})"
+
+
+@dataclass(frozen=True)
+class RandomBulkTraffic(ArrivalProcess):
+    """Random bulk sizes under uniform traffic.
+
+    Parameters
+    ----------
+    k, p, s:
+        As in :class:`~repro.arrivals.bernoulli.UniformTraffic`.
+    bulk:
+        PGF of the bulk size (support must be finite and start at 1 --
+        an "arrival" of zero packets is a non-event and should be folded
+        into ``p`` instead).
+    bulk_support_limit:
+        Safety cap used when tabulating the bulk pmf for sampling.
+    """
+
+    k: int
+    p: Fraction
+    bulk: PGF
+    s: int | None = None
+    bulk_support_limit: int = 4096
+    _bulk_pmf: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        s = self.k if self.s is None else self.s
+        object.__setattr__(self, "s", s)
+        object.__setattr__(self, "p", as_exact(self.p))
+        if self.k < 1 or s < 1:
+            raise ModelError(f"switch dimensions must be positive, got {self.k}x{s}")
+        if not 0 <= self.p <= 1:
+            raise ModelError(f"input load p={self.p} outside [0, 1]")
+        pmf = np.asarray(self.bulk.pmf(self.bulk_support_limit), dtype=float)
+        if pmf[0] > 1e-12:
+            raise ModelError("bulk-size distribution must not put mass at 0")
+        if abs(pmf.sum() - 1.0) > 1e-9:
+            raise ModelError(
+                "bulk-size distribution support exceeds bulk_support_limit "
+                f"(captured mass {pmf.sum():.6f})"
+            )
+        object.__setattr__(self, "_bulk_pmf", pmf / pmf.sum())
+        from repro.simulation.sampling import AliasSampler
+
+        object.__setattr__(self, "_bulk_sampler", AliasSampler(self._bulk_pmf))
+
+    def pgf(self) -> PGF:
+        a = self.p / self.s
+        # (1 - a + a B(z))^k  ==  thinned-count compound of the bulk PGF
+        count = PGF.binomial(self.k, a)
+        return self.bulk.compound(count)
+
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        n_bulks = rng.binomial(self.k, float(self.p / self.s), size=size)
+        total_bulks = int(n_bulks.sum())
+        if total_bulks == 0:
+            return np.zeros(size, dtype=np.int64)
+        sizes = self._bulk_sampler.sample_indices(rng, total_bulks)
+        # scatter the per-bulk sizes back onto the cycles that drew them
+        out = np.zeros(size, dtype=np.int64)
+        cycle_of_bulk = np.repeat(np.arange(size), n_bulks)
+        np.add.at(out, cycle_of_bulk, sizes)
+        return out
+
+    def __str__(self) -> str:
+        return f"RandomBulkTraffic(k={self.k}, s={self.s}, p={self.p})"

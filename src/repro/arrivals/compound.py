@@ -1,0 +1,75 @@
+"""Fully general per-cycle arrival counts (paper Section II).
+
+The analysis of Theorem 1 only needs the per-cycle arrival counts to be
+i.i.d. with *some* PGF ``R(z)``; :class:`CustomArrivals` lets a user
+supply that distribution directly, either as a finite pmf or as an
+arbitrary (rational) :class:`~repro.series.pgf.PGF`.  This is the
+extension hook for traffic not covered by the named models -- e.g.
+measured arrival histograms from a trace, or correlated-source
+approximations collapsed to a per-cycle marginal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+
+__all__ = ["CustomArrivals"]
+
+
+@dataclass(frozen=True)
+class CustomArrivals(ArrivalProcess):
+    """Arrivals with an explicitly given per-cycle count distribution.
+
+    Parameters
+    ----------
+    distribution:
+        Either a finite pmf sequence (``distribution[j] = P(j arrivals)``)
+        or a :class:`~repro.series.pgf.PGF`.
+    support_limit:
+        Cap used to tabulate the pmf for the sampler when a rational
+        PGF with unbounded support is supplied.
+    """
+
+    distribution: object
+    support_limit: int = 4096
+    _pgf: PGF = field(init=False, repr=False, compare=False, default=None)
+    _pmf: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        dist = self.distribution
+        if isinstance(dist, PGF):
+            g = dist
+        elif isinstance(dist, Sequence) or isinstance(dist, np.ndarray):
+            g = PGF.from_pmf(list(dist))
+        else:
+            raise ModelError(
+                "distribution must be a pmf sequence or a PGF, got "
+                f"{type(dist).__name__}"
+            )
+        pmf = np.asarray(g.pmf(self.support_limit), dtype=float)
+        if abs(pmf.sum() - 1.0) > 1e-9:
+            raise ModelError(
+                f"arrival distribution support exceeds support_limit="
+                f"{self.support_limit} (captured mass {pmf.sum():.6f})"
+            )
+        object.__setattr__(self, "_pgf", g)
+        object.__setattr__(self, "_pmf", pmf / pmf.sum())
+        from repro.simulation.sampling import AliasSampler
+
+        object.__setattr__(self, "_sampler", AliasSampler(self._pmf))
+
+    def pgf(self) -> PGF:
+        return self._pgf
+
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._sampler.sample_indices(rng, size)
+
+    def __str__(self) -> str:
+        return f"CustomArrivals(mean={float(self.rate):.4g})"

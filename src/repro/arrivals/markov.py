@@ -1,0 +1,122 @@
+"""Markov-modulated arrivals: where the Theorem 1 assumptions end.
+
+The paper's later stages cannot be analysed exactly because "the inputs
+at successive cycles are not independent" -- and its earlier companion
+[12] tried (and abandoned) modelling a queue's output as a Markov
+process.  This model makes that boundary *testable*: a two-state
+Markov-modulated Bernoulli process (MMBP) with the same *marginal*
+per-cycle distribution as a uniform-traffic port but positive burst
+correlation.
+
+Feeding it to the single-queue simulator and comparing against the
+i.i.d. Theorem 1 prediction (which sees only the marginal) quantifies
+how much waiting time the temporal correlation adds -- the effect the
+Section IV inflation factors absorb empirically.
+
+The model is *simulation-first*: :meth:`pgf` returns the stationary
+marginal (what an i.i.d. analysis would assume), clearly documented as
+such, so ``FirstStageQueue(MarkovModulatedTraffic(...), ...)`` computes
+exactly the "wrong" i.i.d. prediction one wants to compare against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+from repro.series.polynomial import as_exact
+
+__all__ = ["MarkovModulatedTraffic"]
+
+
+@dataclass(frozen=True)
+class MarkovModulatedTraffic(ArrivalProcess):
+    """Two-state MMBP arrivals at one output port.
+
+    In state ``i`` the per-cycle arrival count is Binomial(``k``,
+    ``rates[i]``); the state flips with probability ``flip`` per cycle
+    (symmetric chain, stationary distribution 1/2-1/2).  Small ``flip``
+    means long bursts; ``flip = 1/2`` recovers i.i.d. sampling of the
+    marginal.
+
+    Parameters
+    ----------
+    k:
+        Switch degree (inputs feeding the port).
+    rates:
+        Per-input hit probabilities ``(low, high)`` in the two states.
+    flip:
+        Per-cycle state-flip probability, in ``(0, 1]``.
+    """
+
+    k: int
+    rates: tuple
+    flip: Fraction
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ModelError(f"switch degree must be >= 1, got {self.k}")
+        rates = tuple(as_exact(r) for r in self.rates)
+        object.__setattr__(self, "rates", rates)
+        object.__setattr__(self, "flip", as_exact(self.flip))
+        if len(rates) != 2:
+            raise ModelError("exactly two modulation states are supported")
+        if any(not 0 <= r <= 1 for r in rates):
+            raise ModelError(f"state rates {rates} outside [0, 1]")
+        if not 0 < self.flip <= 1:
+            raise ModelError(f"flip probability {self.flip} outside (0, 1]")
+
+    @property
+    def burst_length(self) -> Fraction:
+        """Mean sojourn in one state: ``1 / flip`` cycles."""
+        return 1 / self.flip
+
+    def pgf(self) -> PGF:
+        """The *stationary marginal* count distribution.
+
+        This is what an i.i.d. analysis sees; it deliberately ignores
+        the temporal correlation (see module docstring).
+        """
+        lo = PGF.binomial(self.k, self.rates[0])
+        hi = PGF.binomial(self.k, self.rates[1])
+        return PGF.mixture([lo, hi], [Fraction(1, 2), Fraction(1, 2)])
+
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        """Correlated per-cycle counts along one modulated sample path."""
+        flips = rng.random(size) < float(self.flip)
+        # state path: start from stationarity, then XOR-accumulate flips
+        start = rng.integers(0, 2)
+        state = (start + np.cumsum(flips)) % 2
+        rates = np.asarray([float(r) for r in self.rates])
+        return rng.binomial(self.k, rates[state], size=size)
+
+    def autocorrelation(self, lag: int) -> float:
+        """Exact lag-``lag`` autocorrelation of the count process.
+
+        For the symmetric chain the modulating correlation is
+        ``(1 - 2 flip)^lag``; scaled by the between/within variance
+        split of the binomial mixture.
+        """
+        if lag < 0:
+            raise ModelError(f"lag must be >= 0, got {lag}")
+        if lag == 0:
+            return 1.0
+        lo, hi = (float(r) for r in self.rates)
+        k = self.k
+        between = (k * (hi - lo) / 2) ** 2
+        within = k * (lo * (1 - lo) + hi * (1 - hi)) / 2
+        total = between + within
+        if total == 0:
+            return 0.0
+        return (1 - 2 * float(self.flip)) ** lag * between / total
+
+    def __str__(self) -> str:
+        return (
+            f"MarkovModulatedTraffic(k={self.k}, rates={self.rates}, "
+            f"flip={self.flip})"
+        )

@@ -1,0 +1,113 @@
+"""Nonuniform "favourite output" traffic (paper Section III-A-3).
+
+"In many practical situations, each input is likely to have a distinct
+favorite output port (e.g., the output port connecting a processor to
+its private memory)."
+
+Model (``k = s``; the paper notes the generalisation is routine but
+lengthy): each input port sends an arriving bulk to its favourite output
+with probability ``q`` and with probability ``(1-q)/k`` to each output
+port *including* its favourite.  Favourites form a perfect matching, so
+each output port is the favourite of exactly one input.  Since an input
+contributes at most one bulk per cycle, the tagged port's arrival count
+is a sum of ``k`` *independent-across-inputs but per-input exclusive*
+Bernoulli bulks:
+
+* from each of the ``k - 1`` unmatched inputs, a bulk with probability
+  ``a = p(1-q)/k``;
+* from the matched input, a bulk with probability
+  ``f = p(q + (1-q)/k)``;
+
+.. math::
+
+   R(z) = \\bigl(1 + f(z^b-1)\\bigr)
+          \\Bigl(1 + a(z^b - 1)\\Bigr)^{k-1}.
+
+(The favoured and uniform routes of one input are mutually exclusive
+events of the same message, so they must *not* be modelled as
+independent factors -- the distinction is invisible in the mean but not
+in ``R''(1)``.)  Note ``lambda = pb`` independently of ``q``: bias
+moves traffic around but conserves it.  For ``q = 1`` every queue is
+fed by a single input and (with unit bulks) the waiting time vanishes;
+for ``q = 0`` the model reduces to Section III-A-2 with ``k = s``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+from repro.series.polynomial import Polynomial, as_exact
+from repro.series.rational import RationalFunction
+
+__all__ = ["FavoriteOutputTraffic"]
+
+
+@dataclass(frozen=True)
+class FavoriteOutputTraffic(ArrivalProcess):
+    """Favourite-output biased traffic at one output port (``k = s``).
+
+    Parameters
+    ----------
+    k:
+        Switch degree (inputs = outputs).
+    p:
+        Probability an input receives a bulk per cycle.
+    q:
+        Bias: probability a bulk is sent to the input's favourite port.
+    b:
+        Bulk size (default 1).
+    """
+
+    k: int
+    p: Fraction
+    q: Fraction
+    b: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "p", as_exact(self.p))
+        object.__setattr__(self, "q", as_exact(self.q))
+        if self.k < 1:
+            raise ModelError(f"switch degree must be positive, got {self.k}")
+        if not 0 <= self.p <= 1:
+            raise ModelError(f"input load p={self.p} outside [0, 1]")
+        if not 0 <= self.q <= 1:
+            raise ModelError(f"bias q={self.q} outside [0, 1]")
+        if self.b < 1:
+            raise ModelError(f"bulk size must be >= 1, got {self.b}")
+
+    @property
+    def normal_hit_probability(self) -> Fraction:
+        """Probability an *unmatched* input's bulk hits the tagged port."""
+        return self.p * (1 - self.q) / self.k
+
+    @property
+    def favored_hit_probability(self) -> Fraction:
+        """Probability the *matched* input's bulk hits the tagged port.
+
+        Its message arrives with probability ``p`` and lands here either
+        as a favourite (``q``) or by the uniform route (``(1-q)/k``).
+        """
+        return self.p * (self.q + (1 - self.q) / self.k)
+
+    def pgf(self) -> PGF:
+        a = self.normal_hit_probability
+        f = self.favored_hit_probability
+        normal = Polynomial([1 - a] + [0] * (self.b - 1) + [a]) ** (self.k - 1)
+        favored = Polynomial([1 - f] + [0] * (self.b - 1) + [f])
+        return PGF(RationalFunction(normal * favored), validate=False)
+
+    def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        normal = rng.binomial(self.k - 1, float(self.normal_hit_probability), size=size)
+        favored = rng.random(size) < float(self.favored_hit_probability)
+        return (normal + favored) * self.b
+
+    def __str__(self) -> str:
+        return (
+            f"FavoriteOutputTraffic(k={self.k}, p={self.p}, q={self.q}, b={self.b})"
+        )

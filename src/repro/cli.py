@@ -1,0 +1,190 @@
+"""Command-line interface: regenerate any paper table or figure.
+
+Usage::
+
+    python -m repro table I            # Tables I..VI
+    python -m repro table VII          # totals Tables VII..XII
+    python -m repro figure 5 --stages 6
+    python -m repro calibrate          # re-derive Section IV constants
+    python -m repro all                # everything (paper-grade: slow)
+
+``--cycles`` (or the ``REPRO_SIM_CYCLES`` environment variable) trades
+accuracy for time; the defaults give each entry a few seconds.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+__all__ = ["main", "build_parser"]
+
+_STAGE_TABLES = ("I", "II", "III", "IV", "V")
+_TOTALS_TABLES = ("VII", "VIII", "IX", "X", "XI", "XII")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (exposed for testing and docs)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--cycles", type=int, default=None, help="simulation cycles per run"
+    )
+    common.add_argument("--seed", type=int, default=None, help="override master seed")
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce tables/figures from Kruskal-Snir-Weiss 1988.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    t = sub.add_parser("table", parents=[common], help="regenerate one table (I..XII)")
+    t.add_argument("id", choices=_STAGE_TABLES + ("VI",) + _TOTALS_TABLES)
+
+    f = sub.add_parser("figure", parents=[common], help="regenerate one figure panel (3..8)")
+    f.add_argument("id", type=int, choices=[3, 4, 5, 6, 7, 8])
+    f.add_argument("--stages", type=int, default=6, help="network depth (3/6/9/12)")
+
+    sub.add_parser(
+        "calibrate", parents=[common],
+        help="re-derive Section IV constants from simulation",
+    )
+    sub.add_parser("all", parents=[common], help="every table and figure (slow)")
+    sub.add_parser(
+        "report", parents=[common],
+        help="emit the EXPERIMENTS.md paper-vs-measured report (slow)",
+    )
+
+    s = sub.add_parser(
+        "sweep", parents=[common],
+        help="parameter sweep with confidence intervals",
+    )
+    s.add_argument("kind", choices=["load", "switch", "message"])
+
+    sub.add_parser(
+        "validate", parents=[common],
+        help="fast end-to-end self-validation (~1 min)",
+    )
+    return parser
+
+
+def _run_table(table_id: str, cycles: Optional[int], seed: Optional[int]) -> str:
+    from repro.analysis import tables
+
+    kwargs = {}
+    if cycles:
+        kwargs["n_cycles"] = cycles
+    if seed is not None:
+        kwargs["seed"] = seed
+    if table_id in _STAGE_TABLES:
+        fn = {
+            "I": tables.table_I,
+            "II": tables.table_II,
+            "III": tables.table_III,
+            "IV": tables.table_IV,
+            "V": tables.table_V,
+        }[table_id]
+        return fn(**kwargs).to_text()
+    if table_id == "VI":
+        return tables.table_VI(**kwargs).to_text()
+    return tables.table_totals(table_id, **kwargs).to_text()
+
+
+def _run_figure(figure_id: int, stages: int, cycles: Optional[int], seed: Optional[int]) -> str:
+    from repro.analysis.figures import figure_waiting_histogram
+    from repro.analysis.report import render_figure
+
+    kwargs = {}
+    if cycles:
+        kwargs["n_cycles"] = cycles
+    if seed is not None:
+        kwargs["seed"] = seed
+    return render_figure(figure_waiting_histogram(figure_id, stages, **kwargs))
+
+
+def _run_calibrate(cycles: Optional[int]) -> str:
+    from repro.core.calibration import calibrated_constants
+    from repro.core.later_stages import PAPER_CONSTANTS
+
+    fresh = calibrated_constants(n_cycles=cycles or 40_000, include_nonuniform=True)
+    lines = ["recalibrated Section IV constants (k=2) vs shipped defaults:"]
+    for name in (
+        "mean_slope",
+        "var_linear",
+        "var_quadratic",
+        "var_m_linear",
+        "var_m_quadratic",
+        "nonuniform_mean_slope",
+        "nonuniform_var_slope",
+    ):
+        lines.append(
+            f"  {name:22} calibrated={float(getattr(fresh, name)):8.4f} "
+            f"default={float(getattr(PAPER_CONSTANTS, name)):8.4f}"
+        )
+    return "\n".join(lines)
+
+
+def _run_sweep(kind: str, cycles: Optional[int], seed: Optional[int]) -> str:
+    from repro.analysis.sweeps import load_sweep, message_size_sweep, switch_size_sweep
+
+    kwargs = {}
+    if cycles:
+        kwargs["n_cycles"] = cycles
+    if seed is not None:
+        kwargs["seed"] = seed
+    fn = {"load": load_sweep, "switch": switch_size_sweep, "message": message_size_sweep}[kind]
+    rows = fn(**kwargs)
+    lines = [
+        f"{kind} sweep (simulated vs predicted; +/- is a 95% batch-means CI)",
+        f"{'point':>10} {'w1 sim':>16} {'w1 exact':>9} {'w_deep sim':>11} "
+        f"{'w_inf pred':>10} {'total':>16}",
+    ]
+    for r in rows:
+        lines.append(
+            f"{r.label:>10} {r.first_stage_mean:8.4f}+/-{r.first_stage_ci:6.4f} "
+            f"{r.predicted_first_mean:9.4f} {r.deep_stage_mean:11.4f} "
+            f"{r.predicted_limit_mean:10.4f} {r.total_mean:8.3f}+/-{r.total_ci:6.4f}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    if args.command == "table":
+        print(_run_table(args.id, args.cycles, args.seed))
+    elif args.command == "figure":
+        print(_run_figure(args.id, args.stages, args.cycles, args.seed))
+    elif args.command == "calibrate":
+        print(_run_calibrate(args.cycles))
+    elif args.command == "report":
+        from repro.analysis.experiments_report import generate_experiments_markdown
+
+        print(generate_experiments_markdown(n_cycles=args.cycles, seed=args.seed))
+    elif args.command == "sweep":
+        print(_run_sweep(args.kind, args.cycles, args.seed))
+    elif args.command == "validate":
+        from repro.analysis.validate import render_validation, run_validation
+
+        checks = run_validation(n_cycles=args.cycles or 8_000)
+        print(render_validation(checks))
+        if any(not c.passed for c in checks):
+            return 1
+    elif args.command == "all":
+        from repro.analysis.figures import FIGURE_CONFIGS
+
+        for table_id in _STAGE_TABLES + ("VI",) + _TOTALS_TABLES:
+            print(_run_table(table_id, args.cycles, args.seed))
+            print()
+        for figure_id in sorted(FIGURE_CONFIGS):
+            for stages in (3, 6, 9, 12):
+                print(_run_figure(figure_id, stages, args.cycles, args.seed))
+                print()
+    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

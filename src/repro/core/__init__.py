@@ -1,0 +1,51 @@
+"""The paper's primary contribution: waiting-time analysis.
+
+Layers, in the order the paper develops them:
+
+:mod:`repro.core.first_stage`
+    Theorem 1 -- the exact waiting-time transform of the first-stage
+    output queue, with moments and full pmf extraction.
+:mod:`repro.core.moments`
+    Closed-form mean/variance in terms of factorial moments of ``R``
+    and ``U`` (paper Eqs. 2 and 3), derived independently and tested
+    against the exact transform.
+:mod:`repro.core.formulas`
+    The Section III specialisations (Eqs. 4--9 and friends).
+:mod:`repro.core.limits`
+    Continuous-time limits: M/M/1 (Section III-C) and M/D/1
+    (Section IV-B light traffic).
+:mod:`repro.core.later_stages`
+    The Section IV interpolation approximations for stages ``i >= 2``.
+:mod:`repro.core.calibration`
+    Re-derivation of the interpolation constants from simulation, the
+    way the authors obtained them.
+:mod:`repro.core.total_delay`
+    Section V: network-total waiting time, covariance chain, and the
+    gamma approximation of the full distribution.
+:mod:`repro.core.distributions`
+    Continuous approximants (gamma, truncated normal) used by Section V.
+:mod:`repro.core.convolution`
+    Distribution-level Section V alternative: per-stage pmf convolution.
+:mod:`repro.core.finite_buffers`
+    Section VI future work: loss from the exact buffered-work tail.
+:mod:`repro.core.heavy_traffic`
+    Section VI future work: saturation asymptotics.
+:mod:`repro.core.markov_queue`
+    The companion-paper [12] direction: exact numerical analysis of the
+    Markov-modulated (bursty) queue.
+"""
+
+from __future__ import annotations
+
+from repro.core.first_stage import FirstStageQueue
+from repro.core.moments import waiting_time_mean, waiting_time_variance
+from repro.core.later_stages import LaterStageModel
+from repro.core.total_delay import NetworkDelayModel
+
+__all__ = [
+    "FirstStageQueue",
+    "waiting_time_mean",
+    "waiting_time_variance",
+    "LaterStageModel",
+    "NetworkDelayModel",
+]

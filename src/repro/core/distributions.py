@@ -1,0 +1,145 @@
+"""Continuous approximants for the total waiting time (Section V).
+
+"Typically in queueing systems, the distribution of waiting times has
+an exponential or geometric tail, so we expect a gamma distribution
+with the proper expected value and variance to be a good approximation
+for even small networks."  The paper also mentions the (truncated)
+normal limit guaranteed by the central limit theorem for many stages.
+
+Both approximants are moment-matched: given the estimated mean and
+variance of the *total* waiting time (from
+:class:`~repro.core.total_delay.NetworkDelayModel`) they produce a
+continuous distribution whose integer-bin probabilities can be laid
+over a simulated histogram -- exactly the smooth curves of the paper's
+Figures 3--8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+from repro.errors import AnalysisError
+
+__all__ = ["GammaApproximant", "TruncatedNormalApproximant"]
+
+
+@dataclass(frozen=True)
+class GammaApproximant:
+    """Gamma distribution matched to a mean and variance.
+
+    Shape ``kappa = mean^2 / variance`` and scale
+    ``theta = variance / mean`` reproduce the two moments exactly.
+
+    Parameters
+    ----------
+    mean, variance:
+        Target moments; both must be positive.
+    """
+
+    mean: float
+    variance: float
+
+    def __post_init__(self) -> None:
+        if self.mean <= 0 or self.variance <= 0:
+            raise AnalysisError(
+                f"gamma approximant needs positive moments, got mean={self.mean}, "
+                f"variance={self.variance}"
+            )
+
+    @property
+    def shape(self) -> float:
+        """Gamma shape parameter ``kappa``."""
+        return self.mean ** 2 / self.variance
+
+    @property
+    def scale(self) -> float:
+        """Gamma scale parameter ``theta``."""
+        return self.variance / self.mean
+
+    @property
+    def frozen(self):
+        """The matched ``scipy.stats.gamma`` frozen distribution."""
+        return stats.gamma(self.shape, scale=self.scale)
+
+    def pdf(self, x) -> np.ndarray:
+        """Density at ``x`` (vectorised)."""
+        return self.frozen.pdf(np.asarray(x, dtype=float))
+
+    def cdf(self, x) -> np.ndarray:
+        """Distribution function at ``x`` (vectorised)."""
+        return self.frozen.cdf(np.asarray(x, dtype=float))
+
+    def sf(self, x) -> np.ndarray:
+        """Tail probability ``P(W > x)`` (vectorised)."""
+        return self.frozen.sf(np.asarray(x, dtype=float))
+
+    def quantile(self, q: float) -> float:
+        """The ``q`` quantile."""
+        return float(self.frozen.ppf(q))
+
+    def integer_bin_probabilities(self, n_bins: int) -> np.ndarray:
+        """``P(j - 1/2 < W <= j + 1/2)`` for ``j = 0, ..., n_bins - 1``.
+
+        The continuity-corrected discretisation used to overlay the
+        smooth gamma on an integer-valued waiting-time histogram.
+        """
+        if n_bins <= 0:
+            raise AnalysisError("n_bins must be positive")
+        edges = np.arange(n_bins + 1) - 0.5
+        cdf = self.frozen.cdf(edges)
+        cdf[0] = 0.0  # all mass below -1/2 is impossible for waiting times
+        return np.diff(cdf)
+
+
+@dataclass(frozen=True)
+class TruncatedNormalApproximant:
+    """Normal distribution truncated to ``[0, inf)``, moment-matched.
+
+    The matching is done on the *untruncated* parameters (the paper's
+    usage: for many stages the truncation is negligible); the class
+    reports how much mass the truncation clips so callers can judge the
+    quality of the approximation.
+    """
+
+    mean: float
+    variance: float
+
+    def __post_init__(self) -> None:
+        if self.variance <= 0:
+            raise AnalysisError(f"variance must be positive, got {self.variance}")
+
+    @property
+    def clipped_mass(self) -> float:
+        """Mass of the untruncated normal below zero."""
+        return float(stats.norm.cdf(0.0, loc=self.mean, scale=self.variance ** 0.5))
+
+    @property
+    def frozen(self):
+        """The matched ``scipy.stats.truncnorm`` frozen distribution."""
+        sigma = self.variance ** 0.5
+        a = (0.0 - self.mean) / sigma
+        return stats.truncnorm(a, np.inf, loc=self.mean, scale=sigma)
+
+    def pdf(self, x) -> np.ndarray:
+        """Density at ``x`` (vectorised)."""
+        return self.frozen.pdf(np.asarray(x, dtype=float))
+
+    def cdf(self, x) -> np.ndarray:
+        """Distribution function at ``x`` (vectorised)."""
+        return self.frozen.cdf(np.asarray(x, dtype=float))
+
+    def quantile(self, q: float) -> float:
+        """The ``q`` quantile."""
+        return float(self.frozen.ppf(q))
+
+    def integer_bin_probabilities(self, n_bins: int) -> np.ndarray:
+        """``P(j - 1/2 < W <= j + 1/2)`` for ``j = 0, ..., n_bins - 1``."""
+        if n_bins <= 0:
+            raise AnalysisError("n_bins must be positive")
+        edges = np.arange(n_bins + 1) - 0.5
+        cdf = self.frozen.cdf(edges)
+        cdf[0] = 0.0
+        return np.diff(cdf)

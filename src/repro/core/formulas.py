@@ -1,0 +1,296 @@
+"""Closed-form specialisations of the first-stage analysis (Section III).
+
+Each function evaluates one of the paper's worked examples as an exact
+rational number.  The factorial moments of ``R`` and ``U`` are written
+out explicitly (they are the quantities the paper tabulates before
+substituting into Eqs. (4)/(5)); the final substitution goes through
+:mod:`repro.core.moments`, i.e. through Eqs. (2)/(3).  The test-suite
+checks every function against the fully independent transform route
+(:class:`~repro.core.first_stage.FirstStageQueue`) with zero tolerance.
+
+Equation map
+------------
+=============================================  ============
+function                                        paper
+=============================================  ============
+:func:`uniform_unit_mean`                       Eq. (6)
+:func:`uniform_unit_variance`                   Eq. (7)
+:func:`bulk_mean` / :func:`bulk_variance`       Sec. III-A-2
+:func:`nonuniform_mean` / ``..._variance``      Sec. III-A-3
+:func:`geometric_mean` / ``..._variance``       Sec. III-B
+:func:`constant_service_mean`                   Eq. (8)
+:func:`constant_service_variance`               Eq. (9)
+:func:`multisize_mean` / ``..._variance``       Sec. III-D-2
+=============================================  ============
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Sequence
+
+from repro.core import moments as mom
+from repro.errors import ModelError
+from repro.series.polynomial import as_exact
+from repro.series.polynomial import binomial_coefficient as binomial_int
+
+__all__ = [
+    "uniform_unit_mean",
+    "uniform_unit_variance",
+    "bulk_mean",
+    "bulk_variance",
+    "nonuniform_mean",
+    "nonuniform_variance",
+    "geometric_mean",
+    "geometric_variance",
+    "constant_service_mean",
+    "constant_service_variance",
+    "multisize_mean",
+    "multisize_variance",
+    "binomial_factorial_moments",
+]
+
+
+def binomial_factorial_moments(k: int, a) -> tuple:
+    """``(lambda, R''(1), R'''(1))`` for ``R(z) = (1 - a + a z)^k``.
+
+    These are the moments the paper quotes for uniform traffic:
+    ``lambda = ka``, ``R''(1) = lambda^2 (1-1/k)``,
+    ``R'''(1) = lambda^3 (1-1/k)(1-2/k)``.
+    """
+    a = as_exact(a)
+    lam = k * a
+    r2 = k * (k - 1) * a * a
+    r3 = k * (k - 1) * (k - 2) * a ** 3
+    return lam, r2, r3
+
+
+def _ks(k: int, s: int | None) -> int:
+    return k if s is None else s
+
+
+# ----------------------------------------------------------------------
+# III-A-1: uniform traffic, single arrivals, unit service
+# ----------------------------------------------------------------------
+
+def uniform_unit_mean(k: int, p, s: int | None = None) -> Fraction:
+    """Paper Eq. (6): ``E w = (1 - 1/k) lambda / (2 (1 - lambda))``.
+
+    ``lambda = kp/s``; reduces to ``p(k-1)/s / (2(1-kp/s))``.
+    """
+    p = as_exact(p)
+    lam = k * p / _ks(k, s)
+    mom.check_stability(lam, 1)
+    return (1 - Fraction(1, k)) * lam / (2 * (1 - lam))
+
+
+def uniform_unit_variance(k: int, p, s: int | None = None) -> Fraction:
+    """Paper Eq. (7)::
+
+        Var w = (1 - 1/k) lambda [6 - 5 lambda (1 + 1/k)
+                 + 2 lambda^2 (1 + 1/k)] / (12 (1 - lambda)^2)
+    """
+    p = as_exact(p)
+    lam = k * p / _ks(k, s)
+    mom.check_stability(lam, 1)
+    inv_k = Fraction(1, k)
+    bracket = 6 - 5 * lam * (1 + inv_k) + 2 * lam * lam * (1 + inv_k)
+    return (1 - inv_k) * lam * bracket / (12 * (1 - lam) ** 2)
+
+
+# ----------------------------------------------------------------------
+# III-A-2: bulk arrivals, unit service
+# ----------------------------------------------------------------------
+
+def _bulk_moments(k: int, p, b: int, s: int | None) -> tuple:
+    """``(lambda, r2, r3)`` for constant bulks of ``b`` packets.
+
+    ``R(z) = (1 - p/s + (p/s) z^b)^k``; with ``beta = kp/s``:
+
+    * ``lambda = beta b``
+    * ``r2 = beta b(b-1) + beta^2 b^2 (1-1/k)
+          = lambda (b - 1 + (1-1/k) lambda)``  (the paper's ``R''(1)``)
+    * ``r3 = beta b(b-1)(b-2) + 3 beta^2 b^2 (b-1)(1-1/k)
+          + beta^3 b^3 (1-1/k)(1-2/k)``
+    """
+    p = as_exact(p)
+    a = p / _ks(k, s)
+    beta = k * a
+    lam = beta * b
+    c = 1 - Fraction(1, k)
+    d = 1 - Fraction(2, k)
+    r2 = beta * b * (b - 1) + beta * beta * b * b * c
+    r3 = (
+        beta * b * (b - 1) * (b - 2)
+        + 3 * beta * beta * b * b * (b - 1) * c
+        + beta ** 3 * b ** 3 * c * d
+    )
+    return lam, r2, r3
+
+
+def bulk_mean(k: int, p, b: int, s: int | None = None) -> Fraction:
+    """Section III-A-2 mean: ``E w = (b - 1 + (1-1/k) lambda) / (2(1 - lambda))``."""
+    lam, r2, _ = _bulk_moments(k, p, b, s)
+    return mom.waiting_time_mean(lam, 1, r2, 0)
+
+
+def bulk_variance(k: int, p, b: int, s: int | None = None) -> Fraction:
+    """Section III-A-2 variance via Eq. (3) with the bulk moments."""
+    lam, r2, r3 = _bulk_moments(k, p, b, s)
+    return mom.waiting_time_variance(lam, 1, r2, r3, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# III-A-3: nonuniform (favourite-output) traffic, unit service
+# ----------------------------------------------------------------------
+
+def _nonuniform_moments(k: int, p, q, b: int) -> tuple:
+    """``(lambda, r2, r3)`` for favourite-output traffic (``k = s``).
+
+    The tagged port receives *at most one* bulk per input per cycle:
+    probability ``a = p(1-q)/k`` from each of the ``k-1`` unmatched
+    inputs and ``f = p(q + (1-q)/k)`` from the matched one, so
+
+    ``R(z) = (1 + f(z^b-1)) (1 + a(z^b-1))^{k-1}``.
+
+    Expanding ``R(1+eps)`` with ``u = (1+eps)^b - 1`` and the elementary
+    symmetric polynomials ``e_j`` of the ``k`` hit probabilities,
+
+    * ``lambda = e1 b``
+    * ``r2 = e1 b(b-1) + 2 e2 b^2``
+    * ``r3 = e1 b(b-1)(b-2) + 6 e2 b^2 (b-1) + 6 e3 b^3``
+
+    Note ``lambda = p b`` for every ``q`` -- bias conserves traffic.
+    """
+    p, q = as_exact(p), as_exact(q)
+    a = p * (1 - q) / k
+    f = p * (q + (1 - q) / Fraction(k))
+    n = k - 1  # unmatched inputs
+    e1 = n * a + f
+    e2 = binomial_int(n, 2) * a * a + n * a * f
+    e3 = binomial_int(n, 3) * a ** 3 + binomial_int(n, 2) * a * a * f
+    lam = e1 * b
+    r2 = e1 * b * (b - 1) + 2 * e2 * b * b
+    r3 = e1 * b * (b - 1) * (b - 2) + 6 * e2 * b * b * (b - 1) + 6 * e3 * b ** 3
+    return lam, r2, r3
+
+
+def nonuniform_mean(k: int, p, q, b: int = 1) -> Fraction:
+    """Section III-A-3 mean.
+
+    For ``b = 1``: ``E w = 2 e2 / (2 p (1 - p)) = e2 / (p(1-p))`` with
+    ``e2 = C(k-1,2) a^2 + (k-1) a f`` -- zero at ``q = 1`` and the
+    Section III-A-1 value at ``q = 0``, as the paper checks.  (For
+    ``k = 2`` this collapses to ``E w = p (1 - q^2) / (4 (1 - p))``,
+    monotone decreasing in the bias.)
+    """
+    lam, r2, _ = _nonuniform_moments(k, p, q, b)
+    return mom.waiting_time_mean(lam, 1, r2, 0)
+
+
+def nonuniform_variance(k: int, p, q, b: int = 1) -> Fraction:
+    """Section III-A-3 variance (the paper calls the printed form
+    "quite lengthy"; this is the same quantity via Eq. (3))."""
+    lam, r2, r3 = _nonuniform_moments(k, p, q, b)
+    return mom.waiting_time_variance(lam, 1, r2, r3, 0, 0)
+
+
+# ----------------------------------------------------------------------
+# III-B: geometric service
+# ----------------------------------------------------------------------
+
+def _geometric_service_moments(mu) -> tuple:
+    """``(m, u2, u3)`` for geometric service with parameter ``mu``.
+
+    ``m = 1/mu``, ``U''(1) = 2(1-mu)/mu^2``, ``U'''(1) = 6(1-mu)^2/mu^3``.
+    """
+    mu = as_exact(mu)
+    if not 0 < mu <= 1:
+        raise ModelError(f"geometric parameter mu={mu} outside (0, 1]")
+    m = 1 / mu
+    u2 = 2 * (1 - mu) / mu ** 2
+    u3 = 6 * (1 - mu) ** 2 / mu ** 3
+    return m, u2, u3
+
+
+def geometric_mean(k: int, p, mu, s: int | None = None) -> Fraction:
+    """Section III-B mean: uniform single arrivals, geometric service."""
+    lam, r2, _ = binomial_factorial_moments(k, as_exact(p) / _ks(k, s))
+    m, u2, _ = _geometric_service_moments(mu)
+    return mom.waiting_time_mean(lam, m, r2, u2)
+
+
+def geometric_variance(k: int, p, mu, s: int | None = None) -> Fraction:
+    """Section III-B variance: uniform single arrivals, geometric service."""
+    lam, r2, r3 = binomial_factorial_moments(k, as_exact(p) / _ks(k, s))
+    m, u2, u3 = _geometric_service_moments(mu)
+    return mom.waiting_time_variance(lam, m, r2, r3, u2, u3)
+
+
+# ----------------------------------------------------------------------
+# III-D-1: constant service time m
+# ----------------------------------------------------------------------
+
+def constant_service_mean(k: int, p, m: int, s: int | None = None) -> Fraction:
+    """Paper Eq. (8): ``E w = rho (m - 1/k) / (2 (1 - rho))``.
+
+    Uniform single arrivals (rate ``lambda = kp/s``), service ``z^m``,
+    ``rho = m lambda``.
+    """
+    p = as_exact(p)
+    lam = k * p / _ks(k, s)
+    rho = mom.check_stability(lam, m)
+    return rho * (m - Fraction(1, k)) / (2 * (1 - rho))
+
+
+def constant_service_variance(k: int, p, m: int, s: int | None = None) -> Fraction:
+    """Paper Eq. (9) via the general variance with
+
+    ``r2 = lambda^2(1-1/k)``, ``r3 = lambda^3(1-1/k)(1-2/k)``,
+    ``u2 = m(m-1)``, ``u3 = m(m-1)(m-2)``.
+    """
+    lam, r2, r3 = binomial_factorial_moments(k, as_exact(p) / _ks(k, s))
+    u2 = m * (m - 1)
+    u3 = m * (m - 1) * (m - 2)
+    return mom.waiting_time_variance(lam, m, r2, r3, u2, u3)
+
+
+# ----------------------------------------------------------------------
+# III-D-2: multiple constant sizes
+# ----------------------------------------------------------------------
+
+def _multisize_moments(sizes: Sequence[int], probabilities: Sequence) -> tuple:
+    """``(m, u2, u3)`` for a mixture of constants."""
+    probs = [as_exact(g) for g in probabilities]
+    if len(sizes) != len(probs):
+        raise ModelError("need one probability per size")
+    if sum(probs) != 1:
+        raise ModelError(f"probabilities sum to {sum(probs)}, expected 1")
+    m = sum(mi * gi for mi, gi in zip(sizes, probs))
+    u2 = sum(mi * (mi - 1) * gi for mi, gi in zip(sizes, probs))
+    u3 = sum(mi * (mi - 1) * (mi - 2) * gi for mi, gi in zip(sizes, probs))
+    return m, u2, u3
+
+
+def multisize_mean(
+    k: int, p, sizes: Sequence[int], probabilities: Sequence, s: int | None = None
+) -> Fraction:
+    """Section III-D-2 mean::
+
+        E w = (lambda sum_i m_i^2 g_i - rho/k) / (2 (1 - rho)) ,
+
+    which the paper writes with ``sum m_i^2 g_i = U''(1) + m``.
+    """
+    lam, r2, _ = binomial_factorial_moments(k, as_exact(p) / _ks(k, s))
+    m, u2, _ = _multisize_moments(sizes, probabilities)
+    return mom.waiting_time_mean(lam, m, r2, u2)
+
+
+def multisize_variance(
+    k: int, p, sizes: Sequence[int], probabilities: Sequence, s: int | None = None
+) -> Fraction:
+    """Section III-D-2 variance ("quite lengthy and not particularly
+    enlightening" in print; identical content via Eq. (3))."""
+    lam, r2, r3 = binomial_factorial_moments(k, as_exact(p) / _ks(k, s))
+    m, u2, u3 = _multisize_moments(sizes, probabilities)
+    return mom.waiting_time_variance(lam, m, r2, r3, u2, u3)

@@ -1,0 +1,131 @@
+"""Heavy-traffic asymptotics (paper Section VI, future work).
+
+"It might be possible to obtain a heavy traffic analysis.  This would
+provide an exact value for ``lim_{p->1} r(p)``, and would simplify the
+task of obtaining good approximations for ``w_inf`` and ``v_inf``."
+
+What *is* exactly computable from the paper's own first-stage results
+is the heavy-traffic behaviour of stage one: from Eq. (2),
+
+.. math::
+
+    \\lim_{\\rho \\to 1} (1-\\rho)\\, E w
+        = \\frac{m R''(1) + \\lambda^2 U''(1)}{2\\lambda}
+          \\Big|_{\\rho = 1},
+
+the discrete analogue of the Kingman heavy-traffic coefficient, and the
+waiting time divided by its mean converges to an exponential.  This
+module provides those coefficients for the standard traffic families,
+an exponential heavy-traffic approximation of the waiting distribution,
+and an empirical estimator of ``lim r(rho)`` by simulation at loads
+marching toward saturation -- the experiment the authors say they did
+not run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.arrivals.base import ArrivalProcess
+from repro.core import formulas
+from repro.core.first_stage import FirstStageQueue
+from repro.errors import AnalysisError
+from repro.series.polynomial import as_exact
+from repro.service.base import ServiceProcess
+
+__all__ = [
+    "heavy_traffic_coefficient",
+    "uniform_unit_heavy_coefficient",
+    "ExponentialApproximation",
+    "heavy_traffic_waiting",
+    "estimate_limit_inflation",
+]
+
+
+def heavy_traffic_coefficient(arrivals: ArrivalProcess, service: ServiceProcess) -> Fraction:
+    """``(1 - rho) E[w]`` evaluated at the *given* (stable) load.
+
+    As the family of traffic processes is pushed toward saturation this
+    quantity converges; evaluating it at the highest stable load of
+    interest gives the Kingman-style constant for that family.
+    """
+    lam = arrivals.rate
+    m = service.mean
+    if lam == 0:
+        raise AnalysisError("heavy-traffic coefficient undefined at zero load")
+    r2 = arrivals.factorial_moment(2)
+    u2 = service.factorial_moment(2)
+    return (m * r2 + lam * lam * u2) / (2 * lam)
+
+
+def uniform_unit_heavy_coefficient(k: int) -> Fraction:
+    """``lim_{rho->1} (1-rho) E[w]`` for uniform unit-service traffic.
+
+    From Eq. (6): ``(1-1/k) rho / 2 -> (1-1/k)/2``.
+    """
+    if k < 1:
+        raise AnalysisError(f"switch degree must be >= 1, got {k}")
+    return (1 - Fraction(1, k)) / 2
+
+
+@dataclass(frozen=True)
+class ExponentialApproximation:
+    """Heavy-traffic exponential model of the waiting time.
+
+    ``P(w > x) ~ exp(-x / mean)`` -- one parameter, matched to the exact
+    mean; accurate for loads near saturation where the geometric tail
+    dominates the whole distribution.
+    """
+
+    mean: float
+
+    def sf(self, x) -> np.ndarray:
+        """``P(w > x)`` (vectorised)."""
+        return np.exp(-np.asarray(x, dtype=float) / self.mean)
+
+    def quantile(self, q: float) -> float:
+        """The ``q`` quantile."""
+        if not 0 <= q < 1:
+            raise AnalysisError(f"quantile level must be in [0, 1), got {q}")
+        return float(-self.mean * np.log1p(-q))
+
+
+def heavy_traffic_waiting(queue: FirstStageQueue) -> ExponentialApproximation:
+    """One-parameter exponential approximation of the waiting time.
+
+    Matched to the exact Eq. (2) mean; the test-suite shows the tail
+    error shrinking as ``rho`` approaches one.
+    """
+    mean = float(queue.waiting_mean())
+    if mean <= 0:
+        raise AnalysisError("exponential approximation needs a positive mean wait")
+    return ExponentialApproximation(mean=mean)
+
+
+def estimate_limit_inflation(
+    k: int = 2,
+    loads: Sequence[float] = (0.80, 0.88, 0.94),
+    n_cycles: int = 60_000,
+    seed: int = 71,
+) -> List[tuple]:
+    """Empirical ``r(rho) = w_inf / w_1`` marching toward saturation.
+
+    Returns ``[(rho, r(rho)), ...]``.  The paper conjectures
+    ``lim_{rho->1} r(rho)`` exists; this runs the experiment.  Heavy
+    loads mix slowly, so ``n_cycles`` defaults high -- expect tens of
+    seconds per load.
+    """
+    from repro.core.calibration import _deep_uniform_config, estimate_limit_statistics
+
+    out = []
+    for i, rho in enumerate(loads):
+        est = estimate_limit_statistics(
+            _deep_uniform_config(k, rho, 1, seed + i), n_cycles
+        )
+        w1 = float(formulas.uniform_unit_mean(k, as_exact(rho)))
+        out.append((rho, est.mean / w1))
+    return out

@@ -1,0 +1,349 @@
+"""Later-stage waiting-time approximations (paper Section IV).
+
+The inputs to stages ``i >= 2`` are outputs of queues, so successive
+cycles are no longer independent and no exact analysis is known.  The
+paper's approximation rests on two observations:
+
+1. per-stage waiting statistics converge *geometrically* (ratio
+   ``alpha``) to a limit as ``i`` grows;
+2. the limit behaves like the first stage with an inflation factor that
+   is low-order polynomial in the traffic intensity, with coefficients
+   calibrated against simulation at ``rho = 1/2`` and pinned at light
+   traffic by exact asymptotics.
+
+Concretely, for uniform traffic with unit service on ``k x k`` switches
+(Section IV-A):
+
+.. math::
+
+    w_\\infty(\\rho) \\approx \\Bigl(1 + \\frac{4\\rho}{5k}\\Bigr) w_1(\\rho),
+    \\qquad
+    w_i(\\rho) \\approx \\Bigl(1 + \\frac{4\\rho}{5k}
+        \\bigl(1-\\alpha^{i-1}\\bigr)\\Bigr) w_1(\\rho),
+    \\qquad \\alpha = \\tfrac{2}{5}.
+
+(Paper Eqs. 11/12; the ``k = 2`` calibration gives ``a = 2/5``, and
+``a`` scales like ``4/(5k)`` across the simulated ``k``.)  The variance
+uses a quadratic inflation ``1 + (c_1 \\rho + c_2 \\rho^2)/k`` (Eqs.
+13/14; the printed coefficients are OCR-damaged in our source, but the
+paper's own Table V ESTIMATE row pins the ``k=2, rho=1/2`` value of the
+factor at ``0.3438/0.25 = 1.375``, which ``c_1 = c_2 = 1`` reproduces
+exactly -- and our recalibration in :mod:`repro.core.calibration`
+confirms the choice independently).
+
+For messages of ``m >= 2`` packets (Section IV-B) the interior stages
+behave like the unit-service system on a cycle stretched by ``m`` at
+fixed intensity ``rho = mp``:
+
+.. math::
+
+    w_\\infty \\approx m\\Bigl(1 + \\frac{4\\rho}{5k}\\Bigr)
+        \\frac{(1-1/k)\\rho}{2(1-\\rho)}  \\qquad\\text{(Eq. 15)},
+
+valid at every stage after the first; the variance analogue (Eq. 16)
+carries the light-traffic coefficient ``2/3`` (``7/10`` works better at
+small ``m``) and simulation-matched corrections.
+
+Multiple sizes (Section IV-C) are handled by the average-size system
+rescaled by the exact first-stage ratio (Eq. 17-style correction);
+nonuniform traffic (Section IV-D) by a linear-in-``q`` factor times the
+exact first-stage formula.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from fractions import Fraction
+from typing import Optional, Sequence
+
+from repro.arrivals.bernoulli import UniformTraffic
+from repro.arrivals.nonuniform import FavoriteOutputTraffic
+from repro.core import formulas
+from repro.core.first_stage import FirstStageQueue
+from repro.core.moments import check_stability
+from repro.errors import ModelError
+from repro.series.polynomial import as_exact
+from repro.service.deterministic import DeterministicService
+from repro.service.multisize import MultiSizeService
+
+__all__ = ["InterpolationConstants", "PAPER_CONSTANTS", "LaterStageModel"]
+
+
+@dataclass(frozen=True)
+class InterpolationConstants:
+    """Section IV interpolation coefficients.
+
+    Attributes
+    ----------
+    mean_slope:
+        ``a*k`` in ``r(rho) = 1 + (a*k/k) rho``; the paper's ``k = 2``
+        fit gives ``a = 2/5`` i.e. ``mean_slope = 4/5`` (Eq. 11).
+    alpha:
+        Geometric stage-convergence ratio (``2/5``, Eq. 12).
+    var_linear, var_quadratic:
+        ``c_1, c_2`` in the variance inflation
+        ``1 + (c_1 rho + c_2 rho^2)/k`` (Eqs. 13/14).
+    var_light_traffic:
+        Interior/first-stage variance ratio at ``rho -> 0`` for
+        multi-packet messages; ``2/3`` from M/D/1 light traffic,
+        ``7/10`` in the paper's practical fit (Eq. 16).
+    var_m_linear, var_m_quadratic:
+        Load corrections for the multi-packet variance (Eq. 16's
+        ``C1, C2``), applied as
+        ``(light + (C1 rho + C2 rho^2)/k) * m^2 * v_1_unit(rho)``.
+        The printed values are OCR-lost; the defaults pin the paper's
+        Table III ESTIMATE at ``rho = 1/2`` (factor ``7/6``) and take
+        the curvature from our recalibration
+        (:mod:`repro.core.calibration`).
+    nonuniform_mean_slope, nonuniform_var_slope:
+        ``B`` in the Section IV-D linear-in-``q`` factors
+        ``(1 + (mean_slope/k) rho + B q) * exact first stage``.  The
+        printed formulas are OCR-lost, but the paper's own Table V
+        ESTIMATE row divided by the exact first-stage values is exactly
+        linear in ``q``: the mean factor is ``1.2 - 0.2 q`` and the
+        variance factor ``1.375 - 0.375 q`` at ``rho = 1/2, k = 2``,
+        fixing ``B_mean = -1/5`` and ``B_var = -3/8``.
+    """
+
+    mean_slope: Fraction = Fraction(4, 5)
+    alpha: Fraction = Fraction(2, 5)
+    var_linear: Fraction = Fraction(1)
+    var_quadratic: Fraction = Fraction(1)
+    var_light_traffic: Fraction = Fraction(7, 10)
+    var_m_linear: Fraction = Fraction(2, 3)
+    var_m_quadratic: Fraction = Fraction(12, 5)
+    nonuniform_mean_slope: Fraction = Fraction(-1, 5)
+    nonuniform_var_slope: Fraction = Fraction(-3, 8)
+
+    def mean_inflation(self, k: int, rho, stage: Optional[int] = None) -> Fraction:
+        """``r(rho)`` (Eq. 11), optionally damped to stage ``i`` (Eq. 12)."""
+        rho = as_exact(rho)
+        factor = self.mean_slope * rho / k
+        return 1 + factor * self._damping(stage)
+
+    def variance_inflation(self, k: int, rho, stage: Optional[int] = None) -> Fraction:
+        """Variance analogue of :meth:`mean_inflation` (Eqs. 13/14)."""
+        rho = as_exact(rho)
+        factor = (self.var_linear * rho + self.var_quadratic * rho * rho) / k
+        return 1 + factor * self._damping(stage)
+
+    def _damping(self, stage: Optional[int]) -> Fraction:
+        """``1 - alpha^(i-1)`` for stage ``i``; 1 for the limit."""
+        if stage is None:
+            return Fraction(1)
+        if stage < 1:
+            raise ModelError(f"stage index must be >= 1, got {stage}")
+        return 1 - self.alpha ** (stage - 1)
+
+
+#: The constants as recovered from the paper (see class docstring).
+PAPER_CONSTANTS = InterpolationConstants()
+
+
+class LaterStageModel:
+    """Approximate per-stage waiting statistics for a banyan network.
+
+    One instance describes one homogeneous traffic scenario -- uniform
+    or favourite-biased, single- or multi-packet messages -- on a
+    network of ``k x k`` switches, and answers for the mean and variance
+    of the waiting time at any stage and in the deep-network limit.
+
+    Parameters
+    ----------
+    k:
+        Switch degree.
+    p:
+        Per-input message probability per cycle (first stage).
+    m:
+        Packets per message (constant size); mutually exclusive with
+        ``sizes``.
+    sizes, probabilities:
+        Multi-size message mix (Section IV-C).
+    q:
+        Favourite-output bias (Section IV-D; requires ``m == 1``).
+    constants:
+        Interpolation coefficients; default :data:`PAPER_CONSTANTS`.
+
+    Examples
+    --------
+    >>> model = LaterStageModel(k=2, p=0.5)
+    >>> float(model.limit_mean())      # w_inf at rho = 1/2
+    0.3
+    >>> float(model.stage_mean(1))     # exact first stage, Eq. (6)
+    0.25
+    """
+
+    def __init__(
+        self,
+        k: int,
+        p,
+        m: int = 1,
+        sizes: Optional[Sequence[int]] = None,
+        probabilities: Optional[Sequence] = None,
+        q=0,
+        constants: InterpolationConstants = PAPER_CONSTANTS,
+    ) -> None:
+        self.k = k
+        self.p = as_exact(p)
+        self.q = as_exact(q)
+        self.constants = constants
+        if (sizes is None) != (probabilities is None):
+            raise ModelError("sizes and probabilities must be given together")
+        self.sizes = tuple(sizes) if sizes is not None else None
+        self.probabilities = (
+            tuple(as_exact(g) for g in probabilities) if probabilities is not None else None
+        )
+        if self.sizes is not None and m != 1:
+            raise ModelError("give either a constant size m or a size mixture, not both")
+        if self.q != 0 and (m != 1 or self.sizes is not None):
+            raise ModelError(
+                "the Section IV-D nonuniform approximation is calibrated for unit messages"
+            )
+        self.m = m
+        if self.sizes is not None:
+            service = MultiSizeService(self.sizes, self.probabilities)
+        else:
+            service = DeterministicService(m)
+        self.mean_service = service.mean
+        self.rho = check_stability(self.p, self.mean_service)  # lambda = p at a k x k switch
+        if self.q != 0:
+            arrivals = FavoriteOutputTraffic(k=k, p=self.p, q=self.q)
+        else:
+            arrivals = UniformTraffic(k=k, p=self.p)
+        #: exact first-stage analysis for this scenario
+        self.first_stage = FirstStageQueue(arrivals, service)
+
+    # ------------------------------------------------------------------
+    # unit-service building blocks (used at intensity rho for any m)
+    # ------------------------------------------------------------------
+    def _unit_mean_at(self, lam) -> Fraction:
+        """First-stage unit-service mean at arrival rate ``lam`` (Eq. 6)."""
+        return formulas.uniform_unit_mean(self.k, lam)
+
+    def _unit_variance_at(self, lam) -> Fraction:
+        """First-stage unit-service variance at arrival rate ``lam`` (Eq. 7)."""
+        return formulas.uniform_unit_variance(self.k, lam)
+
+    # ------------------------------------------------------------------
+    # per-stage statistics
+    # ------------------------------------------------------------------
+    def stage_mean(self, stage: int) -> Fraction:
+        """``w_i``: mean waiting time at stage ``stage`` (1-based)."""
+        if stage < 1:
+            raise ModelError(f"stage index must be >= 1, got {stage}")
+        if stage == 1:
+            return self.first_stage.waiting_mean()
+        return self._approx_mean(stage)
+
+    def stage_variance(self, stage: int) -> Fraction:
+        """``v_i``: waiting-time variance at stage ``stage`` (1-based)."""
+        if stage < 1:
+            raise ModelError(f"stage index must be >= 1, got {stage}")
+        if stage == 1:
+            return self.first_stage.waiting_variance()
+        return self._approx_variance(stage)
+
+    def limit_mean(self) -> Fraction:
+        """``w_inf``: deep-network limit of the per-stage mean."""
+        return self._approx_mean(None)
+
+    def limit_variance(self) -> Fraction:
+        """``v_inf``: deep-network limit of the per-stage variance."""
+        return self._approx_variance(None)
+
+    # ------------------------------------------------------------------
+    # internals: one method per paper subsection
+    # ------------------------------------------------------------------
+    def _approx_mean(self, stage: Optional[int]) -> Fraction:
+        c = self.constants
+        if self.q != 0:
+            # Section IV-D: linear-in-q factor times the exact first stage
+            base = c.mean_inflation(self.k, self.rho, stage)
+            factor = base + c.nonuniform_mean_slope * self.q * self._damping_of(stage)
+            return factor * self.first_stage.waiting_mean()
+        if self.sizes is not None:
+            # Section IV-C: average-size model, corrected by the exact
+            # first-stage ratio (multi-size vs single average size).
+            mbar = self.mean_service
+            ratio = self.first_stage.waiting_mean() / self._single_size_mean_like(mbar)
+            return ratio * self._constant_size_limit_mean(mbar, stage)
+        if self.m == 1:
+            # Section IV-A, Eqs. (11)/(12)
+            return c.mean_inflation(self.k, self.rho, stage) * self.first_stage.waiting_mean()
+        # Section IV-B, Eq. (15): unit-service system on an m-stretched cycle
+        return self._constant_size_limit_mean(self.m, stage)
+
+    def _constant_size_limit_mean(self, m, stage: Optional[int]) -> Fraction:
+        c = self.constants
+        return m * c.mean_inflation(self.k, self.rho, stage) * self._unit_mean_at(self.rho)
+
+    def _single_size_mean_like(self, m) -> Fraction:
+        """Exact first-stage mean if every message had the average size.
+
+        The average size of a mixture need not be an integer; Eq. (2)
+        with ``u2 = m(m-1)`` extends it continuously.
+        """
+        lam, r2, _ = formulas.binomial_factorial_moments(self.k, self.p / self.k)
+        from repro.core.moments import waiting_time_mean
+
+        return waiting_time_mean(lam, m, r2, m * (m - 1))
+
+    def _approx_variance(self, stage: Optional[int]) -> Fraction:
+        c = self.constants
+        if self.q != 0:
+            base = c.variance_inflation(self.k, self.rho, stage)
+            factor = base + c.nonuniform_var_slope * self.q * self._damping_of(stage)
+            return factor * self.first_stage.waiting_variance()
+        if self.sizes is not None:
+            mbar = self.mean_service
+            ratio = self.first_stage.waiting_variance() / self._single_size_variance_like(mbar)
+            return ratio * self._constant_size_limit_variance(mbar, stage)
+        if self.m == 1:
+            return (
+                c.variance_inflation(self.k, self.rho, stage)
+                * self.first_stage.waiting_variance()
+            )
+        return self._constant_size_limit_variance(self.m, stage)
+
+    def _constant_size_limit_variance(self, m, stage: Optional[int]) -> Fraction:
+        # Eq. (16): (light + (C1 rho + C2 rho^2)/k * damping) * m^2 * v1_unit(rho)
+        c = self.constants
+        load_term = (
+            (c.var_m_linear * self.rho + c.var_m_quadratic * self.rho ** 2)
+            / self.k
+            * self._damping_of(stage)
+        )
+        return (c.var_light_traffic + load_term) * m * m * self._unit_variance_at(self.rho)
+
+    def _single_size_variance_like(self, m) -> Fraction:
+        lam, r2, r3 = formulas.binomial_factorial_moments(self.k, self.p / self.k)
+        from repro.core.moments import waiting_time_variance
+
+        u2 = m * (m - 1)
+        u3 = m * (m - 1) * (m - 2)
+        return waiting_time_variance(lam, m, r2, r3, u2, u3)
+
+    def _damping_of(self, stage: Optional[int]) -> Fraction:
+        return self.constants._damping(stage)
+
+    def with_constants(self, constants: InterpolationConstants) -> "LaterStageModel":
+        """A copy of this model using different interpolation constants."""
+        return LaterStageModel(
+            k=self.k,
+            p=self.p,
+            m=self.m,
+            sizes=self.sizes,
+            probabilities=self.probabilities,
+            q=self.q,
+            constants=constants,
+        )
+
+    def __repr__(self) -> str:
+        extra = ""
+        if self.sizes is not None:
+            extra = f", sizes={self.sizes}, probabilities={self.probabilities}"
+        elif self.m != 1:
+            extra = f", m={self.m}"
+        if self.q != 0:
+            extra += f", q={self.q}"
+        return f"LaterStageModel(k={self.k}, p={self.p}{extra})"

@@ -1,0 +1,144 @@
+"""Continuous-time limits of the discrete queue (Sections III-C, IV-B).
+
+The paper sanity-checks Theorem 1 by letting the clock tick ``n`` times
+per unit of time and sending ``n`` to infinity:
+
+* geometric service with ``mu -> m_u/n`` and arrivals ``p -> p/n`` turns
+  each output queue into an **M/M/1** queue -- the discrete transform
+  converges to the classical Laplace transform
+  ``(1-rho) / (1 - rho - s/mu_rate)`` scaled appropriately;
+* constant service with the analogous scaling gives **M/D/1**, the
+  light-traffic model the paper uses for the interior stages of
+  multi-packet networks.
+
+This module provides the classical reference formulas and helpers that
+build the *scaled discrete* queue for any ``n``, so the convergence can
+be exhibited numerically (the test-suite does exactly the computation
+the paper sketches).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import NamedTuple
+
+from repro.arrivals.bernoulli import UniformTraffic
+from repro.core.first_stage import FirstStageQueue
+from repro.errors import UnstableQueueError
+from repro.series.polynomial import as_exact
+from repro.service.deterministic import DeterministicService
+from repro.service.geometric import GeometricService
+
+__all__ = [
+    "ContinuousMoments",
+    "mm1_waiting_moments",
+    "md1_waiting_moments",
+    "mg1_waiting_moments",
+    "scaled_geometric_queue",
+    "light_traffic_interior_mean",
+    "light_traffic_interior_variance",
+]
+
+
+class ContinuousMoments(NamedTuple):
+    """Mean and variance of a continuous-time waiting time."""
+
+    mean: Fraction
+    variance: Fraction
+
+
+def _check_rho(rho) -> Fraction:
+    rho = as_exact(rho)
+    if not 0 <= rho < 1:
+        raise UnstableQueueError(f"traffic intensity rho={rho} outside [0, 1)")
+    return rho
+
+
+def mm1_waiting_moments(rho, service_mean=1) -> ContinuousMoments:
+    """M/M/1 waiting time: ``E W = rho m/(1-rho)``, ``Var W = rho(2-rho) m^2/(1-rho)^2``.
+
+    (Kleinrock Vol. 1, Section 5.12 -- the reference the paper cites for
+    the limiting transform ``(1-rho)/(1-rho+s/mu)``.)
+    """
+    rho = _check_rho(rho)
+    m = as_exact(service_mean)
+    mean = rho * m / (1 - rho)
+    variance = rho * (2 - rho) * m * m / (1 - rho) ** 2
+    return ContinuousMoments(mean, variance)
+
+
+def mg1_waiting_moments(lam, s1, s2, s3) -> ContinuousMoments:
+    """M/G/1 waiting time from the Pollaczek-Khinchine expansion.
+
+    ``lam`` is the arrival rate; ``s1, s2, s3`` the first three raw
+    moments of the service time.  ``E W = lam s2 / 2(1-rho)`` and
+    ``E W^2 = 2 (E W)^2 + lam s3 / 3(1-rho)``, hence
+    ``Var W = (E W)^2 + lam s3 / 3(1-rho)``.
+    """
+    lam, s1, s2, s3 = map(as_exact, (lam, s1, s2, s3))
+    rho = _check_rho(lam * s1)
+    mean = lam * s2 / (2 * (1 - rho))
+    variance = mean * mean + lam * s3 / (3 * (1 - rho))
+    return ContinuousMoments(mean, variance)
+
+
+def md1_waiting_moments(rho, service_time=1) -> ContinuousMoments:
+    """M/D/1 waiting time (service constant ``= service_time``)."""
+    rho = _check_rho(rho)
+    m = as_exact(service_time)
+    lam = rho / m
+    return mg1_waiting_moments(lam, m, m * m, m ** 3)
+
+
+def scaled_geometric_queue(k: int, p, mu, n: int, s: int | None = None) -> FirstStageQueue:
+    """The Section III-C scaled discrete queue with ``n`` cycles per time unit.
+
+    Arrival probability ``p/n`` per (fast) cycle and geometric service
+    parameter ``mu/n`` keep the traffic intensity fixed while the cycle
+    length shrinks; as ``n -> infinity`` the waiting time measured in
+    *unscaled* units (divide by ``n``) converges to the M/M/1 waiting
+    time with arrival rate ``pk/s`` and service rate ``mu``.
+    """
+    p, mu = as_exact(p), as_exact(mu)
+    if n < 1:
+        raise UnstableQueueError(f"time-scale factor n={n} must be >= 1")
+    return FirstStageQueue(
+        UniformTraffic(k=k, p=p / n, s=s), GeometricService(mu=mu / n)
+    )
+
+
+def scaled_deterministic_queue(k: int, p, m: int, n: int, s: int | None = None) -> FirstStageQueue:
+    """M/D/1 scaling: arrivals thinned by ``n``, service stretched by ``n``."""
+    p = as_exact(p)
+    if n < 1:
+        raise UnstableQueueError(f"time-scale factor n={n} must be >= 1")
+    return FirstStageQueue(
+        UniformTraffic(k=k, p=p / n, s=s), DeterministicService(m=m * n)
+    )
+
+
+# ----------------------------------------------------------------------
+# Section IV-B light-traffic interior model
+# ----------------------------------------------------------------------
+
+def light_traffic_interior_mean(k: int, rho, m) -> Fraction:
+    """Interior-stage light-traffic mean: ``(1 - 1/k) rho m / 2``.
+
+    Interior stages of a multi-packet network resemble M/D/1 queues with
+    the congestion of an arrival rate thinned by ``(1 - 1/k)`` -- a
+    packet almost never collides with one from its own source.
+    """
+    rho = _check_rho(rho)
+    return (1 - Fraction(1, k)) * rho * as_exact(m) / 2
+
+
+def light_traffic_interior_variance(k: int, rho, m) -> Fraction:
+    """Interior-stage light-traffic variance: ``(1 - 1/k) rho m^2 / 3``.
+
+    This is the source of the paper's ``2/3`` coefficient: the M/D/1
+    light-traffic second moment ``lam' m^3/3`` is two thirds of the
+    scaled first-stage value ``lam' m^3/2``.
+    """
+    rho = _check_rho(rho)
+    m = as_exact(m)
+    return (1 - Fraction(1, k)) * rho * m * m / 3

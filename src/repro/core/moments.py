@@ -1,0 +1,193 @@
+"""Closed-form waiting-time moments (paper Eqs. 2 and 3).
+
+The paper derives the mean by one application of L'Hospital's rule to
+``t'(z)`` and the variance by six applications to ``t''(z)`` ("took
+Macsyma all night on a minicomputer").  We re-derive both directly from
+the decomposition in the proof of Theorem 1, which gives compact closed
+forms in the factorial moments of ``R`` and ``U``:
+
+With ``w = s + w'`` (``s`` = unfinished work seen by the arriving batch,
+``w'`` = service of same-batch predecessors; the two are independent
+because the arrival process is memoryless), and writing
+
+.. math::
+
+    \\lambda = R'(1),\\; r_2 = R''(1),\\; r_3 = R'''(1),\\;
+    m = U'(1),\\; u_2 = U''(1),\\; u_3 = U'''(1),\\;
+    \\rho = m\\lambda,
+
+the per-cycle work PGF is ``A(z) = R(U(z))`` with factorial moments
+
+.. math::
+
+    a_2 = A''(1) = r_2 m^2 + \\lambda u_2, \\qquad
+    a_3 = A'''(1) = r_3 m^3 + 3 r_2 m u_2 + \\lambda u_3 .
+
+Expanding ``Psi(z) = (1-\\rho)(1-z)/(A(z)-z)`` and
+``phi(U(z)) = (R(U(z))-1)/(\\lambda (U(z)-1))`` about ``z = 1``:
+
+.. math::
+
+    E s &= \\frac{a_2}{2(1-\\rho)}, \\qquad
+    E w' = \\frac{m r_2}{2\\lambda}, \\\\
+    E w &= \\frac{m r_2 + \\lambda^2 u_2}{2\\lambda(1-\\rho)}
+        \\quad\\text{(= paper Eq. 2)}, \\\\
+    \\operatorname{Var} s &= \\frac{a_2^2}{4(1-\\rho)^2}
+        + \\frac{a_3}{3(1-\\rho)} + \\frac{a_2}{2(1-\\rho)}, \\\\
+    \\operatorname{Var} w' &= \\frac{r_2 u_2}{2\\lambda}
+        + \\frac{r_3 m^2}{3\\lambda} + \\frac{r_2 m}{2\\lambda}
+        - \\frac{r_2^2 m^2}{4\\lambda^2}, \\\\
+    \\operatorname{Var} w &= \\operatorname{Var} s
+        + \\operatorname{Var} w' \\quad\\text{(= paper Eq. 3)} .
+
+Every function here is validated against the exact series expansion of
+the transform (:mod:`repro.core.first_stage`) with zero tolerance; that
+agreement is the machine-checked proof that these are the formulas the
+(partially OCR-garbled) paper printed.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import NamedTuple
+
+from repro.errors import UnstableQueueError
+from repro.series.polynomial import as_exact
+
+__all__ = [
+    "QueueMoments",
+    "waiting_time_mean",
+    "waiting_time_variance",
+    "unfinished_work_mean",
+    "unfinished_work_variance",
+    "predecessor_delay_mean",
+    "predecessor_delay_variance",
+    "queue_moments",
+    "check_stability",
+]
+
+
+class QueueMoments(NamedTuple):
+    """Bundle of first-stage waiting-time moments.
+
+    Attributes
+    ----------
+    mean, variance:
+        Moments of the waiting time ``w``.
+    work_mean, work_variance:
+        Moments of the unfinished work ``s`` seen by an arriving batch.
+    predecessor_mean, predecessor_variance:
+        Moments of the same-batch predecessor service ``w'``.
+    traffic_intensity:
+        ``rho = m * lambda``.
+    """
+
+    mean: Fraction
+    variance: Fraction
+    work_mean: Fraction
+    work_variance: Fraction
+    predecessor_mean: Fraction
+    predecessor_variance: Fraction
+    traffic_intensity: Fraction
+
+
+def check_stability(lam, m) -> Fraction:
+    """Validate ``rho = m * lambda < 1`` and return ``rho`` (exact).
+
+    Raises
+    ------
+    UnstableQueueError
+        If the queue is saturated; none of the steady-state formulas
+        apply then.
+    """
+    lam = as_exact(lam)
+    m = as_exact(m)
+    rho = m * lam
+    if rho >= 1:
+        raise UnstableQueueError(
+            f"traffic intensity rho = m*lambda = {rho} >= 1; "
+            "the steady-state waiting time does not exist"
+        )
+    if lam < 0:
+        raise UnstableQueueError(f"arrival rate lambda = {lam} < 0")
+    return rho
+
+
+def unfinished_work_mean(lam, m, r2, u2) -> Fraction:
+    """``E[s]``: mean unfinished work seen by an arriving batch."""
+    lam, m, r2, u2 = map(as_exact, (lam, m, r2, u2))
+    rho = check_stability(lam, m)
+    a2 = r2 * m * m + lam * u2
+    return a2 / (2 * (1 - rho))
+
+def unfinished_work_variance(lam, m, r2, r3, u2, u3) -> Fraction:
+    """``Var[s]``: variance of the unfinished work."""
+    lam, m, r2, r3, u2, u3 = map(as_exact, (lam, m, r2, r3, u2, u3))
+    rho = check_stability(lam, m)
+    a2 = r2 * m * m + lam * u2
+    a3 = r3 * m ** 3 + 3 * r2 * m * u2 + lam * u3
+    one = 1 - rho
+    return a2 * a2 / (4 * one * one) + a3 / (3 * one) + a2 / (2 * one)
+
+
+def predecessor_delay_mean(lam, m, r2) -> Fraction:
+    """``E[w']``: mean service of same-cycle predecessors.
+
+    Zero when arrivals are single (``r2`` counts ordered pairs of
+    same-cycle arrivals).
+    """
+    lam, m, r2 = map(as_exact, (lam, m, r2))
+    if lam == 0:
+        return Fraction(0)
+    return m * r2 / (2 * lam)
+
+
+def predecessor_delay_variance(lam, m, r2, r3, u2) -> Fraction:
+    """``Var[w']``: variance of same-cycle predecessor service."""
+    lam, m, r2, r3, u2 = map(as_exact, (lam, m, r2, r3, u2))
+    if lam == 0:
+        return Fraction(0)
+    return (
+        r2 * u2 / (2 * lam)
+        + r3 * m * m / (3 * lam)
+        + r2 * m / (2 * lam)
+        - r2 * r2 * m * m / (4 * lam * lam)
+    )
+
+
+def waiting_time_mean(lam, m, r2, u2) -> Fraction:
+    """Paper Eq. (2): ``E[w] = (m R''(1) + lambda^2 U''(1)) / (2 lambda (1 - m lambda))``."""
+    lam, m, r2, u2 = map(as_exact, (lam, m, r2, u2))
+    rho = check_stability(lam, m)
+    if lam == 0:
+        return Fraction(0)
+    return (m * r2 + lam * lam * u2) / (2 * lam * (1 - rho))
+
+
+def waiting_time_variance(lam, m, r2, r3, u2, u3) -> Fraction:
+    """Paper Eq. (3): ``Var[w] = Var[s] + Var[w']`` (see module docstring)."""
+    lam = as_exact(lam)
+    if lam == 0:
+        check_stability(lam, m)
+        return Fraction(0)
+    return unfinished_work_variance(lam, m, r2, r3, u2, u3) + predecessor_delay_variance(
+        lam, m, r2, r3, u2
+    )
+
+
+def queue_moments(lam, m, r2, r3, u2, u3) -> QueueMoments:
+    """All first-stage moments in one call (exact Fractions)."""
+    lam, m = as_exact(lam), as_exact(m)
+    rho = check_stability(lam, m)
+    if lam == 0:
+        zero = Fraction(0)
+        return QueueMoments(zero, zero, zero, zero, zero, zero, rho)
+    return QueueMoments(
+        mean=waiting_time_mean(lam, m, r2, u2),
+        variance=waiting_time_variance(lam, m, r2, r3, u2, u3),
+        work_mean=unfinished_work_mean(lam, m, r2, u2),
+        work_variance=unfinished_work_variance(lam, m, r2, r3, u2, u3),
+        predecessor_mean=predecessor_delay_mean(lam, m, r2),
+        predecessor_variance=predecessor_delay_variance(lam, m, r2, r3, u2),
+        traffic_intensity=rho,
+    )

@@ -1,0 +1,87 @@
+"""Exception hierarchy for :mod:`repro`.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the analytic layer (:class:`AnalysisError`),
+the series-algebra substrate (:class:`SeriesError`) and the simulator
+(:class:`SimulationError`).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SeriesError",
+    "PoleError",
+    "NotAProbabilityError",
+    "AnalysisError",
+    "UnstableQueueError",
+    "ModelError",
+    "SimulationError",
+    "TopologyError",
+    "CalibrationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SeriesError(ReproError):
+    """A power-series / rational-function operation is undefined.
+
+    Raised for example when dividing by the zero polynomial or when a
+    Taylor expansion is requested at a point where it does not exist.
+    """
+
+
+class PoleError(SeriesError):
+    """A series expansion was requested at a genuine pole.
+
+    Removable singularities (numerator and denominator vanishing to the
+    same order, as happens for the waiting-time transform at ``z = 1``)
+    are handled transparently; this error signals that the denominator
+    vanishes to *higher* order than the numerator.
+    """
+
+
+class NotAProbabilityError(SeriesError):
+    """A sequence was rejected as a probability mass function.
+
+    Raised when constructing a PGF from a pmf with negative mass or a
+    total that is not (approximately) one.
+    """
+
+
+class AnalysisError(ReproError):
+    """Base class for errors in the queueing-analysis layer."""
+
+
+class UnstableQueueError(AnalysisError):
+    """The offered load is at or above capacity (``rho >= 1``).
+
+    The steady-state waiting time of the paper's queue exists only for
+    traffic intensity ``rho = m * lambda < 1``; every analytic entry
+    point validates this before producing formulas that would otherwise
+    silently return negative or infinite values.
+    """
+
+
+class ModelError(AnalysisError):
+    """A traffic or service model was constructed with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the clocked network simulator."""
+
+
+class TopologyError(SimulationError):
+    """An interconnection topology is malformed or unsupported.
+
+    Examples: a banyan network whose port count is not a power of the
+    switch degree, or a wiring permutation that is not a bijection.
+    """
+
+
+class CalibrationError(ReproError):
+    """A Section-IV style calibration run failed to produce constants."""

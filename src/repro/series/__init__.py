@@ -1,0 +1,59 @@
+"""Exact power-series and rational-function algebra.
+
+This subpackage is the numerical foundation of the reproduction: the
+paper's Theorem 1 expresses the waiting-time distribution as a rational
+generating function
+
+.. math::
+
+    t(z) \\;=\\; \\frac{1-m\\lambda}{\\lambda}\\,
+        \\frac{(1-z)\\,(1-R(U(z)))}{(R(U(z))-z)\\,(1-U(z))},
+
+and everything the paper derives from it -- means, variances, higher
+moments, and the full probability mass function -- is a series-algebra
+operation on that expression.  Working with exact rational coefficients
+(:class:`fractions.Fraction`) removes every source of floating-point
+doubt from the *analytic* half of the reproduction: the closed-form
+equations printed in the paper are tested against this layer to machine
+precision (indeed, to *infinite* precision when the inputs are rational).
+
+Contents
+--------
+
+:mod:`repro.series.polynomial`
+    Dense univariate polynomials over an arbitrary coefficient field.
+:mod:`repro.series.rational`
+    Rational functions ``P/Q`` with composition, differentiation, and
+    Taylor expansion (including at removable singularities).
+:mod:`repro.series.taylor`
+    Raw truncated-power-series kernels (multiplication, division,
+    composition) plus moment conversions (factorial, raw, central).
+:mod:`repro.series.pgf`
+    Probability generating functions with moment and pmf extraction.
+"""
+
+from __future__ import annotations
+
+from repro.series.polynomial import Polynomial
+from repro.series.rational import RationalFunction
+from repro.series.taylor import (
+    central_from_raw,
+    factorial_from_taylor,
+    raw_from_factorial,
+    series_compose,
+    series_div,
+    series_mul,
+)
+from repro.series.pgf import PGF
+
+__all__ = [
+    "Polynomial",
+    "RationalFunction",
+    "PGF",
+    "series_mul",
+    "series_div",
+    "series_compose",
+    "factorial_from_taylor",
+    "raw_from_factorial",
+    "central_from_raw",
+]

@@ -1,0 +1,324 @@
+"""Dense univariate polynomials over an exact (or float) coefficient field.
+
+The class is deliberately small and allocation-friendly: coefficients are
+stored in a plain tuple, lowest degree first, with trailing zeros
+stripped.  It supports the handful of operations the generating-function
+layer needs -- ring arithmetic, composition, differentiation, evaluation
+and re-expansion about an arbitrary point -- and it is agnostic about the
+coefficient type: :class:`fractions.Fraction` gives exact results (the
+default used by the analysis layer), ``float`` gives a fast approximate
+mode used by the bulk pmf extractors.
+
+Design notes
+------------
+* Following the HPC guides, the heavy *numeric* lifting in this project
+  is vectorised NumPy (the simulator, the pmf extraction fast path); the
+  polynomial class is used for *symbolic-exact* work where the series
+  orders are tiny (tens of terms), so simple Python loops are the right
+  tool and keep the arithmetic exact.
+* Polynomials are immutable and hashable so they can be shared freely
+  between PGF objects.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import Callable, Iterable, Sequence, Union
+
+from repro.errors import SeriesError
+
+__all__ = ["Polynomial", "as_exact", "binomial_coefficient"]
+
+Scalar = Union[int, float, Fraction]
+
+
+def as_exact(value: Scalar) -> Fraction:
+    """Convert ``value`` to an exact :class:`~fractions.Fraction`.
+
+    Integers and Fractions convert losslessly.  Floats are converted via
+    their *shortest decimal representation* (``repr``), so the common
+    case of a parameter written as ``0.2`` in an experiment table becomes
+    exactly ``1/5`` rather than the binary float ``3602879701896397/2**54``.
+    This matches the intent of the paper's parameter tables, which are
+    decimal.  Pass a ``Fraction`` explicitly when a different reading of
+    a float is intended.
+    """
+    if isinstance(value, Fraction):
+        return value
+    if isinstance(value, int):
+        return Fraction(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise SeriesError(f"cannot convert non-finite float {value!r} to Fraction")
+        return Fraction(repr(value))
+    raise SeriesError(f"cannot convert {type(value).__name__} to Fraction")
+
+
+def binomial_coefficient(n: int, k: int) -> int:
+    """Binomial coefficient ``C(n, k)`` with ``C(n, k) = 0`` for ``k > n`` or ``k < 0``."""
+    if k < 0 or k > n:
+        return 0
+    result = 1
+    k = min(k, n - k)
+    for i in range(k):
+        result = result * (n - i) // (i + 1)
+    return result
+
+
+class Polynomial:
+    """An immutable dense univariate polynomial ``sum_i c_i x**i``.
+
+    Parameters
+    ----------
+    coefficients:
+        Iterable of coefficients, lowest degree first.  Trailing zeros
+        are stripped; the empty/all-zero polynomial has ``degree == -1``.
+
+    Examples
+    --------
+    >>> p = Polynomial([1, 2, 1])        # 1 + 2x + x^2 = (1+x)^2
+    >>> p(3)
+    16
+    >>> p.derivative()
+    Polynomial([2, 2])
+    >>> (p * p).degree
+    4
+    """
+
+    __slots__ = ("_coeffs",)
+
+    def __init__(self, coefficients: Iterable[Scalar]) -> None:
+        coeffs = list(coefficients)
+        while coeffs and coeffs[-1] == 0:
+            coeffs.pop()
+        self._coeffs = tuple(coeffs)
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def zero(cls) -> "Polynomial":
+        """The zero polynomial."""
+        return cls(())
+
+    @classmethod
+    def one(cls) -> "Polynomial":
+        """The constant polynomial 1."""
+        return cls((1,))
+
+    @classmethod
+    def constant(cls, value: Scalar) -> "Polynomial":
+        """The constant polynomial ``value``."""
+        return cls((value,))
+
+    @classmethod
+    def identity(cls) -> "Polynomial":
+        """The polynomial ``x``."""
+        return cls((0, 1))
+
+    @classmethod
+    def monomial(cls, degree: int, coefficient: Scalar = 1) -> "Polynomial":
+        """The monomial ``coefficient * x**degree``."""
+        if degree < 0:
+            raise SeriesError("monomial degree must be non-negative")
+        return cls((0,) * degree + (coefficient,))
+
+    def map_coefficients(self, fn: Callable[[Scalar], Scalar]) -> "Polynomial":
+        """Return a polynomial with ``fn`` applied to every coefficient."""
+        return Polynomial(fn(c) for c in self._coeffs)
+
+    def to_exact(self) -> "Polynomial":
+        """Convert all coefficients to :class:`~fractions.Fraction`."""
+        return self.map_coefficients(as_exact)
+
+    def to_float(self) -> "Polynomial":
+        """Convert all coefficients to ``float``."""
+        return self.map_coefficients(float)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def coefficients(self) -> tuple:
+        """Coefficient tuple, lowest degree first, trailing zeros stripped."""
+        return self._coeffs
+
+    @property
+    def degree(self) -> int:
+        """Degree of the polynomial; ``-1`` for the zero polynomial."""
+        return len(self._coeffs) - 1
+
+    def coefficient(self, i: int) -> Scalar:
+        """The coefficient of ``x**i`` (0 beyond the degree)."""
+        if 0 <= i < len(self._coeffs):
+            return self._coeffs[i]
+        return 0
+
+    def is_zero(self) -> bool:
+        """True iff this is the zero polynomial."""
+        return not self._coeffs
+
+    # ------------------------------------------------------------------
+    # ring arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        other = _coerce(other)
+        a, b = self._coeffs, other._coeffs
+        if len(a) < len(b):
+            a, b = b, a
+        out = list(a)
+        for i, c in enumerate(b):
+            out[i] = out[i] + c
+        return Polynomial(out)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Polynomial":
+        return Polynomial(-c for c in self._coeffs)
+
+    def __sub__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other: Scalar) -> "Polynomial":
+        return _coerce(other) - self
+
+    def __mul__(self, other: Union["Polynomial", Scalar]) -> "Polynomial":
+        if not isinstance(other, Polynomial):
+            return Polynomial(c * other for c in self._coeffs)
+        a, b = self._coeffs, other._coeffs
+        if not a or not b:
+            return Polynomial.zero()
+        out = [0] * (len(a) + len(b) - 1)
+        for i, ca in enumerate(a):
+            if ca == 0:
+                continue
+            for j, cb in enumerate(b):
+                out[i + j] = out[i + j] + ca * cb
+        return Polynomial(out)
+
+    __rmul__ = __mul__
+
+    def __pow__(self, n: int) -> "Polynomial":
+        if n < 0:
+            raise SeriesError("negative polynomial powers are not defined; use RationalFunction")
+        result = Polynomial.one()
+        base = self
+        while n:
+            if n & 1:
+                result = result * base
+            base = base * base
+            n >>= 1
+        return result
+
+    # ------------------------------------------------------------------
+    # calculus and evaluation
+    # ------------------------------------------------------------------
+    def derivative(self, order: int = 1) -> "Polynomial":
+        """The ``order``-th derivative."""
+        if order < 0:
+            raise SeriesError("derivative order must be non-negative")
+        coeffs = self._coeffs
+        for _ in range(order):
+            coeffs = tuple(i * c for i, c in enumerate(coeffs))[1:]
+        return Polynomial(coeffs)
+
+    def __call__(self, x):
+        """Evaluate at ``x`` by Horner's rule.
+
+        ``x`` may be a scalar, another :class:`Polynomial` (composition)
+        or any object supporting ``+`` and ``*`` with the coefficients
+        (e.g. a :class:`~repro.series.rational.RationalFunction`).
+        """
+        if not self._coeffs:
+            return 0 if not isinstance(x, Polynomial) else Polynomial.zero()
+        result = self._coeffs[-1]
+        if isinstance(x, Polynomial):
+            result = Polynomial.constant(result)
+        for c in reversed(self._coeffs[:-1]):
+            result = result * x + c
+        return result
+
+    def compose(self, inner: "Polynomial") -> "Polynomial":
+        """Return ``self(inner(x))`` as a polynomial."""
+        out = self(inner)
+        return out if isinstance(out, Polynomial) else Polynomial.constant(out)
+
+    def shift(self, center: Scalar) -> "Polynomial":
+        """Re-expand about ``center``: return ``q`` with ``q(e) == self(center + e)``.
+
+        Used to Taylor-expand rational functions about ``z = 1`` when
+        extracting moments from a generating function.
+        """
+        return self.compose(Polynomial((center, 1)))
+
+    def truncate(self, order: int) -> "Polynomial":
+        """Drop terms of degree ``> order``."""
+        return Polynomial(self._coeffs[: order + 1])
+
+    def deflate(self, root: Scalar) -> "Polynomial":
+        """Divide exactly by ``(x - root)`` (synthetic division).
+
+        Raises :class:`~repro.errors.SeriesError` if ``root`` is not a
+        root (non-zero remainder) -- with exact coefficients the check
+        is exact.  Used to cancel removable factors shared by numerator
+        and denominator before a floating-point series expansion, where
+        an uncancelled unit-circle root would make the extraction
+        recursion neutrally unstable.
+        """
+        if self.is_zero():
+            raise SeriesError("cannot deflate the zero polynomial")
+        out = []
+        acc = 0
+        for c in reversed(self._coeffs):
+            acc = acc * root + c
+            out.append(acc)
+        remainder = out.pop()
+        if remainder != 0:
+            raise SeriesError(f"{root!r} is not a root (remainder {remainder})")
+        return Polynomial(tuple(reversed(out)))
+
+    def valuation(self) -> int:
+        """The index of the lowest non-zero coefficient (``len`` for zero poly)."""
+        for i, c in enumerate(self._coeffs):
+            if c != 0:
+                return i
+        return len(self._coeffs)
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Polynomial):
+            return self._coeffs == other._coeffs
+        if isinstance(other, (int, float, Fraction)):
+            return self == Polynomial.constant(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Polynomial", self._coeffs))
+
+    def __repr__(self) -> str:
+        return f"Polynomial({list(self._coeffs)!r})"
+
+    def __str__(self) -> str:
+        if not self._coeffs:
+            return "0"
+        parts = []
+        for i, c in enumerate(self._coeffs):
+            if c == 0:
+                continue
+            if i == 0:
+                parts.append(f"{c}")
+            elif i == 1:
+                parts.append(f"{c}*z")
+            else:
+                parts.append(f"{c}*z^{i}")
+        return " + ".join(parts)
+
+
+def _coerce(value: Union[Polynomial, Scalar]) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, float, Fraction)):
+        return Polynomial.constant(value)
+    raise SeriesError(f"cannot coerce {type(value).__name__} to Polynomial")

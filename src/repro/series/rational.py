@@ -1,0 +1,294 @@
+"""Rational functions ``P(z)/Q(z)`` over exact or float coefficients.
+
+The waiting-time transform of Theorem 1 is a rational function of ``z``
+whenever the arrival PGF ``R`` and the service PGF ``U`` are rational
+(which covers every example in the paper: binomial arrivals, bulk
+arrivals, mixtures of deterministic service times, geometric service).
+This module provides the full field arithmetic plus the two expansions
+the analysis needs:
+
+* :meth:`RationalFunction.taylor` about an arbitrary point -- used at
+  ``z = 1`` for moments, where the transform typically has a *removable*
+  singularity that the expansion resolves automatically (the paper does
+  this by hand with repeated L'Hospital applications; "the derivation of
+  t''(1) used six applications of L'Hospital's rule, and took Macsyma
+  all night on a minicomputer" -- the exact series expansion here does
+  the same job in microseconds);
+* :meth:`RationalFunction.series` about ``z = 0`` -- used to read off
+  probability mass functions term by term.
+
+No GCD normalisation is performed (exact GCDs over ``Fraction`` are
+cheap but unnecessary for the small degrees involved); equality is
+tested by cross-multiplication.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List, Sequence, Union
+
+from repro.errors import PoleError, SeriesError
+from repro.series.polynomial import Polynomial, Scalar
+from repro.series.taylor import series_div
+
+__all__ = ["RationalFunction"]
+
+
+class RationalFunction:
+    """An immutable rational function ``numerator / denominator``.
+
+    Parameters
+    ----------
+    numerator, denominator:
+        :class:`~repro.series.polynomial.Polynomial` instances or
+        scalars / coefficient iterables accepted by ``Polynomial``.
+
+    Examples
+    --------
+    >>> z = RationalFunction.identity()
+    >>> geo = (z / 2) / (1 - z / 2)        # PGF of Geometric(1/2) on {1,2,...}
+    >>> geo.evaluate(1)
+    Fraction(1, 1)
+    >>> geo.derivative().evaluate(1)       # mean service time = 2
+    Fraction(2, 1)
+    """
+
+    __slots__ = ("_num", "_den")
+
+    def __init__(
+        self,
+        numerator: Union[Polynomial, Scalar, Sequence],
+        denominator: Union[Polynomial, Scalar, Sequence] = 1,
+    ) -> None:
+        num = _as_poly(numerator)
+        den = _as_poly(denominator)
+        if den.is_zero():
+            raise SeriesError("rational function with zero denominator")
+        self._num = num
+        self._den = den
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def identity(cls) -> "RationalFunction":
+        """The rational function ``z``."""
+        return cls(Polynomial.identity())
+
+    @classmethod
+    def constant(cls, value: Scalar) -> "RationalFunction":
+        """The constant rational function ``value``."""
+        return cls(Polynomial.constant(value))
+
+    @classmethod
+    def from_polynomial(cls, poly: Polynomial) -> "RationalFunction":
+        """Wrap a polynomial as a rational function with denominator 1."""
+        return cls(poly)
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def numerator(self) -> Polynomial:
+        """Numerator polynomial (not normalised)."""
+        return self._num
+
+    @property
+    def denominator(self) -> Polynomial:
+        """Denominator polynomial (not normalised)."""
+        return self._den
+
+    def is_polynomial(self) -> bool:
+        """True when the denominator is a (non-zero) constant."""
+        return self._den.degree == 0
+
+    def is_zero(self) -> bool:
+        """True iff the function is identically zero."""
+        return self._num.is_zero()
+
+    def to_exact(self) -> "RationalFunction":
+        """Convert all coefficients to :class:`~fractions.Fraction`."""
+        return RationalFunction(self._num.to_exact(), self._den.to_exact())
+
+    def to_float(self) -> "RationalFunction":
+        """Convert all coefficients to ``float``."""
+        return RationalFunction(self._num.to_float(), self._den.to_float())
+
+    # ------------------------------------------------------------------
+    # field arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other) -> "RationalFunction":
+        other = _coerce(other)
+        return RationalFunction(
+            self._num * other._den + other._num * self._den,
+            self._den * other._den,
+        )
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "RationalFunction":
+        return RationalFunction(-self._num, self._den)
+
+    def __sub__(self, other) -> "RationalFunction":
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other) -> "RationalFunction":
+        return _coerce(other) - self
+
+    def __mul__(self, other) -> "RationalFunction":
+        other = _coerce(other)
+        return RationalFunction(self._num * other._num, self._den * other._den)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "RationalFunction":
+        other = _coerce(other)
+        if other._num.is_zero():
+            raise SeriesError("division of rational functions by zero")
+        return RationalFunction(self._num * other._den, self._den * other._num)
+
+    def __rtruediv__(self, other) -> "RationalFunction":
+        return _coerce(other) / self
+
+    def __pow__(self, n: int) -> "RationalFunction":
+        if n < 0:
+            return RationalFunction(self._den, self._num) ** (-n)
+        return RationalFunction(self._num ** n, self._den ** n)
+
+    # ------------------------------------------------------------------
+    # calculus / composition / evaluation
+    # ------------------------------------------------------------------
+    def derivative(self, order: int = 1) -> "RationalFunction":
+        """The ``order``-th derivative (quotient rule, applied repeatedly)."""
+        result = self
+        for _ in range(order):
+            num = result._num.derivative() * result._den - result._num * result._den.derivative()
+            den = result._den * result._den
+            result = RationalFunction(num, den)
+        return result
+
+    def compose(self, inner: "RationalFunction") -> "RationalFunction":
+        """Return ``self(inner(z))`` as a rational function.
+
+        ``P(inner)/Q(inner)`` is computed by evaluating both polynomials
+        at the rational function via Horner's rule and clearing the
+        common denominator, i.e. for ``inner = A/B`` and ``deg = max(deg
+        P, deg Q)``::
+
+            P(A/B) / Q(A/B) = (sum p_i A^i B^{deg-i}) / (sum q_i A^i B^{deg-i})
+        """
+        inner = _coerce(inner)
+        a, b = inner._num, inner._den
+        deg = max(self._num.degree, self._den.degree, 0)
+
+        def eval_cleared(poly: Polynomial) -> Polynomial:
+            # sum_i c_i * A^i * B^(deg - i)
+            total = Polynomial.zero()
+            a_pow = Polynomial.one()
+            b_pows = [Polynomial.one()]
+            for _ in range(deg):
+                b_pows.append(b_pows[-1] * b)
+            for i in range(deg + 1):
+                c = poly.coefficient(i)
+                if c != 0:
+                    total = total + a_pow * b_pows[deg - i] * c
+                a_pow = a_pow * a
+            return total
+
+        return RationalFunction(eval_cleared(self._num), eval_cleared(self._den))
+
+    def __call__(self, x):
+        """Evaluate at a scalar or compose with another rational function."""
+        if isinstance(x, RationalFunction):
+            return self.compose(x)
+        if isinstance(x, Polynomial):
+            return self.compose(RationalFunction(x))
+        return self.evaluate(x)
+
+    def evaluate(self, x: Scalar):
+        """Evaluate at scalar ``x``.
+
+        At a removable singularity the limit is computed by expanding
+        one Taylor term about ``x``.
+        """
+        den = self._den(x)
+        num = self._num(x)
+        if den != 0:
+            if isinstance(num, int) and isinstance(den, int):
+                return Fraction(num, den)
+            return num / den
+        if num != 0:
+            raise PoleError(f"rational function has a pole at {x!r}")
+        return self.taylor(x, 0)[0]
+
+    # ------------------------------------------------------------------
+    # expansions
+    # ------------------------------------------------------------------
+    def taylor(self, center: Scalar, order: int) -> List:
+        """Taylor coefficients about ``center`` up to ``eps**order``.
+
+        Removable singularities at ``center`` are resolved by cancelling
+        the common leading powers of ``(z - center)`` in numerator and
+        denominator; a genuine pole raises
+        :class:`~repro.errors.PoleError`.
+        """
+        num = self._num.shift(center)
+        den = self._den.shift(center)
+        # give series_div enough numerator/denominator terms: cancelling
+        # v leading zeros consumes v orders.
+        v = min(den.valuation(), den.degree if not den.is_zero() else 0)
+        need = order + v + 1
+        num_c = [num.coefficient(i) for i in range(max(need, num.degree + 1))]
+        den_c = [den.coefficient(i) for i in range(max(need, den.degree + 1))]
+        return series_div(num_c, den_c, order)
+
+    def series(self, order: int) -> List:
+        """Maclaurin coefficients (about 0) up to ``z**order``.
+
+        This is the pmf-extraction entry point: if the function is a
+        PGF, coefficient ``n`` is ``P(X = n)``.
+        """
+        return self.taylor(0, order)
+
+    # ------------------------------------------------------------------
+    # dunder plumbing
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (int, float, Fraction, Polynomial)):
+            other = _coerce(other)
+        if not isinstance(other, RationalFunction):
+            return NotImplemented
+        return self._num * other._den == other._num * self._den
+
+    def __hash__(self) -> int:
+        # hash via an arbitrary canonical evaluation is fragile; rational
+        # functions are rarely used as dict keys, so hash on the pair.
+        return hash(("RationalFunction", self._num, self._den))
+
+    def __repr__(self) -> str:
+        if self.is_polynomial():
+            return f"RationalFunction({self._num!r})"
+        return f"RationalFunction({self._num!r}, {self._den!r})"
+
+    def __str__(self) -> str:
+        if self.is_polynomial() and self._den.coefficient(0) == 1:
+            return str(self._num)
+        return f"({self._num}) / ({self._den})"
+
+
+def _as_poly(value) -> Polynomial:
+    if isinstance(value, Polynomial):
+        return value
+    if isinstance(value, (int, float, Fraction)):
+        return Polynomial.constant(value)
+    return Polynomial(value)
+
+
+def _coerce(value) -> RationalFunction:
+    if isinstance(value, RationalFunction):
+        return value
+    if isinstance(value, Polynomial):
+        return RationalFunction(value)
+    if isinstance(value, (int, float, Fraction)):
+        return RationalFunction.constant(value)
+    raise SeriesError(f"cannot coerce {type(value).__name__} to RationalFunction")

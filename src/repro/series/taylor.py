@@ -1,0 +1,214 @@
+"""Truncated power-series kernels and moment conversions.
+
+These are the low-level routines behind both moment extraction (Taylor
+expansion of the waiting-time transform about ``z = 1``) and pmf
+extraction (expansion about ``z = 0``).  All routines operate on plain
+sequences of coefficients, lowest order first, and are agnostic about
+the coefficient type (Fraction for exactness, float for speed).
+
+Moment conventions
+------------------
+If ``t(z) = E[z^w]`` is a PGF, then
+
+.. math:: t(1+\\varepsilon) = \\sum_{r\\ge 0} E\\binom{w}{r} \\varepsilon^r,
+
+so the ``r``-th Taylor coefficient about 1 times ``r!`` is the ``r``-th
+*falling factorial moment* ``E[w(w-1)...(w-r+1)]``.  Raw moments follow
+via Stirling numbers of the second kind, central moments via the
+binomial transform.  Keeping these conversions exact (integer Stirling
+numbers, Fraction arithmetic) means the variance formulas of the paper
+can be checked with zero numerical tolerance.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import factorial
+from typing import List, Sequence
+
+from repro.errors import PoleError, SeriesError
+
+__all__ = [
+    "series_mul",
+    "series_div",
+    "series_compose",
+    "series_pow",
+    "stirling2",
+    "factorial_from_taylor",
+    "raw_from_factorial",
+    "central_from_raw",
+    "moments_from_taylor",
+]
+
+
+def series_mul(a: Sequence, b: Sequence, order: int) -> List:
+    """Product of two truncated series, keeping terms up to ``x**order``."""
+    out = [0] * (order + 1)
+    for i, ca in enumerate(a[: order + 1]):
+        if ca == 0:
+            continue
+        jmax = order - i
+        for j, cb in enumerate(b[: jmax + 1]):
+            if cb == 0:
+                continue
+            out[i + j] += ca * cb
+    return out
+
+
+def series_div(num: Sequence, den: Sequence, order: int) -> List:
+    """Quotient ``num / den`` as a truncated power series.
+
+    Handles removable singularities: if both ``num`` and ``den`` start
+    with zero coefficients, the common leading zeros cancel.  If the
+    denominator vanishes to *strictly higher* order than the numerator a
+    :class:`~repro.errors.PoleError` is raised -- the quotient is not a
+    power series.
+    """
+    num = list(num)
+    den = list(den)
+    v_den = _valuation(den)
+    if v_den == len(den):
+        raise SeriesError("division by the zero series")
+    v_num = _valuation(num)
+    if v_num < v_den:
+        raise PoleError(
+            f"series quotient has a pole: numerator valuation {v_num} "
+            f"< denominator valuation {v_den}"
+        )
+    # cancel the common factor x**v_den
+    num = num[v_den:] if v_num >= v_den else num
+    den = den[v_den:]
+    lead = den[0]
+    out: List = [0] * (order + 1)
+    for n in range(order + 1):
+        acc = num[n] if n < len(num) else 0
+        kmax = min(n, len(den) - 1)
+        for k in range(1, kmax + 1):
+            if den[k] != 0 and out[n - k] != 0:
+                acc = acc - den[k] * out[n - k]
+        out[n] = _divide(acc, lead)
+    return out
+
+
+def _divide(a, b):
+    """Divide preserving exactness: int/int stays a Fraction."""
+    if isinstance(a, int) and isinstance(b, int):
+        return Fraction(a, b)
+    return a / b
+
+
+def _valuation(coeffs: Sequence) -> int:
+    for i, c in enumerate(coeffs):
+        if c != 0:
+            return i
+    return len(coeffs)
+
+
+def series_compose(outer: Sequence, inner: Sequence, order: int) -> List:
+    """Composition ``outer(inner(x))`` as a truncated series.
+
+    Requires ``inner`` to have zero constant term (otherwise the
+    composition of formal power series is not defined term-by-term).
+    """
+    inner = list(inner[: order + 1])
+    if inner and inner[0] != 0:
+        raise SeriesError("series composition requires inner constant term 0")
+    out = [0] * (order + 1)
+    # Horner in the series ring, highest outer coefficient first.
+    for c in reversed(list(outer)):
+        out = series_mul(out, inner, order)
+        out[0] += c
+    return out
+
+
+def series_pow(base: Sequence, n: int, order: int) -> List:
+    """``base**n`` as a truncated series (binary powering)."""
+    if n < 0:
+        raise SeriesError("negative series powers not supported here")
+    result: List = [1] + [0] * order
+    b = list(base[: order + 1]) + [0] * max(0, order + 1 - len(base))
+    while n:
+        if n & 1:
+            result = series_mul(result, b, order)
+        b = series_mul(b, b, order)
+        n >>= 1
+    return result
+
+
+# ----------------------------------------------------------------------
+# moment conversions
+# ----------------------------------------------------------------------
+
+def stirling2(n: int, k: int) -> int:
+    """Stirling number of the second kind ``S(n, k)`` (exact integer)."""
+    if n == k:
+        return 1
+    if k <= 0 or k > n:
+        return 0
+    # recurrence S(n, k) = k S(n-1, k) + S(n-1, k-1), small n only
+    row = [1]  # S(0,0)
+    for m in range(1, n + 1):
+        new = [0] * (m + 1)
+        for j in range(1, m + 1):
+            left = row[j] if j < len(row) else 0
+            new[j] = j * left + row[j - 1]
+        row = new
+    return row[k]
+
+
+def factorial_from_taylor(taylor_at_one: Sequence) -> List:
+    """Falling factorial moments from Taylor coefficients about 1.
+
+    ``taylor_at_one[r]`` is the coefficient of ``eps**r`` in
+    ``t(1+eps)``; the ``r``-th factorial moment is ``r! *`` that.
+    """
+    return [factorial(r) * c for r, c in enumerate(taylor_at_one)]
+
+
+def raw_from_factorial(factorial_moments: Sequence) -> List:
+    """Raw moments ``E[w**n]`` from factorial moments ``E[(w)_r]``.
+
+    Uses ``E[w**n] = sum_r S(n, r) E[(w)_r]``.
+    """
+    n_max = len(factorial_moments) - 1
+    out = []
+    for n in range(n_max + 1):
+        acc = 0
+        for r in range(n + 1):
+            s = stirling2(n, r)
+            if s:
+                acc += s * factorial_moments[r]
+        out.append(acc)
+    return out
+
+
+def central_from_raw(raw_moments: Sequence) -> List:
+    """Central moments from raw moments (binomial transform).
+
+    ``out[0] = 1``, ``out[1] = 0``, ``out[2]`` is the variance, etc.
+    """
+    if not raw_moments:
+        return []
+    mean = raw_moments[1] if len(raw_moments) > 1 else 0
+    out = [1]
+    from repro.series.polynomial import binomial_coefficient
+
+    for n in range(1, len(raw_moments)):
+        acc = 0
+        for j in range(n + 1):
+            term = binomial_coefficient(n, j) * raw_moments[j] * (-mean) ** (n - j)
+            acc += term
+        out.append(acc)
+    return out
+
+
+def moments_from_taylor(taylor_at_one: Sequence) -> dict:
+    """Convenience bundle: mean / variance / skewness-ready moments.
+
+    Returns a dict with ``factorial``, ``raw`` and ``central`` moment
+    lists derived from the Taylor coefficients of a PGF about 1.
+    """
+    fac = factorial_from_taylor(taylor_at_one)
+    raw = raw_from_factorial(fac)
+    central = central_from_raw(raw)
+    return {"factorial": fac, "raw": raw, "central": central}

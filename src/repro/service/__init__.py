@@ -1,0 +1,37 @@
+"""Service-time models: everything the paper plugs in for ``U(z)``.
+
+``U(z)`` is the PGF of the number of clock cycles needed to forward one
+message through a switch output port.  The paper's assumption (2) makes
+successive service times i.i.d.; the standard cases are:
+
+================================  =====================================
+model                             paper section
+================================  =====================================
+:class:`DeterministicService`     III-A / III-D-1 (constant ``m``)
+:class:`GeometricService`         III-B
+:class:`MultiSizeService`         III-D-2 (mixture of constants)
+:class:`GeneralService`           Section II in full generality
+================================  =====================================
+
+As with arrivals, each model has an exact transform side and a
+vectorised sampling side, cross-validated by the test-suite.  Service
+times are restricted to ``{1, 2, ...}``: a zero-cycle service would let
+a message traverse a synchronous switch in no time, which the clocked
+hardware the paper models cannot do.
+"""
+
+from __future__ import annotations
+
+from repro.service.base import ServiceProcess
+from repro.service.deterministic import DeterministicService
+from repro.service.geometric import GeometricService
+from repro.service.multisize import MultiSizeService
+from repro.service.general import GeneralService
+
+__all__ = [
+    "ServiceProcess",
+    "DeterministicService",
+    "GeometricService",
+    "MultiSizeService",
+    "GeneralService",
+]

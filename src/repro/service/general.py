@@ -1,0 +1,74 @@
+"""Fully general discrete service times (paper Section II).
+
+Any pmf on ``{1, 2, ...}`` (or any rational PGF with that support) can
+serve as ``U(z)`` -- Theorem 1 holds for "any discrete service time
+distribution".  This is the extension hook for e.g. empirical packet
+length histograms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+from repro.service.base import ServiceProcess
+
+__all__ = ["GeneralService"]
+
+
+@dataclass(frozen=True)
+class GeneralService(ServiceProcess):
+    """Service times with an explicitly given distribution.
+
+    Parameters
+    ----------
+    distribution:
+        A pmf sequence (``distribution[j] = P(service == j)``; index 0
+        must carry no mass) or a :class:`~repro.series.pgf.PGF`.
+    support_limit:
+        Cap used to tabulate the pmf for the sampler when a rational
+        PGF with unbounded support is supplied.
+    """
+
+    distribution: object
+    support_limit: int = 4096
+    _pgf: PGF = field(init=False, repr=False, compare=False, default=None)
+    _pmf: np.ndarray = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        dist = self.distribution
+        if isinstance(dist, PGF):
+            g = dist
+        elif isinstance(dist, Sequence) or isinstance(dist, np.ndarray):
+            g = PGF.from_pmf(list(dist))
+        else:
+            raise ModelError(
+                "distribution must be a pmf sequence or a PGF, got "
+                f"{type(dist).__name__}"
+            )
+        pmf = np.asarray(g.pmf(self.support_limit), dtype=float)
+        if pmf[0] > 1e-12:
+            raise ModelError("service time 0 is not physical for a clocked switch")
+        if abs(pmf.sum() - 1.0) > 1e-9:
+            raise ModelError(
+                f"service distribution support exceeds support_limit="
+                f"{self.support_limit} (captured mass {pmf.sum():.6f})"
+            )
+        object.__setattr__(self, "_pgf", g)
+        object.__setattr__(self, "_pmf", pmf / pmf.sum())
+        from repro.simulation.sampling import AliasSampler
+
+        object.__setattr__(self, "_sampler", AliasSampler(self._pmf))
+
+    def pgf(self) -> PGF:
+        return self._pgf
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return self._sampler.sample_indices(rng, size)
+
+    def __str__(self) -> str:
+        return f"GeneralService(mean={float(self.mean):.4g})"

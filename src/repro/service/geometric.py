@@ -1,0 +1,53 @@
+"""Geometric service times (paper Section III-B).
+
+``g_j = mu (1 - mu)^{j-1}`` for ``j = 1, 2, ...``, giving
+
+.. math:: U(z) = \\frac{\\mu z}{1 - (1-\\mu) z},
+          \\qquad m = U'(1) = 1/\\mu .
+
+Scaling time by ``n`` and letting ``mu -> mu/n`` recovers the
+exponential server of the M/M/1 queue (paper Section III-C); the limit
+is implemented analytically in :mod:`repro.core.limits`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+
+import numpy as np
+
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+from repro.series.polynomial import as_exact
+from repro.service.base import ServiceProcess
+
+__all__ = ["GeometricService"]
+
+
+@dataclass(frozen=True)
+class GeometricService(ServiceProcess):
+    """Service completes each cycle with probability ``mu``.
+
+    Parameters
+    ----------
+    mu:
+        Per-cycle completion probability, ``0 < mu <= 1``.  The mean
+        service time is ``1/mu``.
+    """
+
+    mu: Fraction
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mu", as_exact(self.mu))
+        if not 0 < self.mu <= 1:
+            raise ModelError(f"geometric parameter mu={self.mu} outside (0, 1]")
+
+    def pgf(self) -> PGF:
+        return PGF.geometric(self.mu)
+
+    def sample(self, rng: np.random.Generator, size: int) -> np.ndarray:
+        return rng.geometric(float(self.mu), size=size).astype(np.int64)
+
+    def __str__(self) -> str:
+        return f"GeometricService(mu={self.mu})"

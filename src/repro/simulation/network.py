@@ -1,0 +1,301 @@
+"""User-facing facade: configure, run, and summarise a network simulation.
+
+:class:`NetworkConfig` captures one experimental scenario in the
+paper's vocabulary (``k``, ``p``, ``m``, ``q``, bulk size, stages);
+:class:`NetworkSimulator` assembles topology + traffic + engine from it
+and produces a :class:`NetworkResult` with exactly the statistics the
+paper tabulates.
+
+Width policy
+------------
+A true ``n``-stage banyan has ``k**n`` ports per stage.  For uniform
+traffic the wiring is statistically irrelevant (each message takes an
+independent uniform switch output at every stage), so deep networks may
+be simulated at a fixed smaller ``width`` with
+:class:`~repro.simulation.topology.RandomRoutingTopology` -- pass
+``topology="random"`` and a ``width``.  Favourite-output traffic
+(``q > 0``) genuinely needs destination routing and therefore a full
+banyan.  The equivalence of the two modes is checked by the wiring
+ablation benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Literal, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelError, SimulationError
+from repro.service.base import ServiceProcess
+from repro.service.deterministic import DeterministicService
+from repro.service.multisize import MultiSizeService
+from repro.simulation.engine import ClockedEngine
+from repro.simulation.rng import spawn_rngs
+from repro.simulation.stats import TrackedMessages
+from repro.simulation.topology import (
+    BaselineTopology,
+    ButterflyTopology,
+    MultistageTopology,
+    OmegaTopology,
+    RandomRoutingTopology,
+)
+from repro.simulation.traffic import NetworkTrafficGenerator
+
+__all__ = ["NetworkConfig", "NetworkResult", "NetworkSimulator"]
+
+_TOPOLOGIES = {
+    "omega": OmegaTopology,
+    "butterfly": ButterflyTopology,
+    "baseline": BaselineTopology,
+}
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """One simulated scenario.
+
+    Parameters
+    ----------
+    k:
+        Switch degree (``k x k`` switches).
+    n_stages:
+        Network depth.
+    p:
+        Per-input message probability per cycle.
+    message_size:
+        Packets per message, transmitted consecutively (Section III-D
+        constant service ``m``); exclusive with ``sizes``.
+    sizes, probabilities:
+        Multi-size mixture (Section III-D-2 / IV-C).
+    service:
+        Any explicit :class:`~repro.service.base.ServiceProcess`
+        (e.g. geometric, Section III-B); exclusive with the size
+        options above.
+    bulk_size:
+        Packets per *bulk* -- independent unit-service packets arriving
+        together (Section III-A-2).  Exclusive with ``message_size > 1``.
+    q:
+        Favourite-output bias (Section III-A-3 / IV-D); needs a
+        destination-routed topology.
+    topology:
+        ``"omega"`` (default), ``"butterfly"``, ``"baseline"``, or
+        ``"random"`` (width-decoupled shuffle, uniform traffic only).
+    width:
+        Ports per stage; defaults to ``k**n_stages`` for banyans and is
+        required for ``topology="random"``.
+    transfer:
+        ``"cut_through"`` (paper model) or ``"store_forward"``.
+    buffer_capacity:
+        ``None`` = infinite buffers (paper model); an int = finite
+        FIFOs with drops.
+    seed:
+        Master seed (deterministic streams per subsystem).
+    track_limit:
+        Per-message rows kept for totals/correlations.
+    """
+
+    k: int
+    n_stages: int
+    p: float
+    message_size: int = 1
+    sizes: Optional[Tuple[int, ...]] = None
+    probabilities: Optional[Tuple[float, ...]] = None
+    service: Optional[ServiceProcess] = None
+    bulk_size: int = 1
+    q: float = 0.0
+    topology: Literal["omega", "butterfly", "baseline", "random"] = "omega"
+    width: Optional[int] = None
+    transfer: Literal["cut_through", "store_forward"] = "cut_through"
+    buffer_capacity: Optional[int] = None
+    seed: Optional[int] = None
+    track_limit: int = 200_000
+
+    def __post_init__(self) -> None:
+        if self.sizes is not None:
+            object.__setattr__(self, "sizes", tuple(self.sizes))
+            object.__setattr__(self, "probabilities", tuple(self.probabilities))
+            if self.message_size != 1:
+                raise ModelError("give message_size or sizes, not both")
+        if self.service is not None and (self.message_size != 1 or self.sizes is not None):
+            raise ModelError("give an explicit service model or sizes, not both")
+        if self.bulk_size > 1 and (self.message_size > 1 or self.sizes is not None):
+            raise ModelError(
+                "bulk arrivals (unit-service packets) and multi-packet messages "
+                "are different models; pick one"
+            )
+        if self.q > 0 and self.topology == "random":
+            raise ModelError("favourite-output traffic needs destination routing")
+
+    # ------------------------------------------------------------------
+    def service_model(self) -> ServiceProcess:
+        """The service process implied by the message-size options.
+
+        Precedence: an explicit ``service`` model, else a ``sizes``
+        mixture, else ``DeterministicService(message_size)``.
+        """
+        if self.service is not None:
+            return self.service
+        if self.sizes is not None:
+            return MultiSizeService(self.sizes, self.probabilities)
+        return DeterministicService(self.message_size)
+
+    def build_topology(self) -> MultistageTopology:
+        """Instantiate the configured topology."""
+        if self.topology == "random":
+            if self.width is None:
+                raise ModelError('topology="random" requires an explicit width')
+            return RandomRoutingTopology(self.k, self.n_stages, self.width)
+        cls = _TOPOLOGIES.get(self.topology)
+        if cls is None:
+            raise ModelError(f"unknown topology {self.topology!r}")
+        return cls(self.k, self.n_stages, self.width)
+
+    @property
+    def traffic_intensity(self) -> float:
+        """``rho`` = mean work per output-port cycle."""
+        service = self.service_model()
+        return self.p * self.bulk_size * float(service.mean)
+
+
+@dataclass
+class NetworkResult:
+    """Everything the paper reports about one run."""
+
+    config: NetworkConfig
+    n_cycles: int
+    warmup: int
+    stage_means: np.ndarray
+    stage_variances: np.ndarray
+    stage_counts: np.ndarray
+    tracked: TrackedMessages = field(repr=False)
+    injected: int = 0
+    completed: int = 0
+    dropped: int = 0
+    max_occupancy: int = 0
+
+    # -- totals ---------------------------------------------------------
+    def total_waits(self) -> np.ndarray:
+        """Total network waiting time per completed tracked message."""
+        return self.tracked.totals()
+
+    def total_waiting_mean(self) -> float:
+        """Sample mean of the total waiting time."""
+        return float(self.total_waits().mean())
+
+    def total_waiting_variance(self) -> float:
+        """Sample variance of the total waiting time."""
+        return float(self.total_waits().var(ddof=1))
+
+    def stage_correlations(self) -> np.ndarray:
+        """Stage-to-stage waiting-time correlation matrix (Table VI)."""
+        return self.tracked.stage_correlations()
+
+    def throughput(self) -> float:
+        """Messages delivered per cycle network-wide."""
+        return self.completed / self.n_cycles
+
+    def summary(self) -> str:
+        """Human-readable digest."""
+        lines = [
+            f"network: k={self.config.k} stages={self.config.n_stages} "
+            f"p={self.config.p} rho={self.config.traffic_intensity:.3f}",
+            f"cycles: {self.n_cycles} (warmup {self.warmup}); "
+            f"injected {self.injected}, completed {self.completed}, "
+            f"dropped {self.dropped}",
+            "stage   mean wait   variance     samples",
+        ]
+        for i, (mu, var, n) in enumerate(
+            zip(self.stage_means, self.stage_variances, self.stage_counts), start=1
+        ):
+            lines.append(f"{i:5d}   {mu:9.4f}   {var:8.4f}   {n:9d}")
+        return "\n".join(lines)
+
+
+class NetworkSimulator:
+    """Build and run one network scenario.
+
+    Examples
+    --------
+    >>> cfg = NetworkConfig(k=2, n_stages=3, p=0.5, seed=7)
+    >>> result = NetworkSimulator(cfg).run(n_cycles=2_000, warmup=500)
+    >>> result.stage_means.shape
+    (3,)
+    """
+
+    def __init__(self, config: NetworkConfig) -> None:
+        self.config = config
+        traffic_rng, routing_rng = spawn_rngs(config.seed, 2)
+        self.topology = config.build_topology()
+        self.traffic = NetworkTrafficGenerator(
+            width=self.topology.width,
+            p=config.p,
+            service=config.service_model(),
+            rng=traffic_rng,
+            bulk_size=config.bulk_size,
+            q=config.q,
+            dest_space=self.topology.destination_space,
+        )
+        self.engine = ClockedEngine(
+            self.topology,
+            self.traffic,
+            transfer=config.transfer,
+            buffer_capacity=config.buffer_capacity,
+            routing_rng=routing_rng,
+            track_limit=config.track_limit,
+        )
+
+    def run(self, n_cycles: int, warmup: Optional[object] = None) -> NetworkResult:
+        """Simulate and summarise.
+
+        ``warmup`` defaults to ``max(500, n_cycles // 10)`` cycles whose
+        observations are discarded; messages injected during warm-up are
+        also excluded from the per-message (totals/correlations) panel.
+        Pass ``warmup="auto"`` to detect the truncation point with
+        MSER-5 on a pilot run (see :mod:`repro.simulation.warmup`).
+        """
+        if warmup == "auto":
+            warmup = self._auto_warmup(n_cycles)
+        if warmup is None:
+            warmup = max(500, n_cycles // 10)
+        if warmup >= n_cycles:
+            raise SimulationError(f"warmup {warmup} >= n_cycles {n_cycles}")
+        self.engine.run(n_cycles, warmup=int(warmup))
+        stats = self.engine.stats
+        warmup = int(warmup)
+        return NetworkResult(
+            config=self.config,
+            n_cycles=n_cycles,
+            warmup=warmup,
+            stage_means=stats.means(),
+            stage_variances=stats.variances(),
+            stage_counts=stats.count.copy(),
+            tracked=self.engine.tracker,
+            injected=self.engine.injected,
+            completed=self.engine.completed,
+            dropped=self.engine.queues.dropped,
+            max_occupancy=self.engine.queues.max_occupancy,
+        )
+
+    def _auto_warmup(self, n_cycles: int) -> int:
+        """MSER-5 truncation from a pilot run of a fresh twin simulator.
+
+        The pilot records the per-cycle mean wait at the *last* stage
+        (the slowest to reach spatial steady state) and applies the
+        MSER-5 rule; the detected truncation is then used -- with a
+        small safety floor -- as the main run's warm-up.
+        """
+        import numpy as np
+
+        from repro.simulation.warmup import mser5_truncation
+
+        pilot_cycles = max(1_000, min(n_cycles // 4, 10_000))
+        twin = NetworkSimulator(self.config)
+        twin.engine.record_cycle_series = True
+        twin.engine.run(pilot_cycles, warmup=0)
+        sums = np.asarray(twin.engine.cycle_wait_sums)
+        counts = np.asarray(twin.engine.cycle_wait_counts, dtype=float)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            series = np.where(counts > 0, sums / np.maximum(counts, 1), np.nan)
+        detected = mser5_truncation(series)
+        return min(max(detected, 100), n_cycles - 1)

@@ -1,0 +1,185 @@
+"""Simulation output analysis.
+
+The paper reports, per experiment: per-stage waiting-time means and
+variances (Tables I--V), stage-to-stage correlations (Table VI), totals
+across the network (Tables VII--XII), and full total-waiting-time
+histograms (Figures 3--8).  This module supplies the estimators:
+
+* :class:`StageAccumulator` -- streaming count/sum/sum-of-squares per
+  stage, O(1) memory regardless of run length;
+* :class:`TrackedMessages` -- a bounded per-message matrix of waiting
+  times across stages, for correlations and totals;
+* :func:`batch_means_ci` -- confidence intervals for steady-state means
+  from a single long run (the standard batch-means method; simulation
+  estimates without error bars are folklore, not measurements);
+* :func:`histogram_pmf` -- normalised integer histogram for the figure
+  overlays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Optional
+
+import numpy as np
+from scipy import stats as sps
+
+from repro.errors import SimulationError
+
+__all__ = [
+    "StageAccumulator",
+    "TrackedMessages",
+    "batch_means_ci",
+    "histogram_pmf",
+]
+
+
+class StageAccumulator:
+    """Streaming first/second-moment accumulator per network stage."""
+
+    def __init__(self, n_stages: int) -> None:
+        if n_stages < 1:
+            raise SimulationError(f"need >= 1 stage, got {n_stages}")
+        self.n_stages = n_stages
+        self.count = np.zeros(n_stages, dtype=np.int64)
+        self.total = np.zeros(n_stages, dtype=np.float64)
+        self.total_sq = np.zeros(n_stages, dtype=np.float64)
+
+    def add(self, stages: np.ndarray, waits: np.ndarray) -> None:
+        """Record waiting times ``waits`` observed at ``stages``."""
+        if stages.size == 0:
+            return
+        waits = waits.astype(np.float64, copy=False)
+        n = self.n_stages
+        self.count += np.bincount(stages, minlength=n)
+        self.total += np.bincount(stages, weights=waits, minlength=n)
+        self.total_sq += np.bincount(stages, weights=waits * waits, minlength=n)
+
+    def means(self) -> np.ndarray:
+        """Per-stage sample mean waiting time."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(self.count > 0, self.total / self.count, np.nan)
+
+    def variances(self) -> np.ndarray:
+        """Per-stage sample variance (denominator ``n - 1``)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            n = self.count.astype(np.float64)
+            mean = self.total / n
+            var = (self.total_sq - n * mean * mean) / (n - 1)
+            return np.where(self.count > 1, var, np.nan)
+
+
+class TrackedMessages:
+    """Per-message waiting times across all stages, for a bounded cohort.
+
+    Slots are handed out sequentially; messages beyond ``limit`` are
+    simply not tracked (the streaming accumulators still see them).
+    A message's row is *complete* once its last-stage wait is recorded.
+    """
+
+    def __init__(self, limit: int, n_stages: int) -> None:
+        if limit < 1:
+            raise SimulationError(f"tracking limit must be >= 1, got {limit}")
+        self.limit = limit
+        self.n_stages = n_stages
+        self.waits = np.full((limit, n_stages), -1.0, dtype=np.float32)
+        self._next = 0
+
+    def allocate(self, n: int) -> np.ndarray:
+        """Hand out up to ``n`` slot ids; -1 marks untracked messages."""
+        start = self._next
+        stop = min(start + n, self.limit)
+        ids = np.full(n, -1, dtype=np.int64)
+        granted = stop - start
+        if granted > 0:
+            ids[:granted] = np.arange(start, stop)
+        self._next = stop
+        return ids
+
+    @property
+    def allocated(self) -> int:
+        """Number of slots handed out so far."""
+        return self._next
+
+    def record(self, track_ids: np.ndarray, stages: np.ndarray, waits: np.ndarray) -> None:
+        """Record waits for the tracked subset (ids ``>= 0``)."""
+        mask = track_ids >= 0
+        if not mask.any():
+            return
+        self.waits[track_ids[mask], stages[mask]] = waits[mask]
+
+    def complete_rows(self) -> np.ndarray:
+        """Waiting-time matrix of messages that finished every stage."""
+        filled = self.waits[: self._next]
+        done = (filled >= 0).all(axis=1)
+        return filled[done].astype(np.float64)
+
+    def totals(self) -> np.ndarray:
+        """Total network waiting time of each completed message."""
+        return self.complete_rows().sum(axis=1)
+
+    def stage_correlations(self) -> np.ndarray:
+        """Correlation matrix of per-stage waits (paper Table VI)."""
+        rows = self.complete_rows()
+        if rows.shape[0] < 2:
+            raise SimulationError("not enough completed messages for correlations")
+        return np.corrcoef(rows, rowvar=False)
+
+
+class BatchMeansResult(NamedTuple):
+    """Point estimate with a batch-means confidence interval."""
+
+    mean: float
+    half_width: float
+    n_batches: int
+
+    @property
+    def low(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def high(self) -> float:
+        return self.mean + self.half_width
+
+
+def batch_means_ci(
+    samples: np.ndarray, n_batches: int = 20, confidence: float = 0.95
+) -> BatchMeansResult:
+    """Batch-means confidence interval for a steady-state mean.
+
+    Splits an (approximately stationary) sample path into ``n_batches``
+    contiguous batches; the batch means are nearly independent for
+    batches much longer than the autocorrelation time, so a Student-t
+    interval on them is honest where a naive i.i.d. interval is not.
+    """
+    samples = np.asarray(samples, dtype=np.float64)
+    if n_batches < 2:
+        raise SimulationError("need at least 2 batches")
+    if samples.size < 2 * n_batches:
+        raise SimulationError(
+            f"{samples.size} samples is too few for {n_batches} batches"
+        )
+    usable = samples.size - samples.size % n_batches
+    batches = samples[:usable].reshape(n_batches, -1).mean(axis=1)
+    mean = float(batches.mean())
+    sem = float(batches.std(ddof=1) / np.sqrt(n_batches))
+    t = float(sps.t.ppf(0.5 + confidence / 2, df=n_batches - 1))
+    return BatchMeansResult(mean=mean, half_width=t * sem, n_batches=n_batches)
+
+
+def histogram_pmf(values: np.ndarray, n_bins: Optional[int] = None) -> np.ndarray:
+    """Normalised histogram of integer-valued observations.
+
+    ``out[j]`` estimates ``P(value == j)``; ``n_bins`` defaults to the
+    sample maximum plus one.
+    """
+    values = np.asarray(values)
+    if values.size == 0:
+        raise SimulationError("cannot histogram an empty sample")
+    ints = np.rint(values).astype(np.int64)
+    if (ints < 0).any():
+        raise SimulationError("waiting times cannot be negative")
+    counts = np.bincount(ints, minlength=n_bins or 0)
+    if n_bins is not None:
+        counts = counts[:n_bins]
+    return counts / values.size

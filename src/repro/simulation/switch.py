@@ -1,0 +1,179 @@
+"""Vectorised FIFO output queues (the buffered switch substrate).
+
+Every output port of every switch in the network is a FIFO queue; the
+engine manipulates all of them at once.  :class:`RingBufferQueues`
+stores ``n_queues`` fixed-capacity ring buffers as 2-D NumPy arrays --
+one row per queue, one array per message field -- and supports the two
+bulk operations a clock cycle needs:
+
+* :meth:`push_batch` -- append many messages, possibly several to the
+  *same* queue in one cycle (the paper's assumption that "each output
+  port buffer can accept any number of messages from the input ports in
+  a clock cycle");
+* :meth:`pop` -- remove the head of each queue in a given set.
+
+Infinite buffers are emulated by growing capacity on demand (doubling),
+so the idealised model of the paper is exact; a *finite* buffer mode
+rejects pushes beyond a fixed capacity and reports them, supporting the
+finite-buffer ablation the paper lists as future work.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["RingBufferQueues"]
+
+
+class RingBufferQueues:
+    """``n_queues`` parallel FIFO ring buffers with named integer fields.
+
+    Parameters
+    ----------
+    n_queues:
+        Number of queues (network output ports).
+    fields:
+        Mapping of field name to NumPy dtype, e.g.
+        ``{"dest": np.int32, "arrival": np.int64}``.
+    capacity:
+        Initial per-queue capacity (grows automatically unless
+        ``finite`` is set).
+    finite:
+        If True the capacity is a hard limit: overfull pushes are
+        dropped and counted in :attr:`dropped`.
+    """
+
+    def __init__(
+        self,
+        n_queues: int,
+        fields: Dict[str, np.dtype],
+        capacity: int = 64,
+        finite: bool = False,
+    ) -> None:
+        if n_queues < 1:
+            raise SimulationError(f"need at least one queue, got {n_queues}")
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.n_queues = n_queues
+        self.capacity = capacity
+        self.finite = finite
+        self._fields = {
+            name: np.zeros((n_queues, capacity), dtype=dtype)
+            for name, dtype in fields.items()
+        }
+        self._head = np.zeros(n_queues, dtype=np.int64)
+        self._count = np.zeros(n_queues, dtype=np.int64)
+        #: messages rejected by finite buffers (finite mode only)
+        self.dropped = 0
+        #: high-water mark of any queue length, for buffer sizing studies
+        self.max_occupancy = 0
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def counts(self) -> np.ndarray:
+        """Current length of every queue (read-only view)."""
+        return self._count
+
+    def total_occupancy(self) -> int:
+        """Total messages currently buffered."""
+        return int(self._count.sum())
+
+    def peek(self, queues: np.ndarray, field: str) -> np.ndarray:
+        """Field value at the head of each queue in ``queues``.
+
+        Caller must ensure the queues are non-empty.
+        """
+        idx = self._head[queues] % self.capacity
+        return self._fields[field][queues, idx]
+
+    # ------------------------------------------------------------------
+    # mutation
+    # ------------------------------------------------------------------
+    def push_batch(self, queues: np.ndarray, **values: np.ndarray) -> int:
+        """Append one message per entry of ``queues`` (repeats allowed).
+
+        ``values`` must supply every field.  Messages bound for the same
+        queue are appended in their order of appearance.  Returns the
+        number actually stored (less than ``len(queues)`` only in finite
+        mode, where the overflow is *dropped* and tallied).
+        """
+        queues = np.asarray(queues)
+        n = queues.size
+        if n == 0:
+            return 0
+        if set(values) != set(self._fields):
+            raise SimulationError(
+                f"push_batch needs fields {sorted(self._fields)}, got {sorted(values)}"
+            )
+        # rank of each message among same-queue messages this cycle:
+        # stable sort groups queue ids; rank = position - first position
+        order = np.argsort(queues, kind="stable")
+        sorted_q = queues[order]
+        first_of_group = np.concatenate(([True], sorted_q[1:] != sorted_q[:-1]))
+        group_start = np.maximum.accumulate(np.where(first_of_group, np.arange(n), 0))
+        rank_sorted = np.arange(n) - group_start
+        rank = np.empty(n, dtype=np.int64)
+        rank[order] = rank_sorted
+
+        slots = self._count[queues] + rank
+        needed = int(slots.max()) + 1
+        if needed > self.capacity:
+            if self.finite:
+                keep = slots < self.capacity
+                self.dropped += int((~keep).sum())
+                queues, slots = queues[keep], slots[keep]
+                rank = rank[keep]
+                values = {k: np.asarray(v)[keep] for k, v in values.items()}
+                if queues.size == 0:
+                    return 0
+            else:
+                self._grow(needed)
+        pos = (self._head[queues] + slots) % self.capacity
+        for name, arr in values.items():
+            self._fields[name][queues, pos] = arr
+        self._count += np.bincount(queues, minlength=self.n_queues)
+        self.max_occupancy = max(self.max_occupancy, int(self._count.max()))
+        return int(queues.size)
+
+    def pop(self, queues: np.ndarray) -> Dict[str, np.ndarray]:
+        """Remove and return the head message of each queue in ``queues``.
+
+        Caller must ensure the queues are non-empty and distinct.
+        """
+        queues = np.asarray(queues)
+        idx = self._head[queues] % self.capacity
+        out = {name: arr[queues, idx].copy() for name, arr in self._fields.items()}
+        self._head[queues] += 1
+        self._count[queues] -= 1
+        if (self._count[queues] < 0).any():
+            raise SimulationError("pop from an empty queue")
+        return out
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _grow(self, needed: int) -> None:
+        """Double capacity (at least to ``needed``), linearising rings."""
+        new_cap = self.capacity
+        while new_cap < needed:
+            new_cap *= 2
+        rows = np.arange(self.n_queues)[:, None]
+        take = (self._head[:, None] + np.arange(self.capacity)[None, :]) % self.capacity
+        for name, arr in self._fields.items():
+            new_arr = np.zeros((self.n_queues, new_cap), dtype=arr.dtype)
+            new_arr[:, : self.capacity] = arr[rows, take]
+            self._fields[name] = new_arr
+        self._head[:] = 0
+        self.capacity = new_cap
+
+    def __repr__(self) -> str:
+        return (
+            f"RingBufferQueues(n_queues={self.n_queues}, capacity={self.capacity}, "
+            f"finite={self.finite}, occupied={self.total_occupancy()})"
+        )

@@ -1,0 +1,66 @@
+"""Parameter-sweep utility tests."""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    load_sweep,
+    message_size_sweep,
+    sweep,
+    switch_size_sweep,
+)
+from repro.errors import AnalysisError
+
+FAST = dict(n_cycles=5_000)
+
+
+class TestLoadSweep:
+    def test_points_align_with_predictions(self):
+        rows = load_sweep(loads=(0.3, 0.6), n_stages=5, **FAST)
+        assert len(rows) == 2
+        for r in rows:
+            # first-stage CI brackets the exact prediction
+            assert (
+                abs(r.first_stage_mean - r.predicted_first_mean)
+                < max(3 * r.first_stage_ci, 0.02)
+            )
+            assert r.agreement() < 0.15
+        # waits rise with load
+        assert rows[0].total_mean < rows[1].total_mean
+
+    def test_labels(self):
+        rows = load_sweep(loads=(0.5,), n_stages=5, **FAST)
+        assert rows[0].label == "p=0.5"
+
+
+class TestOtherSweeps:
+    def test_switch_size_sweep_shape(self):
+        rows = switch_size_sweep(degrees=(2, 4), **FAST)
+        # Eq. (6): waits rise with k at fixed load
+        assert rows[0].predicted_first_mean < rows[1].predicted_first_mean
+        assert rows[0].first_stage_mean < rows[1].first_stage_mean
+
+    def test_message_size_sweep_linear(self):
+        rows = message_size_sweep(sizes=(2, 4), n_cycles=8_000)
+        assert rows[1].predicted_limit_mean == pytest.approx(
+            2 * rows[0].predicted_limit_mean
+        )
+        assert rows[1].deep_stage_mean == pytest.approx(
+            2 * rows[0].deep_stage_mean, rel=0.2
+        )
+
+
+class TestValidation:
+    def test_misaligned_inputs(self):
+        with pytest.raises(AnalysisError):
+            sweep([], ["x"], [])
+
+    def test_too_few_tracked_messages(self):
+        from repro.core.later_stages import LaterStageModel
+        from repro.simulation.network import NetworkConfig
+
+        cfg = NetworkConfig(
+            k=2, n_stages=3, p=0.01, topology="random", width=16, seed=1,
+            track_limit=5,
+        )
+        with pytest.raises(AnalysisError):
+            sweep([cfg], ["tiny"], [LaterStageModel(k=2, p=0.01)], n_cycles=2_000)

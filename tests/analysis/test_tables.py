@@ -1,0 +1,134 @@
+"""Experiment-harness tests (fast settings: structure, not statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import compare, tables
+from repro.analysis.figures import FIGURE_CONFIGS, figure_waiting_histogram
+from repro.analysis.report import render_figure, render_lag_profile
+
+FAST = dict(n_cycles=2_500)
+
+
+class TestCompare:
+    def test_relative_error(self):
+        assert compare.relative_error(2.0, 1.0) == 0.5
+        assert compare.relative_error(0.0, 0.0) == 0.0
+
+    def test_max_relative_error(self):
+        assert compare.max_relative_error([1.0, 2.0], [1.1, 2.0]) == pytest.approx(0.1)
+
+    def test_comparison_row(self):
+        row = compare.ComparisonRow("x", simulated=2.0, predicted=1.8)
+        assert row.error == pytest.approx(0.1)
+        assert "x" in str(row)
+
+
+class TestStageTables:
+    def test_table_I_structure(self):
+        result = tables.table_I(loads=(0.5,), n_stages=4, **FAST)
+        assert result.table_id == "I"
+        assert len(result.columns) == 1
+        col = result.columns[0]
+        assert col.stage_means.shape == (4,)
+        assert col.analysis_mean == pytest.approx(0.25)
+        assert col.estimate_mean == pytest.approx(0.30)
+        text = result.to_text()
+        assert "ANALYSIS" in text and "ESTIMATE" in text
+
+    def test_table_I_to_dict_json_ready(self):
+        import json
+
+        result = tables.table_I(loads=(0.5,), n_stages=3, **FAST)
+        payload = json.dumps(result.to_dict())
+        assert '"table": "I"' in payload
+
+    def test_table_II_structure(self):
+        result = tables.table_II(degrees=(2,), n_stages=3, **FAST)
+        assert result.columns[0].label == "k=2"
+
+    def test_table_III_structure(self):
+        result = tables.table_III(sizes=(4,), n_stages=4, **FAST)
+        col = result.columns[0]
+        assert col.analysis_mean == pytest.approx(1.75)
+        assert col.estimate_mean == pytest.approx(1.2)
+
+    def test_table_IV_pure_and_mixed(self):
+        result = tables.table_IV(mixes=((1.0, 0.0), (0.5, 0.5)), n_stages=4, **FAST)
+        assert len(result.columns) == 2
+
+    def test_table_V_structure(self):
+        result = tables.table_V(biases=(0.0, 0.5), n_stages=4, **FAST)
+        assert result.columns[1].estimate_mean == pytest.approx(0.20625)
+
+    def test_table_VI_structure(self):
+        result = tables.table_VI(n_stages=5, **FAST)
+        assert result.simulated.shape == (5, 5)
+        assert result.chain_a == pytest.approx(0.12)
+        assert result.model_correlation(0) == 1.0
+        assert "lag" in result.to_text()
+
+
+class TestTotalsTables:
+    def test_structure(self):
+        result = tables.table_totals("IX", depths=(3,), **FAST)
+        assert result.p == 0.5 and result.m == 1
+        row = result.rows[0]
+        assert row.stages == 3
+        assert row.pred_mean == pytest.approx(0.822, abs=0.01)
+        assert row.pred_variance > row.pred_variance_independent
+        assert "TABLE IX" in result.to_text()
+
+    def test_totals_to_dict_json_ready(self):
+        import json
+
+        result = tables.table_totals("VII", depths=(3,), **FAST)
+        payload = json.loads(json.dumps(result.to_dict()))
+        assert payload["rows"][0]["stages"] == 3
+
+    def test_unknown_id_rejected(self):
+        with pytest.raises(KeyError):
+            tables.table_totals("XIII")
+
+    def test_config_map_complete(self):
+        assert sorted(tables.TOTALS_CONFIGS) == ["IX", "VII", "VIII", "X", "XI", "XII"]
+
+
+class TestFigures:
+    def test_figure_structure(self):
+        result = figure_waiting_histogram(5, stages=3, **FAST)
+        assert result.histogram.shape == result.gamma_bins.shape
+        assert result.histogram.sum() <= 1.0 + 1e-9
+        assert 0 <= result.total_variation_distance() <= 1
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(KeyError):
+            figure_waiting_histogram(2, stages=3, **FAST)
+
+    def test_config_map_matches_totals(self):
+        # Figures 3-8 pair with Tables VII-XII
+        assert sorted(FIGURE_CONFIGS) == [3, 4, 5, 6, 7, 8]
+
+    def test_render_figure(self):
+        result = figure_waiting_histogram(3, stages=3, **FAST)
+        art = render_figure(result, width=30, max_rows=6)
+        assert "Figure 3" in art
+        assert "|" in art
+
+    def test_render_lag_profile(self):
+        out = render_lag_profile(np.array([0.1, 0.05]), np.array([0.12, 0.048]))
+        assert "lag" in out
+
+
+class TestDefaultCycles:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CYCLES", "7000")
+        assert tables.default_cycles() == 7000
+
+    def test_floor(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_CYCLES", "10")
+        assert tables.default_cycles() == 2000
+
+    def test_fallback(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_CYCLES", raising=False)
+        assert tables.default_cycles(1234) == 1234

@@ -1,0 +1,37 @@
+"""Self-validation harness tests."""
+
+from repro.analysis.validate import (
+    ValidationCheck,
+    render_validation,
+    run_validation,
+)
+
+
+class TestValidation:
+    def test_all_checks_pass(self):
+        checks = run_validation(n_cycles=5_000)
+        failures = [c for c in checks if not c.passed]
+        assert not failures, "\n".join(f"{c.name}: {c.detail}" for c in failures)
+        assert len(checks) == 6
+
+    def test_render(self):
+        checks = [
+            ValidationCheck("ok", True, "fine", 0.1),
+            ValidationCheck("bad", False, "broken", 0.2),
+        ]
+        text = render_validation(checks)
+        assert "[PASS] ok" in text
+        assert "[FAIL] bad" in text
+        assert "1/2 checks passed" in text
+
+
+class TestReportSmoke:
+    def test_report_generates_reduced(self):
+        from repro.analysis.experiments_report import generate_experiments_markdown
+
+        # smallest meaningful scope: one figure depth, short runs
+        text = generate_experiments_markdown(n_cycles=2_000, figure_depths=(3,))
+        assert "# EXPERIMENTS" in text
+        assert "Table I" in text
+        assert "Table XII" in text
+        assert "| 8 |" in text  # figure rows rendered

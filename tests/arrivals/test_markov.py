@@ -1,0 +1,98 @@
+"""MMBP arrival model: marginals, correlation, and the i.i.d. gap."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrivals.markov import MarkovModulatedTraffic
+from repro.arrivals.bernoulli import UniformTraffic
+from repro.core.first_stage import FirstStageQueue
+from repro.errors import ModelError
+from repro.service import DeterministicService
+from repro.simulation.queue_sim import simulate_first_stage_queue
+
+
+def bursty(flip=Fraction(1, 20)):
+    # marginal mean rate (0.1 + 0.4)/2 * 2 = 0.5 messages/cycle
+    return MarkovModulatedTraffic(k=2, rates=(Fraction(1, 10), Fraction(2, 5)), flip=flip)
+
+
+class TestMarginal:
+    def test_rate_is_mixture_mean(self):
+        t = bursty()
+        assert t.rate == Fraction(1, 2)
+
+    def test_flip_half_matches_iid_mixture_marginal(self):
+        t = bursty(flip=Fraction(1, 2))
+        rng = np.random.default_rng(0)
+        assert t.empirical_pgf_check(rng, n_samples=100_000, max_count=4) < 0.01
+
+    def test_sampler_marginal_matches_pgf_even_when_bursty(self):
+        t = bursty(flip=Fraction(1, 50))
+        rng = np.random.default_rng(1)
+        assert t.empirical_pgf_check(rng, n_samples=400_000, max_count=4) < 0.02
+
+
+class TestCorrelation:
+    def test_exact_autocorrelation_matches_sample(self):
+        t = bursty(flip=Fraction(1, 10))
+        rng = np.random.default_rng(2)
+        x = t.sample_counts(rng, 400_000).astype(float)
+        x -= x.mean()
+        for lag in (1, 3):
+            sample = float((x[:-lag] * x[lag:]).mean() / (x * x).mean())
+            assert sample == pytest.approx(t.autocorrelation(lag), abs=0.02)
+
+    def test_flip_half_is_uncorrelated(self):
+        t = bursty(flip=Fraction(1, 2))
+        assert t.autocorrelation(1) == 0.0
+        assert t.autocorrelation(5) == 0.0
+
+    def test_burst_length(self):
+        assert bursty(flip=Fraction(1, 20)).burst_length == 20
+
+
+class TestIIDGap:
+    def test_burstiness_inflates_waiting_beyond_iid_prediction(self):
+        """The boundary of Theorem 1: same marginal, higher waits."""
+        t = bursty(flip=Fraction(1, 50))
+        srv = DeterministicService(1)
+        iid_prediction = float(FirstStageQueue(t, srv).waiting_mean())
+        sim = simulate_first_stage_queue(t, srv, 400_000, rng=np.random.default_rng(3))
+        assert sim.mean() > 1.5 * iid_prediction
+
+    def test_no_burstiness_matches_iid_prediction(self):
+        t = bursty(flip=Fraction(1, 2))
+        srv = DeterministicService(1)
+        iid_prediction = float(FirstStageQueue(t, srv).waiting_mean())
+        sim = simulate_first_stage_queue(t, srv, 400_000, rng=np.random.default_rng(4))
+        assert sim.mean() == pytest.approx(iid_prediction, rel=0.05)
+
+    def test_network_port_marginal_comparison(self):
+        """Sanity: the uniform-traffic port and a flip=1/2 MMBP with the
+        same mean rate produce different marginals (mixture vs binomial),
+        hence different i.i.d. waits -- shape, not just burstiness."""
+        mmbp = bursty(flip=Fraction(1, 2))
+        uni = UniformTraffic(k=2, p=Fraction(1, 2))
+        srv = DeterministicService(1)
+        assert mmbp.rate == uni.rate
+        w_mmbp = FirstStageQueue(mmbp, srv).waiting_mean()
+        w_uni = FirstStageQueue(uni, srv).waiting_mean()
+        assert w_mmbp != w_uni
+
+
+class TestValidation:
+    def test_bad_parameters(self):
+        with pytest.raises(ModelError):
+            MarkovModulatedTraffic(k=0, rates=(0.1, 0.2), flip=0.5)
+        with pytest.raises(ModelError):
+            MarkovModulatedTraffic(k=2, rates=(0.1, 1.2), flip=0.5)
+        with pytest.raises(ModelError):
+            MarkovModulatedTraffic(k=2, rates=(0.1, 0.2), flip=0)
+        with pytest.raises(ModelError):
+            MarkovModulatedTraffic(k=2, rates=(0.1, 0.2, 0.3), flip=0.5)
+
+    def test_lag_validation(self):
+        with pytest.raises(ModelError):
+            bursty().autocorrelation(-1)

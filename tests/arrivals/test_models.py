@@ -1,0 +1,189 @@
+"""Unit + statistical tests for the arrival-process models."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import (
+    BulkUniformTraffic,
+    CustomArrivals,
+    FavoriteOutputTraffic,
+    RandomBulkTraffic,
+    UniformTraffic,
+)
+from repro.errors import ModelError
+from repro.series.pgf import PGF
+
+
+def rng():
+    return np.random.default_rng(1234)
+
+
+class TestUniformTraffic:
+    def test_rate_is_kp_over_s(self):
+        t = UniformTraffic(k=4, p=Fraction(1, 2), s=8)
+        assert t.rate == Fraction(1, 4)
+
+    def test_s_defaults_to_k(self):
+        t = UniformTraffic(k=2, p=0.5)
+        assert t.s == 2
+        assert t.rate == Fraction(1, 2)
+
+    def test_paper_factorial_moments(self):
+        """R''(1) = lambda^2 (1-1/k), R'''(1) = lambda^3 (1-1/k)(1-2/k)."""
+        k, p = 4, Fraction(2, 5)
+        t = UniformTraffic(k=k, p=p)
+        lam = t.rate
+        assert t.factorial_moment(2) == lam ** 2 * (1 - Fraction(1, k))
+        assert t.factorial_moment(3) == lam ** 3 * (1 - Fraction(1, k)) * (1 - Fraction(2, k))
+
+    def test_pgf_is_binomial(self):
+        t = UniformTraffic(k=3, p=Fraction(1, 2))
+        assert t.pgf() == PGF.binomial(3, Fraction(1, 6))
+
+    def test_sampler_matches_pgf(self):
+        t = UniformTraffic(k=2, p=0.5)
+        assert t.empirical_pgf_check(rng(), n_samples=100_000, max_count=4) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            UniformTraffic(k=0, p=0.5)
+        with pytest.raises(ModelError):
+            UniformTraffic(k=2, p=1.5)
+
+
+class TestBulkUniformTraffic:
+    def test_rate_scales_with_bulk(self):
+        t = BulkUniformTraffic(k=2, p=Fraction(1, 4), b=3)
+        assert t.rate == 2 * Fraction(1, 8) * 3
+
+    def test_reduces_to_uniform_for_b1(self):
+        a = BulkUniformTraffic(k=2, p=Fraction(1, 3), b=1)
+        b = UniformTraffic(k=2, p=Fraction(1, 3))
+        assert a.pgf() == b.pgf()
+
+    def test_paper_r2(self):
+        """R''(1) = lambda (b - 1 + (1-1/k) lambda)."""
+        k, p, b = 2, Fraction(1, 5), 4
+        t = BulkUniformTraffic(k=k, p=p, b=b)
+        lam = t.rate
+        assert t.factorial_moment(2) == lam * (b - 1 + (1 - Fraction(1, k)) * lam)
+
+    def test_support_is_multiples_of_b(self):
+        t = BulkUniformTraffic(k=2, p=0.5, b=3)
+        pmf = t.pgf().pmf(7, exact=True)
+        assert pmf[1] == pmf[2] == pmf[4] == pmf[5] == 0
+        assert pmf[3] > 0
+
+    def test_sampler_matches_pgf(self):
+        t = BulkUniformTraffic(k=2, p=0.5, b=2)
+        assert t.empirical_pgf_check(rng(), n_samples=100_000, max_count=6) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            BulkUniformTraffic(k=2, p=0.5, b=0)
+
+
+class TestRandomBulkTraffic:
+    def test_constant_bulk_recovers_bulk_model(self):
+        a = RandomBulkTraffic(k=2, p=Fraction(1, 4), bulk=PGF.degenerate(3))
+        b = BulkUniformTraffic(k=2, p=Fraction(1, 4), b=3)
+        assert a.pgf() == b.pgf()
+
+    def test_mixture_bulk_rate(self):
+        bulk = PGF.mixture([PGF.degenerate(1), PGF.degenerate(3)], [0.5, 0.5])
+        t = RandomBulkTraffic(k=2, p=Fraction(1, 2), bulk=bulk)
+        assert t.rate == 2 * Fraction(1, 4) * 2  # k * p/s * E[bulk]
+
+    def test_sampler_matches_pgf(self):
+        bulk = PGF.mixture([PGF.degenerate(1), PGF.degenerate(2)], [0.5, 0.5])
+        t = RandomBulkTraffic(k=2, p=0.5, bulk=bulk)
+        assert t.empirical_pgf_check(rng(), n_samples=100_000, max_count=6) < 0.01
+
+    def test_rejects_mass_at_zero(self):
+        bulk = PGF.mixture([PGF.degenerate(0), PGF.degenerate(2)], [0.5, 0.5])
+        with pytest.raises(ModelError):
+            RandomBulkTraffic(k=2, p=0.5, bulk=bulk)
+
+
+class TestFavoriteOutputTraffic:
+    def test_rate_independent_of_bias(self):
+        """lambda = p b for every q: bias moves traffic, conserving it."""
+        for q in [0, Fraction(1, 4), Fraction(1, 2), 1]:
+            t = FavoriteOutputTraffic(k=2, p=Fraction(1, 2), q=q)
+            assert t.rate == Fraction(1, 2)
+
+    def test_reduces_to_uniform_at_q0(self):
+        a = FavoriteOutputTraffic(k=4, p=Fraction(1, 3), q=0)
+        b = UniformTraffic(k=4, p=Fraction(1, 3))
+        assert a.pgf() == b.pgf()
+
+    def test_q1_is_pure_bernoulli(self):
+        t = FavoriteOutputTraffic(k=4, p=Fraction(1, 3), q=1)
+        assert t.pgf() == PGF.bernoulli(Fraction(1, 3))
+
+    def test_bulk_variant(self):
+        t = FavoriteOutputTraffic(k=2, p=Fraction(1, 2), q=Fraction(1, 2), b=2)
+        assert t.rate == 1
+        pmf = t.pgf().pmf(3, exact=True)
+        assert pmf[1] == 0  # arrivals come in pairs
+
+    def test_sampler_matches_pgf(self):
+        t = FavoriteOutputTraffic(k=2, p=0.5, q=0.3)
+        assert t.empirical_pgf_check(rng(), n_samples=100_000, max_count=5) < 0.01
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            FavoriteOutputTraffic(k=2, p=0.5, q=1.5)
+
+
+class TestCustomArrivals:
+    def test_from_pmf(self):
+        t = CustomArrivals([0.5, 0.25, 0.25])
+        assert t.rate == Fraction(3, 4)
+
+    def test_from_pgf(self):
+        t = CustomArrivals(PGF.binomial(3, Fraction(1, 3)))
+        assert t.rate == 1
+
+    def test_sampler_matches_pgf(self):
+        t = CustomArrivals([0.3, 0.4, 0.2, 0.1])
+        assert t.empirical_pgf_check(rng(), n_samples=100_000, max_count=5) < 0.01
+
+    def test_rejects_garbage(self):
+        with pytest.raises(ModelError):
+            CustomArrivals(object())
+
+
+class TestCrossModelProperties:
+    @given(
+        k=st.integers(min_value=1, max_value=6),
+        p_num=st.integers(min_value=0, max_value=10),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_uniform_mean_formula(self, k, p_num):
+        p = Fraction(p_num, 10)
+        t = UniformTraffic(k=k, p=p)
+        assert t.rate == k * p / k
+        assert t.variance() == k * (p / k) * (1 - p / k)
+
+    @given(
+        q_num=st.integers(min_value=0, max_value=10),
+        b=st.integers(min_value=1, max_value=4),
+        k=st.sampled_from([2, 3, 4]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_favorite_moments_match_exclusive_sum(self, q_num, b, k):
+        """Sum of k-1 unmatched Bernoulli bulks + one matched bulk."""
+        q = Fraction(q_num, 10)
+        p = Fraction(2, 5)
+        t = FavoriteOutputTraffic(k=k, p=p, q=q, b=b)
+        # mean = p*b always: bias moves traffic, conserving it
+        assert t.rate == p * b
+        a = p * (1 - q) / k
+        f = p * (q + (1 - q) / Fraction(k))
+        expected_var = b * b * ((k - 1) * a * (1 - a) + f * (1 - f))
+        assert t.variance() == expected_var

@@ -1,0 +1,42 @@
+"""Calibration machinery tests (fast cycle counts; the statistical
+verification of the constants lives in the A2 ablation benchmark)."""
+
+import pytest
+
+from repro.core.calibration import (
+    LimitEstimate,
+    calibrate_mean_slope,
+    estimate_limit_statistics,
+    _deep_uniform_config,
+)
+from repro.errors import CalibrationError
+
+
+class TestLimitEstimate:
+    def test_ratios(self):
+        est = LimitEstimate(
+            mean=0.3, variance=0.34, first_stage_mean=0.25,
+            first_stage_variance=0.25, samples=1000,
+        )
+        assert est.mean_ratio == pytest.approx(1.2)
+        assert est.variance_ratio == pytest.approx(1.36)
+
+
+class TestEstimation:
+    def test_requires_enough_stages(self):
+        cfg = _deep_uniform_config(2, 0.5, 1, seed=1, n_stages=3)
+        with pytest.raises(CalibrationError):
+            estimate_limit_statistics(cfg, n_cycles=2_000, tail_stages=3)
+
+    def test_estimate_sane_at_half_load(self):
+        cfg = _deep_uniform_config(2, 0.5, 1, seed=2, n_stages=7)
+        est = estimate_limit_statistics(cfg, n_cycles=6_000)
+        assert 0.27 < est.mean < 0.33          # w_inf ~ 0.30
+        assert 0.23 < est.first_stage_mean < 0.27  # w1 = 0.25
+        assert est.samples > 10_000
+
+
+class TestMeanSlope:
+    def test_short_run_lands_near_paper_value(self):
+        a = calibrate_mean_slope(k=2, n_cycles=8_000, seed=3)
+        assert 0.3 < a < 0.5  # paper: 2/5

@@ -1,0 +1,115 @@
+"""Finite-buffer approximation tests (the Section VI future-work item)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrivals import UniformTraffic
+from repro.core.finite_buffers import (
+    overflow_probability,
+    suggested_capacity,
+    work_tail,
+)
+from repro.core.first_stage import FirstStageQueue
+from repro.errors import AnalysisError
+from repro.service import DeterministicService
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+
+
+def queue(p=Fraction(1, 2), m=1, k=2):
+    return FirstStageQueue(UniformTraffic(k=k, p=p), DeterministicService(m))
+
+
+class TestWorkTail:
+    def test_tail_monotone_decreasing(self):
+        t = work_tail(queue())
+        usable = t.tail[t.tail > 1e-12]
+        assert (np.diff(usable) <= 1e-15).all()
+
+    def test_decay_matches_theory_k2_half_load(self):
+        """k=2, p=1/2 unit service: the work tail decays by 1/9 per unit
+        (dominant root of R(z) - z ... = 9)."""
+        t = work_tail(queue())
+        assert t.decay == pytest.approx(1 / 9, rel=1e-3)
+
+    def test_extrapolation_continuous(self):
+        t = work_tail(queue(), n_terms=64)
+        inside = t.probability(30)
+        outside = t.probability(80)
+        assert outside < inside
+        # extrapolated values follow the geometric law
+        assert t.probability(81) == pytest.approx(t.probability(80) * t.decay, rel=1e-9)
+
+    def test_zero_load(self):
+        t = work_tail(queue(p=0))
+        assert t.probability(0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            work_tail(queue(), n_terms=4)
+        with pytest.raises(AnalysisError):
+            overflow_probability(queue(), -1)
+
+
+class TestCapacitySizing:
+    def test_capacity_meets_target(self):
+        q = queue(p=Fraction(4, 5))
+        for target in (1e-3, 1e-6, 1e-9):
+            cap = suggested_capacity(q, target)
+            assert overflow_probability(q, cap) <= target
+            if cap > 0:
+                assert overflow_probability(q, cap - 1) > target
+
+    def test_capacity_grows_with_load(self):
+        caps = [
+            suggested_capacity(queue(p=Fraction(p, 10)), 1e-6) for p in (3, 5, 8, 9)
+        ]
+        assert all(a <= b for a, b in zip(caps, caps[1:]))
+        assert caps[-1] > caps[0]
+
+    def test_deep_target_uses_extrapolation(self):
+        q = queue(p=Fraction(1, 2))
+        t = work_tail(q, n_terms=32)
+        cap = suggested_capacity(q, 1e-30, n_terms=32)
+        assert cap > t.anchor  # beyond the trusted prefix
+        assert overflow_probability(q, cap, n_terms=32) <= 1e-30
+        # and the sizing is tight: one unit less would miss the target
+        assert t.probability(cap - 1) > 1e-30
+
+    def test_target_validation(self):
+        with pytest.raises(AnalysisError):
+            suggested_capacity(queue(), 0.0)
+        with pytest.raises(AnalysisError):
+            suggested_capacity(queue(), 1.0)
+
+
+class TestAgainstSimulation:
+    def test_predicted_loss_tracks_simulated_drops(self):
+        """Order-of-magnitude agreement of the tail approximation with
+        actual finite-buffer drop rates at moderate load."""
+        p, cap = 0.7, 6
+        q = queue(p=Fraction(7, 10))
+        predicted = overflow_probability(q, cap)
+        cfg = NetworkConfig(
+            k=2, n_stages=2, p=p, buffer_capacity=cap,
+            topology="random", width=128, seed=77,
+        )
+        sim = NetworkSimulator(cfg).run(20_000, warmup=2_000)
+        observed = sim.dropped / sim.injected
+        assert observed > 0
+        # tail heuristic: right order of magnitude
+        assert predicted / 10 < observed < predicted * 10
+
+    def test_safe_capacity_produces_no_drops(self):
+        """Size for 1e-10 loss, plus k-1 slack because the engine
+        enqueues a cycle's arrivals before serving (transient occupancy
+        can exceed the end-of-cycle work by the batch size)."""
+        q = queue(p=Fraction(1, 2))
+        cap = suggested_capacity(q, 1e-10) + 1
+        cfg = NetworkConfig(
+            k=2, n_stages=2, p=0.5, buffer_capacity=cap,
+            topology="random", width=128, seed=78,
+        )
+        sim = NetworkSimulator(cfg).run(10_000, warmup=1_000)
+        assert sim.dropped == 0

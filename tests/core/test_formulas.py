@@ -1,0 +1,194 @@
+"""Section III closed forms vs. the exact transform -- zero tolerance."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import BulkUniformTraffic, FavoriteOutputTraffic, UniformTraffic
+from repro.core import formulas
+from repro.core.first_stage import FirstStageQueue
+from repro.errors import ModelError, UnstableQueueError
+from repro.service import DeterministicService, GeometricService, MultiSizeService
+
+
+class TestUniformUnit:
+    """Eqs. (6)/(7)."""
+
+    @pytest.mark.parametrize("k", [2, 4, 8])
+    @pytest.mark.parametrize("p_num", [1, 3, 5, 8])
+    def test_against_transform(self, k, p_num):
+        p = Fraction(p_num, 10)
+        q = FirstStageQueue(UniformTraffic(k=k, p=p), DeterministicService(1))
+        assert formulas.uniform_unit_mean(k, p) == q.waiting_mean()
+        assert formulas.uniform_unit_variance(k, p) == q.waiting_variance()
+
+    def test_explicit_eq7_shape(self):
+        """Literal transcription of Eq. (7) as recovered in moments.py."""
+        k, lam = 2, Fraction(1, 2)
+        expected = (
+            (1 - Fraction(1, k))
+            * lam
+            * (6 - 5 * lam * (1 + Fraction(1, k)) + 2 * lam ** 2 * (1 + Fraction(1, k)))
+            / (12 * (1 - lam) ** 2)
+        )
+        assert formulas.uniform_unit_variance(k, lam) == expected
+
+    def test_kxs_rectangular(self):
+        q = FirstStageQueue(UniformTraffic(k=4, p=Fraction(1, 2), s=8), DeterministicService(1))
+        assert formulas.uniform_unit_mean(4, Fraction(1, 2), s=8) == q.waiting_mean()
+        assert formulas.uniform_unit_variance(4, Fraction(1, 2), s=8) == q.waiting_variance()
+
+    def test_saturated_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            formulas.uniform_unit_mean(2, 1)
+
+
+class TestBulk:
+    @pytest.mark.parametrize("b", [1, 2, 4, 7])
+    def test_against_transform(self, b):
+        p = Fraction(1, 10)
+        q = FirstStageQueue(BulkUniformTraffic(k=2, p=p, b=b), DeterministicService(1))
+        assert formulas.bulk_mean(2, p, b) == q.waiting_mean()
+        assert formulas.bulk_variance(2, p, b) == q.waiting_variance()
+
+    def test_b1_reduces_to_uniform(self):
+        p = Fraction(3, 10)
+        assert formulas.bulk_mean(2, p, 1) == formulas.uniform_unit_mean(2, p)
+        assert formulas.bulk_variance(2, p, 1) == formulas.uniform_unit_variance(2, p)
+
+    def test_paper_mean_shape(self):
+        """E w = (b - 1 + (1-1/k) lambda) / (2 (1-lambda))."""
+        k, p, b = 2, Fraction(1, 10), 4
+        lam = k * p / k * b
+        expected = (b - 1 + (1 - Fraction(1, k)) * lam) / (2 * (1 - lam))
+        assert formulas.bulk_mean(k, p, b) == expected
+
+
+class TestNonuniform:
+    @pytest.mark.parametrize("q_num", [0, 2, 5, 9, 10])
+    def test_against_transform(self, q_num):
+        q = Fraction(q_num, 10)
+        p = Fraction(1, 2)
+        queue = FirstStageQueue(FavoriteOutputTraffic(k=2, p=p, q=q), DeterministicService(1))
+        assert formulas.nonuniform_mean(2, p, q) == queue.waiting_mean()
+        assert formulas.nonuniform_variance(2, p, q) == queue.waiting_variance()
+
+    def test_bulk_variant_against_transform(self):
+        p, q, b = Fraction(1, 5), Fraction(1, 2), 2
+        queue = FirstStageQueue(FavoriteOutputTraffic(k=2, p=p, q=q, b=b), DeterministicService(1))
+        assert formulas.nonuniform_mean(2, p, q, b) == queue.waiting_mean()
+        assert formulas.nonuniform_variance(2, p, q, b) == queue.waiting_variance()
+
+    def test_paper_limit_q1_zero_wait(self):
+        """'for q = 1, we get E(w) = 0' (unit bulks)."""
+        assert formulas.nonuniform_mean(2, Fraction(1, 2), 1) == 0
+
+    def test_paper_limit_q0_uniform(self):
+        """'for q = 0 we obtain the same formula as in Section III-A-1'."""
+        p = Fraction(2, 5)
+        assert formulas.nonuniform_mean(4, p, 0) == formulas.uniform_unit_mean(4, p)
+
+    def test_mean_monotone_decreasing_in_q(self):
+        """For k = 2: E w = p (1 - q^2)/(4(1-p)) -- bias only relieves
+        the tagged port, since its matched input can send it at most
+        one message either way."""
+        p = Fraction(1, 2)
+        waits = [formulas.nonuniform_mean(2, p, Fraction(j, 4)) for j in range(5)]
+        assert all(a > b for a, b in zip(waits, waits[1:]))
+        assert waits[2] == p * (1 - Fraction(1, 4)) / (4 * (1 - p))
+
+
+class TestGeometricService:
+    @pytest.mark.parametrize("mu_num", [2, 5, 10])
+    def test_against_transform(self, mu_num):
+        mu = Fraction(mu_num, 10)
+        p = Fraction(1, 10)
+        queue = FirstStageQueue(UniformTraffic(k=2, p=p), GeometricService(mu))
+        assert formulas.geometric_mean(2, p, mu) == queue.waiting_mean()
+        assert formulas.geometric_variance(2, p, mu) == queue.waiting_variance()
+
+    def test_mu1_reduces_to_unit_service(self):
+        """'These reduce to the equations in Section III-A-1 when mu = 1.'"""
+        p = Fraction(2, 5)
+        assert formulas.geometric_mean(2, p, 1) == formulas.uniform_unit_mean(2, p)
+        assert formulas.geometric_variance(2, p, 1) == formulas.uniform_unit_variance(2, p)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            formulas.geometric_mean(2, Fraction(1, 10), 0)
+
+
+class TestConstantService:
+    @pytest.mark.parametrize("m", [1, 2, 4, 8])
+    def test_against_transform(self, m):
+        p = Fraction(1, 20)
+        queue = FirstStageQueue(UniformTraffic(k=2, p=p), DeterministicService(m))
+        assert formulas.constant_service_mean(2, p, m) == queue.waiting_mean()
+        assert formulas.constant_service_variance(2, p, m) == queue.waiting_variance()
+
+    def test_eq8_shape(self):
+        """E w = rho (m - 1/k) / (2 (1 - rho))."""
+        k, p, m = 2, Fraction(1, 8), 4
+        rho = Fraction(k * p * m, k)
+        assert formulas.constant_service_mean(k, p, m) == rho * (m - Fraction(1, k)) / (2 * (1 - rho))
+
+    def test_m1_coincides_with_unit(self):
+        """'These coincide, for m = 1, with the equations of Section III-A-1.'"""
+        p = Fraction(3, 10)
+        assert formulas.constant_service_mean(2, p, 1) == formulas.uniform_unit_mean(2, p)
+        assert formulas.constant_service_variance(2, p, 1) == formulas.uniform_unit_variance(2, p)
+
+
+class TestMultiSize:
+    def test_against_transform(self):
+        p = Fraction(1, 16)
+        sizes, probs = [4, 8], [Fraction(1, 2), Fraction(1, 2)]
+        queue = FirstStageQueue(UniformTraffic(k=2, p=p), MultiSizeService(sizes, probs))
+        assert formulas.multisize_mean(2, p, sizes, probs) == queue.waiting_mean()
+        assert formulas.multisize_variance(2, p, sizes, probs) == queue.waiting_variance()
+
+    def test_degenerate_mixture_is_constant(self):
+        p = Fraction(1, 16)
+        assert formulas.multisize_mean(2, p, [4], [1]) == formulas.constant_service_mean(2, p, 4)
+
+    def test_validation(self):
+        with pytest.raises(ModelError):
+            formulas.multisize_mean(2, Fraction(1, 16), [4, 8], [Fraction(1, 2)])
+        with pytest.raises(ModelError):
+            formulas.multisize_mean(2, Fraction(1, 16), [4, 8], [Fraction(1, 2), Fraction(1, 4)])
+
+
+class TestPropertyBased:
+    @given(
+        k=st.sampled_from([2, 4, 8]),
+        p_num=st.integers(min_value=1, max_value=9),
+        b=st.integers(min_value=1, max_value=3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_bulk_formula_matches_transform_everywhere(self, k, p_num, b):
+        p = Fraction(p_num, 10 * b)  # keep rho = k p b / k < 1
+        if k * p * b / k >= 1:
+            return
+        queue = FirstStageQueue(BulkUniformTraffic(k=k, p=p, b=b), DeterministicService(1))
+        assert formulas.bulk_mean(k, p, b) == queue.waiting_mean()
+        assert formulas.bulk_variance(k, p, b) == queue.waiting_variance()
+
+    @given(p_num=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=15, deadline=None)
+    def test_mean_increases_with_load(self, p_num):
+        p_lo = Fraction(p_num, 10)
+        p_hi = p_lo + Fraction(1, 20)
+        assert formulas.uniform_unit_mean(2, p_hi) > formulas.uniform_unit_mean(2, p_lo)
+
+    @given(m=st.integers(min_value=1, max_value=12))
+    @settings(max_examples=15, deadline=None)
+    def test_waiting_linear_in_m_at_fixed_rho(self, m):
+        """Section VI: 'the average waiting time increases linearly in m'
+        for fixed traffic intensity."""
+        rho = Fraction(1, 2)
+        p = rho / m
+        w = formulas.constant_service_mean(2, p, m)
+        # E w = rho (m - 1/2) / (2(1-rho)) -- exactly linear in m
+        assert w == rho * (m - Fraction(1, 2)) / (2 * (1 - rho))

@@ -1,0 +1,75 @@
+"""Heavy-traffic asymptotics tests."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrivals import UniformTraffic
+from repro.core import formulas
+from repro.core.first_stage import FirstStageQueue
+from repro.core.heavy_traffic import (
+    ExponentialApproximation,
+    heavy_traffic_coefficient,
+    heavy_traffic_waiting,
+    uniform_unit_heavy_coefficient,
+)
+from repro.errors import AnalysisError
+from repro.service import DeterministicService
+
+
+class TestCoefficient:
+    def test_uniform_unit_limit(self):
+        """(1-rho) E w -> (1-1/k)/2 as rho -> 1."""
+        k = 2
+        target = uniform_unit_heavy_coefficient(k)
+        for p_num in (90, 99, 999):
+            denom = 100 if p_num < 100 else 1000
+            p = Fraction(p_num, denom)
+            scaled = (1 - p) * formulas.uniform_unit_mean(k, p)
+            assert abs(scaled - target) < Fraction(1, 10)
+        p = Fraction(9999, 10000)
+        scaled = (1 - p) * formulas.uniform_unit_mean(k, p)
+        assert abs(scaled - target) < Fraction(1, 1000)
+
+    def test_coefficient_function_matches_eq2(self):
+        arr = UniformTraffic(k=2, p=Fraction(9, 10))
+        srv = DeterministicService(1)
+        q = FirstStageQueue(arr, srv)
+        coeff = heavy_traffic_coefficient(arr, srv)
+        assert coeff == (1 - q.rho) * q.waiting_mean()
+
+    def test_validation(self):
+        with pytest.raises(AnalysisError):
+            heavy_traffic_coefficient(UniformTraffic(k=2, p=0), DeterministicService(1))
+        with pytest.raises(AnalysisError):
+            uniform_unit_heavy_coefficient(0)
+
+
+class TestExponentialApproximation:
+    def test_quantile_inverts_sf(self):
+        e = ExponentialApproximation(mean=2.0)
+        x = e.quantile(0.9)
+        assert e.sf(x) == pytest.approx(0.1)
+
+    def test_tail_error_shrinks_with_load(self):
+        """The exponential model of P(w > x) improves toward saturation."""
+        errors = []
+        for p_num in (5, 8, 95):
+            p = Fraction(p_num, 10) if p_num < 10 else Fraction(95, 100)
+            q = FirstStageQueue(UniformTraffic(k=2, p=p), DeterministicService(1))
+            approx = heavy_traffic_waiting(q)
+            n = max(32, q.waiting_quantile(0.999))
+            exact_tail = q.waiting_tail(n)
+            xs = np.arange(n)
+            usable = exact_tail > 1e-9
+            rel = np.abs(approx.sf(xs)[usable] - exact_tail[usable]) / exact_tail[usable]
+            errors.append(float(np.median(rel)))
+        assert errors[2] < errors[0]
+
+    def test_validation(self):
+        q = FirstStageQueue(UniformTraffic(k=2, p=0), DeterministicService(1))
+        with pytest.raises(AnalysisError):
+            heavy_traffic_waiting(q)
+        with pytest.raises(AnalysisError):
+            ExponentialApproximation(mean=1.0).quantile(1.0)

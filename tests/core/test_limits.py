@@ -1,0 +1,87 @@
+"""Section III-C / IV-B continuous limits of the discrete queue."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.core import limits
+from repro.errors import UnstableQueueError
+
+
+class TestReferenceFormulas:
+    def test_mm1_known_values(self):
+        """rho=1/2, m=1: E W = 1, Var W = 3."""
+        out = limits.mm1_waiting_moments(Fraction(1, 2))
+        assert out.mean == 1
+        assert out.variance == 3
+
+    def test_md1_half_of_mm1_mean(self):
+        """M/D/1 mean wait is half the M/M/1 mean wait at equal rho."""
+        rho = Fraction(2, 5)
+        assert limits.md1_waiting_moments(rho).mean == limits.mm1_waiting_moments(rho).mean / 2
+
+    def test_mg1_reduces_to_md1(self):
+        rho, m = Fraction(1, 3), 2
+        a = limits.mg1_waiting_moments(rho / m, m, m * m, m ** 3)
+        b = limits.md1_waiting_moments(rho, m)
+        assert a == b
+
+    def test_saturation_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            limits.mm1_waiting_moments(1)
+
+
+class TestDiscreteToContinuousConvergence:
+    """The paper's Section III-C computation, done numerically: scale the
+    clock by n and watch the discrete moments converge to M/M/1."""
+
+    def test_geometric_scaling_converges_to_mm1(self):
+        k, p, mu = 2, Fraction(1, 4), Fraction(1, 2)
+        rho = (k * p / k) / mu  # lambda / mu = 1/2
+        target = limits.mm1_waiting_moments(rho, service_mean=1 / mu)
+        errs = []
+        for n in (1, 4, 16, 64):
+            q = limits.scaled_geometric_queue(k, p, mu, n)
+            mean_scaled = q.waiting_mean() / n  # unscaled time units
+            errs.append(abs(float(mean_scaled - target.mean)))
+        assert errs[-1] < errs[0]
+        assert errs[-1] < 0.02 * float(target.mean)
+
+    def test_geometric_scaling_variance_converges(self):
+        k, p, mu = 2, Fraction(1, 4), Fraction(1, 2)
+        rho = (k * p / k) / mu
+        target = limits.mm1_waiting_moments(rho, service_mean=1 / mu)
+        q = limits.scaled_geometric_queue(k, p, mu, 64)
+        var_scaled = q.waiting_variance() / 64 ** 2
+        assert float(var_scaled) == pytest.approx(float(target.variance), rel=0.05)
+
+    def test_deterministic_scaling_converges_to_md1(self):
+        k, p, m = 2, Fraction(1, 4), 2
+        rho = k * p * m / k
+        target = limits.md1_waiting_moments(rho, m)
+        q = limits.scaled_deterministic_queue(k, p, m, 64)
+        mean_scaled = q.waiting_mean() / 64
+        assert float(mean_scaled) == pytest.approx(float(target.mean), rel=0.05)
+
+    def test_scale_validation(self):
+        with pytest.raises(UnstableQueueError):
+            limits.scaled_geometric_queue(2, Fraction(1, 4), Fraction(1, 2), 0)
+
+
+class TestLightTrafficInterior:
+    def test_two_thirds_ratio(self):
+        """The paper's 2/3: light-traffic interior variance over the
+        scaled first-stage light-traffic variance."""
+        k, m = 2, 4
+        rho = Fraction(1, 100)
+        v_interior = limits.light_traffic_interior_variance(k, rho, m)
+        # first-stage light-traffic variance ~ (1-1/k) rho m^2 / 2
+        v_first_light = (1 - Fraction(1, k)) * rho * m * m / 2
+        assert v_interior / v_first_light == Fraction(2, 3)
+
+    def test_mean_matches_md1_light(self):
+        k, m = 2, 4
+        rho = Fraction(1, 50)
+        w = limits.light_traffic_interior_mean(k, rho, m)
+        # M/D/1 with thinned rate: lam' m^2/2 = (1-1/k) rho m / 2
+        assert w == (1 - Fraction(1, k)) * rho * m / 2

@@ -1,0 +1,93 @@
+"""Exact MMBP/D/1 analysis tests (the [12] direction, done numerically)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrivals.markov import MarkovModulatedTraffic
+from repro.core.markov_queue import MMBPQueueAnalysis
+from repro.errors import AnalysisError, UnstableQueueError
+from repro.service import DeterministicService
+from repro.simulation.queue_sim import simulate_first_stage_queue
+
+
+def source(flip, lo=Fraction(1, 10), hi=Fraction(2, 5), k=2):
+    return MarkovModulatedTraffic(k=k, rates=(lo, hi), flip=flip)
+
+
+class TestConsistency:
+    def test_uncorrelated_matches_theorem1(self):
+        """flip = 1/2: the chain forgets its phase each cycle, so the
+        exact analysis must reproduce the i.i.d. Theorem 1 value."""
+        a = MMBPQueueAnalysis(source(Fraction(1, 2)), max_level=256)
+        assert a.waiting_mean() == pytest.approx(a.iid_waiting_mean(), rel=1e-9)
+        assert a.burstiness_penalty() == pytest.approx(1.0, rel=1e-9)
+
+    def test_stationary_distribution_normalised(self):
+        a = MMBPQueueAnalysis(source(Fraction(1, 10)), max_level=256)
+        assert a.level_distribution.sum() == pytest.approx(1.0, abs=1e-12)
+        assert (a.level_distribution >= 0).all()
+        # symmetric chain: phases equally likely
+        assert a._pi.sum(axis=0) == pytest.approx([0.5, 0.5], abs=1e-9)
+
+    def test_truncation_insensitive(self):
+        lo = MMBPQueueAnalysis(source(Fraction(1, 20)), max_level=128)
+        hi = MMBPQueueAnalysis(source(Fraction(1, 20)), max_level=1024)
+        assert lo.waiting_mean() == pytest.approx(hi.waiting_mean(), rel=1e-8)
+
+
+class TestAgainstSimulation:
+    @pytest.mark.parametrize("flip", [Fraction(1, 5), Fraction(1, 25)])
+    def test_mean_waiting(self, flip):
+        traffic = source(flip)
+        a = MMBPQueueAnalysis(traffic, max_level=512)
+        sim = simulate_first_stage_queue(
+            traffic, DeterministicService(1), 600_000,
+            rng=np.random.default_rng(int(1 / flip)),
+        )
+        assert sim.mean() == pytest.approx(a.waiting_mean(), rel=0.05)
+
+
+class TestBurstinessStructure:
+    def test_penalty_grows_with_burst_length(self):
+        penalties = [
+            MMBPQueueAnalysis(source(Fraction(1, b)), max_level=512).burstiness_penalty()
+            for b in (2, 10, 50)
+        ]
+        assert penalties[0] == pytest.approx(1.0, rel=1e-9)
+        assert penalties[0] < penalties[1] < penalties[2]
+
+    def test_equal_rates_have_no_penalty(self):
+        """No modulation contrast => the phase is irrelevant."""
+        a = MMBPQueueAnalysis(
+            source(Fraction(1, 50), lo=Fraction(1, 4), hi=Fraction(1, 4)),
+            max_level=256,
+        )
+        assert a.burstiness_penalty() == pytest.approx(1.0, rel=1e-9)
+
+    def test_queue_mean_grows_with_bursts(self):
+        q = [
+            MMBPQueueAnalysis(source(Fraction(1, b)), max_level=512).queue_mean()
+            for b in (2, 20)
+        ]
+        assert q[1] > q[0]
+
+
+class TestValidation:
+    def test_saturation_rejected(self):
+        t = MarkovModulatedTraffic(
+            k=2, rates=(Fraction(1, 2), Fraction(1, 2)), flip=Fraction(1, 10)
+        )
+        with pytest.raises(UnstableQueueError):
+            MMBPQueueAnalysis(t)
+
+    def test_truncation_guard(self):
+        """Near saturation a tiny cap must be refused, not silently wrong."""
+        t = source(Fraction(1, 100), lo=Fraction(2, 5), hi=Fraction(19, 40))
+        with pytest.raises(AnalysisError):
+            MMBPQueueAnalysis(t, max_level=16)
+
+    def test_max_level_floor(self):
+        with pytest.raises(AnalysisError):
+            MMBPQueueAnalysis(source(Fraction(1, 2)), max_level=4)

@@ -1,0 +1,89 @@
+"""Closed-form moment helpers (paper Eqs. 2/3) in isolation."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import moments as mom
+from repro.errors import UnstableQueueError
+
+
+class TestStability:
+    def test_rho_returned(self):
+        assert mom.check_stability(Fraction(1, 4), 2) == Fraction(1, 2)
+
+    def test_saturation_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            mom.check_stability(Fraction(1, 2), 2)
+        with pytest.raises(UnstableQueueError):
+            mom.check_stability(Fraction(3, 4), 2)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(UnstableQueueError):
+            mom.check_stability(-1, Fraction(1, 4))
+
+
+class TestEquationTwo:
+    def test_mm1_like_special_case(self):
+        """Poisson-ish moments: r2 = lam^2 gives the discrete P-K shape
+        E w = lam E[S(S-1)+S] / (2(1-rho)) = lam E[S^2] / (2(1-rho))."""
+        lam, m, u2 = Fraction(1, 4), 2, 2
+        r2 = lam * lam
+        second_moment = u2 + m  # E[S^2] = E[S(S-1)] + E[S]
+        expected = lam * second_moment / (2 * (1 - lam * m))
+        assert mom.waiting_time_mean(lam, m, r2, u2) == expected
+
+    def test_zero_arrivals(self):
+        assert mom.waiting_time_mean(0, 1, 0, 0) == 0
+        assert mom.waiting_time_variance(0, 1, 0, 0, 0, 0) == 0
+
+    def test_decomposition_identity(self):
+        """Eq. (2) == E s + E w' algebraically (the derivation check)."""
+        lam, m, r2, u2 = Fraction(2, 5), 2, Fraction(3, 25), Fraction(1, 2)
+        total = mom.waiting_time_mean(lam, m, r2, u2)
+        parts = mom.unfinished_work_mean(lam, m, r2, u2) + mom.predecessor_delay_mean(
+            lam, m, r2
+        )
+        assert total == parts
+
+
+class TestQueueMomentsBundle:
+    def test_bundle_consistent(self):
+        b = mom.queue_moments(Fraction(1, 4), 2, Fraction(1, 16), Fraction(1, 64), 2, 0)
+        assert b.mean == b.work_mean + b.predecessor_mean
+        assert b.variance == b.work_variance + b.predecessor_variance
+        assert b.traffic_intensity == Fraction(1, 2)
+
+    def test_zero_load_bundle(self):
+        b = mom.queue_moments(0, 3, 0, 0, 6, 6)
+        assert b.mean == 0 and b.variance == 0
+
+
+class TestPropertyBased:
+    @given(
+        lam_num=st.integers(min_value=1, max_value=9),
+        m=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_variance_nonnegative_for_binomialish_traffic(self, lam_num, m):
+        lam = Fraction(lam_num, 10 * m)
+        if lam * m >= 1:
+            return
+        # binomial k=2 moments
+        r2 = lam * lam / 2
+        r3 = Fraction(0)
+        u2 = m * (m - 1)
+        u3 = m * (m - 1) * (m - 2)
+        assert mom.waiting_time_variance(lam, m, r2, r3, u2, u3) >= 0
+
+    @given(lam_num=st.integers(min_value=1, max_value=9))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_blows_up_near_saturation(self, lam_num):
+        """E w ~ 1/(1-rho): doubling (1 - rho) halves-ish the wait."""
+        lam = Fraction(lam_num, 10)
+        r2 = lam * lam / 2
+        near = mom.waiting_time_mean(Fraction(99, 100), 1, Fraction(9801, 20000), 0)
+        far = mom.waiting_time_mean(lam, 1, r2, 0)
+        assert near > far

@@ -1,0 +1,98 @@
+"""Stochastic-ordering properties of the exact first-stage analysis.
+
+These are sanity laws any queueing model must satisfy; violating one
+would indicate a transform bug no point-value test might catch.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import BulkUniformTraffic, UniformTraffic
+from repro.core.first_stage import FirstStageQueue
+from repro.service import DeterministicService
+
+
+def tail(k, p, m=1, n=64):
+    q = FirstStageQueue(UniformTraffic(k=k, p=p), DeterministicService(m))
+    return q.waiting_tail(n)
+
+
+class TestLoadMonotonicity:
+    @given(p_num=st.integers(min_value=1, max_value=7))
+    @settings(max_examples=7, deadline=None)
+    def test_tail_increases_with_load(self, p_num):
+        """First-order stochastic dominance in p: heavier load shifts
+        the whole waiting distribution up."""
+        lo = tail(2, Fraction(p_num, 10))
+        hi = tail(2, Fraction(p_num + 2, 10))
+        assert (hi >= lo - 1e-12).all()
+        assert hi.sum() > lo.sum()
+
+    def test_variance_increases_with_load(self):
+        variances = [
+            FirstStageQueue(
+                UniformTraffic(k=2, p=Fraction(p, 10)), DeterministicService(1)
+            ).waiting_variance()
+            for p in range(1, 10)
+        ]
+        assert all(a < b for a, b in zip(variances, variances[1:]))
+
+
+class TestSizeMonotonicity:
+    def test_tail_increases_with_message_size_at_fixed_p(self):
+        """Longer messages at the same arrival probability: more work,
+        stochastically larger waits."""
+        lo = tail(2, Fraction(1, 10), m=2)
+        hi = tail(2, Fraction(1, 10), m=6)
+        assert (hi >= lo - 1e-12).all()
+
+    def test_bulk_size_dominance(self):
+        """Same packet rate, bigger bulks: burstier, larger waits."""
+        lam = Fraction(2, 5)
+        means = []
+        for b in (1, 2, 4):
+            p = lam / b  # keep lambda = k p b / k fixed
+            q = FirstStageQueue(BulkUniformTraffic(k=2, p=p, b=b), DeterministicService(1))
+            assert q.lam == lam
+            means.append(q.waiting_mean())
+        assert means[0] < means[1] < means[2]
+
+
+class TestSwitchSizeMonotonicity:
+    def test_mean_increases_with_k_at_fixed_load(self):
+        """More inputs per port at equal per-input load: Eq. (6)'s
+        (1 - 1/k) factor, saturating toward the Poisson-like limit."""
+        means = [
+            FirstStageQueue(
+                UniformTraffic(k=k, p=Fraction(1, 2)), DeterministicService(1)
+            ).waiting_mean()
+            for k in (2, 4, 8, 16)
+        ]
+        assert all(a < b for a, b in zip(means, means[1:]))
+        # bounded by the k -> infinity value lambda/(2(1-lambda)) = 1/2
+        assert means[-1] < Fraction(1, 2)
+
+    def test_tail_dominance_in_k(self):
+        lo = tail(2, Fraction(1, 2))
+        hi = tail(8, Fraction(1, 2))
+        assert (hi >= lo - 1e-12).all()
+
+
+class TestConvexity:
+    def test_mean_convex_in_load(self):
+        """E w ~ rho/(1-rho): second differences positive."""
+        ps = [Fraction(p, 20) for p in range(2, 19)]
+        means = [
+            float(
+                FirstStageQueue(
+                    UniformTraffic(k=2, p=p), DeterministicService(1)
+                ).waiting_mean()
+            )
+            for p in ps
+        ]
+        second = np.diff(means, 2)
+        assert (second > 0).all()

@@ -1,0 +1,152 @@
+"""Section V totals: sums, covariance chain, gamma approximation."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.core.later_stages import LaterStageModel
+from repro.core.total_delay import (
+    NetworkDelayModel,
+    covariance_chain_constants,
+    covariance_matrix,
+)
+from repro.errors import ModelError
+
+
+def model(p=Fraction(1, 2), m=1, k=2):
+    return LaterStageModel(k=k, p=p, m=m)
+
+
+class TestChainConstants:
+    def test_paper_table_vi_values(self):
+        """k=2, rho=1/2, m=1: a = 0.12 and ab = 0.048 -- exactly the
+        correlations Table VI reports at lags 1 and 2."""
+        a, b = covariance_chain_constants(2, Fraction(1, 2))
+        assert a == Fraction(12, 100)
+        assert a * b == Fraction(48, 1000)
+
+    def test_decay_with_k(self):
+        a2, b2 = covariance_chain_constants(2, Fraction(1, 2))
+        a8, b8 = covariance_chain_constants(8, Fraction(1, 2))
+        assert a8 < a2 and b8 < b2
+
+    def test_matrix_shape(self):
+        m = covariance_matrix([1.0, 2.0, 4.0], 0.1, 0.5)
+        assert m.shape == (3, 3)
+        assert m[0, 0] == 1.0
+        assert m[0, 1] == pytest.approx(0.1)
+        assert m[0, 2] == pytest.approx(0.05)
+        assert np.allclose(m, m.T)
+
+
+class TestTotals:
+    def test_mean_is_sum_of_stages(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        assert net.total_waiting_mean() == sum(net.stage_means())
+
+    def test_covariance_exceeds_independent(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        assert net.total_waiting_variance("covariance") > net.total_waiting_variance(
+            "independent"
+        )
+
+    def test_single_stage_no_chain(self):
+        net = NetworkDelayModel(stages=1, model=model())
+        assert net.total_waiting_variance("covariance") == net.total_waiting_variance(
+            "independent"
+        )
+        assert net.total_waiting_mean() == model().stage_mean(1)
+
+    def test_unknown_method_rejected(self):
+        net = NetworkDelayModel(stages=2, model=model())
+        with pytest.raises(ModelError):
+            net.total_waiting_variance("bogus")
+
+    def test_stage_count_validation(self):
+        with pytest.raises(ModelError):
+            NetworkDelayModel(stages=0, model=model())
+
+
+class TestServiceAndDelay:
+    def test_cut_through_service(self):
+        """n + m - 1 for consecutive-packet transmission (Section V)."""
+        net = NetworkDelayModel(stages=6, model=model(p=Fraction(1, 8), m=4))
+        assert net.total_service_time(cut_through=True) == 9
+        assert net.total_service_time(cut_through=False) == 24
+
+    def test_delay_mean_adds_service(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        assert net.total_delay_mean() == net.total_waiting_mean() + 6
+
+    def test_constant_size_delay_variance_is_waiting_variance(self):
+        """'If the service times are constant ... the variance of the
+        total delay is exactly the variance of the total waiting time.'"""
+        net = NetworkDelayModel(stages=4, model=model(p=Fraction(1, 8), m=4))
+        assert net.total_delay_variance() == net.total_waiting_variance()
+
+    def test_multisize_delay_variance_adds_service_terms(self):
+        m = LaterStageModel(
+            k=2, p=Fraction(1, 16), sizes=[4, 8], probabilities=[Fraction(1, 2), Fraction(1, 2)]
+        )
+        net = NetworkDelayModel(stages=4, model=m)
+        assert net.total_delay_variance() == net.total_waiting_variance() + 4 * 4
+
+
+class TestApproximants:
+    def test_gamma_moments_match(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        g = net.gamma_approximation()
+        assert g.mean == pytest.approx(float(net.total_waiting_mean()))
+        assert g.variance == pytest.approx(float(net.total_waiting_variance()))
+
+    def test_normal_moments_match(self):
+        net = NetworkDelayModel(stages=12, model=model())
+        n = net.normal_approximation()
+        assert n.mean == pytest.approx(float(net.total_waiting_mean()))
+
+    def test_gamma_integer_bins_sum_to_near_one(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        bins = net.gamma_approximation().integer_bin_probabilities(200)
+        assert bins.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+class TestDelayQuantiles:
+    def test_quantile_shifted_by_service(self):
+        net = NetworkDelayModel(stages=6, model=model(p=Fraction(1, 8), m=4))
+        w99 = net.gamma_approximation().quantile(0.99)
+        assert net.delay_quantile(0.99) == pytest.approx(w99 + 9)  # n + m - 1
+        assert net.delay_quantile(0.99, cut_through=False) == pytest.approx(w99 + 24)
+
+    def test_tail_complements(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        x = net.delay_quantile(0.9)
+        assert net.delay_tail(x) == pytest.approx(0.1, abs=1e-6)
+
+    def test_tail_below_service_floor_is_one(self):
+        net = NetworkDelayModel(stages=6, model=model())
+        assert net.delay_tail(0.0) == pytest.approx(1.0)
+
+
+class TestScalingLaws:
+    def test_mean_scales_linearly_in_stages(self):
+        """Deep networks: total mean ~ n * w_inf."""
+        m = model()
+        n12 = NetworkDelayModel(stages=12, model=m).total_waiting_mean()
+        n24 = NetworkDelayModel(stages=24, model=m).total_waiting_mean()
+        per_stage_tail = (n24 - n12) / 12
+        assert per_stage_tail == pytest.approx(float(m.limit_mean()), rel=1e-6)
+
+    def test_message_size_headline(self):
+        """Section VI: at fixed rho, total waiting mean grows ~linearly
+        and variance ~quadratically in m."""
+        rho = Fraction(1, 2)
+        means, variances = [], []
+        for m_size in (2, 4, 8):
+            mod = LaterStageModel(k=2, p=rho / m_size, m=m_size)
+            net = NetworkDelayModel(stages=6, model=mod)
+            means.append(float(net.total_waiting_mean()))
+            variances.append(float(net.total_waiting_variance()))
+        assert means[1] / means[0] == pytest.approx(2.0, rel=0.15)
+        assert variances[1] / variances[0] == pytest.approx(4.0, rel=0.2)
+        assert variances[2] / variances[1] == pytest.approx(4.0, rel=0.2)

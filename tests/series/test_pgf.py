@@ -1,0 +1,227 @@
+"""Unit and property-based tests for the PGF layer."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import NotAProbabilityError, SeriesError
+from repro.series.pgf import PGF
+from repro.series.polynomial import Polynomial
+from repro.series.rational import RationalFunction
+
+
+class TestConstruction:
+    def test_from_pmf(self):
+        g = PGF.from_pmf([0.25, 0.5, 0.25])
+        assert g.mean() == Fraction(1)
+        assert g.variance() == Fraction(1, 2)
+
+    def test_from_pmf_rejects_negative(self):
+        with pytest.raises(NotAProbabilityError):
+            PGF.from_pmf([0.5, -0.5, 1.0])
+
+    def test_from_pmf_rejects_bad_total(self):
+        with pytest.raises(NotAProbabilityError):
+            PGF.from_pmf([0.5, 0.4])
+
+    def test_validation_at_one(self):
+        with pytest.raises(NotAProbabilityError):
+            PGF(RationalFunction(Polynomial([2])))
+
+    def test_degenerate(self):
+        g = PGF.degenerate(4)
+        assert g.mean() == 4
+        assert g.variance() == 0
+        assert g.evaluate(Fraction(1, 2)) == Fraction(1, 16)
+
+    def test_degenerate_negative_rejected(self):
+        with pytest.raises(NotAProbabilityError):
+            PGF.degenerate(-1)
+
+
+class TestStandardFamilies:
+    def test_bernoulli(self):
+        g = PGF.bernoulli(Fraction(1, 3))
+        assert g.mean() == Fraction(1, 3)
+        assert g.variance() == Fraction(2, 9)
+
+    def test_binomial_moments(self):
+        n, p = 5, Fraction(1, 4)
+        g = PGF.binomial(n, p)
+        assert g.mean() == n * p
+        assert g.variance() == n * p * (1 - p)
+
+    def test_binomial_pmf(self):
+        g = PGF.binomial(2, Fraction(1, 2))
+        assert g.pmf(3, exact=True) == [Fraction(1, 4), Fraction(1, 2), Fraction(1, 4)]
+
+    def test_geometric_support_starts_at_one(self):
+        g = PGF.geometric(Fraction(1, 2))
+        pmf = g.pmf(4, exact=True)
+        assert pmf[0] == 0
+        assert pmf[1] == Fraction(1, 2)
+        assert pmf[2] == Fraction(1, 4)
+
+    def test_geometric_moments(self):
+        mu = Fraction(1, 3)
+        g = PGF.geometric(mu)
+        assert g.mean() == 3  # 1/mu
+        assert g.variance() == (1 - mu) / mu ** 2
+
+    def test_shifted_geometric(self):
+        g = PGF.shifted_geometric(Fraction(1, 2))
+        assert g.pmf(3, exact=True) == [Fraction(1, 2), Fraction(1, 4), Fraction(1, 8)]
+        assert g.mean() == 1
+
+    def test_parameter_validation(self):
+        for bad in [-0.1, 1.5]:
+            with pytest.raises(NotAProbabilityError):
+                PGF.bernoulli(bad)
+        with pytest.raises(NotAProbabilityError):
+            PGF.geometric(0)
+
+    def test_mixture(self):
+        g = PGF.mixture([PGF.degenerate(4), PGF.degenerate(8)], [0.5, 0.5])
+        assert g.mean() == 6
+        assert g.variance() == 4
+
+    def test_mixture_validation(self):
+        with pytest.raises(NotAProbabilityError):
+            PGF.mixture([PGF.degenerate(1)], [0.9])
+        with pytest.raises(NotAProbabilityError):
+            PGF.mixture([PGF.degenerate(1), PGF.degenerate(2)], [0.9])
+
+
+class TestMoments:
+    def test_factorial_moment_matches_derivative(self):
+        g = PGF.binomial(4, Fraction(1, 2))
+        # E[X(X-1)] = n(n-1)p^2 = 3
+        assert g.factorial_moment(2) == 3
+        assert g.derivative_at_one(2) == 3
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(SeriesError):
+            PGF.degenerate(1).factorial_moment(-1)
+
+    def test_central_moment_third(self):
+        # Bernoulli(p): mu3 = p(1-p)(1-2p)
+        p = Fraction(1, 4)
+        g = PGF.bernoulli(p)
+        assert g.central_moment(3) == p * (1 - p) * (1 - 2 * p)
+
+    def test_skewness_degenerate_rejected(self):
+        with pytest.raises(SeriesError):
+            PGF.degenerate(2).skewness()
+
+    def test_skewness_sign(self):
+        assert PGF.bernoulli(0.1).skewness() > 0
+        assert PGF.bernoulli(0.9).skewness() < 0
+
+
+class TestDistribution:
+    def test_pmf_float_mode(self):
+        g = PGF.geometric(0.5)
+        pmf = g.pmf(5)
+        assert isinstance(pmf, np.ndarray)
+        assert pmf == pytest.approx([0, 0.5, 0.25, 0.125, 0.0625])
+
+    def test_pmf_invalid_terms(self):
+        with pytest.raises(SeriesError):
+            PGF.degenerate(1).pmf(0)
+
+    def test_cdf_and_tail(self):
+        g = PGF.from_pmf([0.5, 0.5])
+        assert g.cdf(2) == pytest.approx([0.5, 1.0])
+        assert g.tail(2) == pytest.approx([0.5, 0.0])
+
+    def test_quantile(self):
+        g = PGF.geometric(0.5)  # P(X<=n) = 1 - 2^-n
+        assert g.quantile(0.5) == 1
+        assert g.quantile(0.9) == 4  # 1 - 1/16 = 0.9375 >= 0.9
+
+    def test_quantile_validation(self):
+        with pytest.raises(SeriesError):
+            PGF.degenerate(1).quantile(1.0)
+
+
+class TestAlgebra:
+    def test_sum_of_independent(self):
+        g = PGF.bernoulli(Fraction(1, 2))
+        s = g + g
+        assert s.pmf(3, exact=True) == [Fraction(1, 4), Fraction(1, 2), Fraction(1, 4)]
+
+    def test_iid_sum_matches_binomial(self):
+        assert 5 * PGF.bernoulli(Fraction(1, 3)) == PGF.binomial(5, Fraction(1, 3))
+
+    def test_compound_matches_paper_construction(self):
+        """R(U(z)) with R=Binomial(k, p), U=z^m: mean k p m."""
+        R = PGF.binomial(3, Fraction(1, 2))
+        U = PGF.degenerate(4)
+        work = U.compound(R)
+        assert work.mean() == 6
+        assert work.variance() == 16 * R.variance()
+
+    def test_thinning(self):
+        g = PGF.binomial(10, Fraction(1, 2)).thin(Fraction(1, 5))
+        assert g == PGF.binomial(10, Fraction(1, 10))
+
+    def test_thinning_validation(self):
+        with pytest.raises(NotAProbabilityError):
+            PGF.degenerate(1).thin(1.5)
+
+
+@st.composite
+def small_pmfs(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    weights = draw(
+        st.lists(st.integers(min_value=0, max_value=10), min_size=n, max_size=n).filter(
+            lambda ws: sum(ws) > 0
+        )
+    )
+    total = sum(weights)
+    return [Fraction(w, total) for w in weights]
+
+
+class TestProperties:
+    @given(small_pmfs())
+    @settings(max_examples=60, deadline=None)
+    def test_pmf_roundtrip(self, pmf):
+        g = PGF.from_pmf(pmf)
+        extracted = g.pmf(len(pmf), exact=True)
+        assert extracted == list(pmf)
+
+    @given(small_pmfs())
+    @settings(max_examples=60, deadline=None)
+    def test_mean_matches_definition(self, pmf):
+        g = PGF.from_pmf(pmf)
+        assert g.mean() == sum(j * p for j, p in enumerate(pmf))
+
+    @given(small_pmfs(), small_pmfs())
+    @settings(max_examples=40, deadline=None)
+    def test_convolution_adds_means_and_variances(self, pmf_a, pmf_b):
+        a, b = PGF.from_pmf(pmf_a), PGF.from_pmf(pmf_b)
+        s = a + b
+        assert s.mean() == a.mean() + b.mean()
+        assert s.variance() == a.variance() + b.variance()
+
+    @given(small_pmfs(), small_pmfs())
+    @settings(max_examples=40, deadline=None)
+    def test_compound_mean_wald(self, count_pmf, summand_pmf):
+        """Wald's identity: E[sum] = E[N] E[X]."""
+        count = PGF.from_pmf(count_pmf)
+        summand = PGF.from_pmf(summand_pmf)
+        total = summand.compound(count)
+        assert total.mean() == count.mean() * summand.mean()
+
+    @given(small_pmfs(), small_pmfs())
+    @settings(max_examples=40, deadline=None)
+    def test_compound_variance_formula(self, count_pmf, summand_pmf):
+        """Var[sum] = E[N] Var[X] + Var[N] E[X]^2."""
+        count = PGF.from_pmf(count_pmf)
+        summand = PGF.from_pmf(summand_pmf)
+        total = summand.compound(count)
+        expected = count.mean() * summand.variance() + count.variance() * summand.mean() ** 2
+        assert total.variance() == expected

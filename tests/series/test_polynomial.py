@@ -1,0 +1,156 @@
+"""Unit tests for the dense polynomial substrate."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import SeriesError
+from repro.series.polynomial import Polynomial, as_exact, binomial_coefficient
+
+
+class TestConstruction:
+    def test_trailing_zeros_stripped(self):
+        assert Polynomial([1, 2, 0, 0]).coefficients == (1, 2)
+
+    def test_zero_polynomial(self):
+        p = Polynomial([0, 0])
+        assert p.is_zero()
+        assert p.degree == -1
+
+    def test_constant_and_identity(self):
+        assert Polynomial.constant(5)(17) == 5
+        assert Polynomial.identity()(17) == 17
+
+    def test_monomial(self):
+        p = Polynomial.monomial(3, 2)
+        assert p(2) == 16
+        assert p.degree == 3
+
+    def test_monomial_negative_degree_rejected(self):
+        with pytest.raises(SeriesError):
+            Polynomial.monomial(-1)
+
+
+class TestArithmetic:
+    def test_addition(self):
+        assert (Polynomial([1, 2]) + Polynomial([3, 4, 5])).coefficients == (4, 6, 5)
+
+    def test_addition_with_scalar(self):
+        assert (Polynomial([1, 2]) + 3).coefficients == (4, 2)
+        assert (3 + Polynomial([1, 2])).coefficients == (4, 2)
+
+    def test_addition_cancels_to_zero(self):
+        p = Polynomial([1, -1])
+        assert (p + Polynomial([-1, 1])).is_zero()
+
+    def test_subtraction(self):
+        assert (Polynomial([5, 5]) - Polynomial([2, 3])).coefficients == (3, 2)
+
+    def test_rsub(self):
+        assert (1 - Polynomial([0, 1])).coefficients == (1, -1)
+
+    def test_multiplication(self):
+        # (1+x)(1-x) = 1 - x^2
+        assert (Polynomial([1, 1]) * Polynomial([1, -1])).coefficients == (1, 0, -1)
+
+    def test_scalar_multiplication(self):
+        assert (Polynomial([1, 2]) * 3).coefficients == (3, 6)
+        assert (3 * Polynomial([1, 2])).coefficients == (3, 6)
+
+    def test_multiplication_by_zero(self):
+        assert (Polynomial([1, 2]) * Polynomial.zero()).is_zero()
+
+    def test_power(self):
+        # (1+x)^4 binomial coefficients
+        p = Polynomial([1, 1]) ** 4
+        assert p.coefficients == (1, 4, 6, 4, 1)
+
+    def test_power_zero(self):
+        assert (Polynomial([2, 3]) ** 0) == Polynomial.one()
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(SeriesError):
+            Polynomial([1, 1]) ** -1
+
+
+class TestCalculus:
+    def test_derivative(self):
+        # d/dx (1 + 2x + 3x^2) = 2 + 6x
+        assert Polynomial([1, 2, 3]).derivative().coefficients == (2, 6)
+
+    def test_higher_derivative(self):
+        assert Polynomial([0, 0, 0, 1]).derivative(3).coefficients == (6,)
+
+    def test_derivative_order_zero(self):
+        p = Polynomial([1, 2, 3])
+        assert p.derivative(0) == p
+
+    def test_evaluation_horner(self):
+        p = Polynomial([1, -3, 2])  # (2x-1)(x-1)
+        assert p(1) == 0
+        assert p(Fraction(1, 2)) == 0
+
+    def test_composition(self):
+        # p(x) = x^2, q(x) = x + 1 -> p(q) = x^2 + 2x + 1
+        p = Polynomial([0, 0, 1])
+        q = Polynomial([1, 1])
+        assert p.compose(q).coefficients == (1, 2, 1)
+
+    def test_shift_reexpansion(self):
+        # p(x) = x^2 about 1: (1+e)^2 = 1 + 2e + e^2
+        p = Polynomial([0, 0, 1]).shift(1)
+        assert p.coefficients == (1, 2, 1)
+
+    def test_shift_roundtrip_evaluation(self):
+        p = Polynomial([3, -2, 5, 1])
+        q = p.shift(Fraction(7, 3))
+        for e in [0, 1, Fraction(-1, 2)]:
+            assert q(e) == p(Fraction(7, 3) + e)
+
+    def test_truncate(self):
+        assert Polynomial([1, 2, 3, 4]).truncate(1).coefficients == (1, 2)
+
+    def test_valuation(self):
+        assert Polynomial([0, 0, 5]).valuation() == 2
+        assert Polynomial.zero().valuation() == 0
+
+
+class TestExactConversion:
+    def test_as_exact_decimal_float(self):
+        assert as_exact(0.2) == Fraction(1, 5)
+        assert as_exact(0.125) == Fraction(1, 8)
+
+    def test_as_exact_int_and_fraction(self):
+        assert as_exact(3) == Fraction(3)
+        assert as_exact(Fraction(2, 7)) == Fraction(2, 7)
+
+    def test_as_exact_rejects_nan(self):
+        with pytest.raises(SeriesError):
+            as_exact(float("nan"))
+
+    def test_as_exact_rejects_inf(self):
+        with pytest.raises(SeriesError):
+            as_exact(float("inf"))
+
+    def test_to_exact_and_to_float(self):
+        p = Polynomial([0.5, 0.25]).to_exact()
+        assert p.coefficients == (Fraction(1, 2), Fraction(1, 4))
+        assert p.to_float().coefficients == (0.5, 0.25)
+
+
+class TestPlumbing:
+    def test_equality_with_scalar(self):
+        assert Polynomial([5]) == 5
+        assert Polynomial.zero() == 0
+
+    def test_hashable(self):
+        assert len({Polynomial([1, 2]), Polynomial([1, 2])}) == 1
+
+    def test_str_rendering(self):
+        assert str(Polynomial([1, 0, 2])) == "1 + 2*z^2"
+        assert str(Polynomial.zero()) == "0"
+
+    def test_binomial_coefficient(self):
+        assert binomial_coefficient(5, 2) == 10
+        assert binomial_coefficient(5, 6) == 0
+        assert binomial_coefficient(5, -1) == 0

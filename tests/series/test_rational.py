@@ -1,0 +1,164 @@
+"""Unit tests for rational-function algebra."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PoleError, SeriesError
+from repro.series.polynomial import Polynomial
+from repro.series.rational import RationalFunction
+
+
+def frac(a, b=1):
+    return Fraction(a, b)
+
+
+class TestConstruction:
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(SeriesError):
+            RationalFunction([1], [0])
+
+    def test_polynomial_wrapping(self):
+        r = RationalFunction(Polynomial([1, 2]))
+        assert r.is_polynomial()
+        assert r.evaluate(2) == 5
+
+    def test_identity_and_constant(self):
+        assert RationalFunction.identity().evaluate(7) == 7
+        assert RationalFunction.constant(4).evaluate(100) == 4
+
+
+class TestFieldArithmetic:
+    def test_add(self):
+        # 1/(1-z) + 1/(1+z) = 2/(1-z^2)
+        a = RationalFunction([1], [1, -1])
+        b = RationalFunction([1], [1, 1])
+        c = a + b
+        assert c == RationalFunction([2], [1, 0, -1])
+
+    def test_sub_and_neg(self):
+        a = RationalFunction([1], [1, -1])
+        assert (a - a).is_zero()
+
+    def test_mul(self):
+        a = RationalFunction([1], [1, -1])
+        assert a * a == RationalFunction([1], [1, -2, 1])
+
+    def test_div(self):
+        z = RationalFunction.identity()
+        assert (z / z) == RationalFunction.constant(1)
+
+    def test_div_by_zero_rejected(self):
+        with pytest.raises(SeriesError):
+            RationalFunction.identity() / RationalFunction.constant(0)
+
+    def test_pow_and_negative_pow(self):
+        z = RationalFunction.identity()
+        assert (z ** 3).evaluate(2) == 8
+        assert ((1 + z) ** -2).evaluate(1) == frac(1, 4)
+
+    def test_scalar_mixing(self):
+        z = RationalFunction.identity()
+        r = 1 - 2 * z + z / 2
+        assert r.evaluate(2) == 1 - 4 + 1
+
+
+class TestCalculus:
+    def test_derivative_of_geometric(self):
+        # d/dz 1/(1-z) = 1/(1-z)^2
+        g = RationalFunction([1], [1, -1])
+        assert g.derivative().evaluate(0) == 1
+        assert g.derivative().evaluate(frac(1, 2)) == 4
+
+    def test_second_derivative(self):
+        g = RationalFunction([1], [1, -1])
+        assert g.derivative(2).evaluate(0) == 2
+
+    def test_derivative_matches_taylor(self):
+        r = RationalFunction([1, 2, 3], [2, -1])
+        center = frac(1, 3)
+        taylor = r.taylor(center, 3)
+        for k in range(4):
+            from math import factorial
+            assert r.derivative(k).evaluate(center) == taylor[k] * factorial(k)
+
+
+class TestComposition:
+    def test_polynomial_in_rational(self):
+        # R(y) = y^2, U(z) = z/(1-z):  R(U) = z^2/(1-z)^2
+        R = RationalFunction([0, 0, 1])
+        U = RationalFunction([0, 1], [1, -1])
+        comp = R.compose(U)
+        assert comp == RationalFunction([0, 0, 1], [1, -2, 1])
+
+    def test_rational_in_rational(self):
+        # f(y) = 1/(1-y), g(z) = z/2 -> f(g) = 2/(2-z)
+        f = RationalFunction([1], [1, -1])
+        g = RationalFunction([0, frac(1, 2)])
+        assert f.compose(g) == RationalFunction([2], [2, -1])
+
+    def test_call_dispatches_composition(self):
+        f = RationalFunction([0, 1])  # identity
+        g = RationalFunction([1, 1])
+        assert f(g) == g
+
+    def test_composition_preserves_evaluation(self):
+        f = RationalFunction([1, -1, 2], [3, 1])
+        g = RationalFunction([0, 2], [1, 1])
+        h = f.compose(g)
+        for x in [0, frac(1, 2), 2]:
+            assert h.evaluate(x) == f.evaluate(g.evaluate(x))
+
+
+class TestEvaluation:
+    def test_pole_raises(self):
+        g = RationalFunction([1], [1, -1])
+        with pytest.raises(PoleError):
+            g.evaluate(1)
+
+    def test_removable_singularity_limit(self):
+        # (1 - z^2)/(1 - z) -> 2 at z = 1
+        r = RationalFunction([1, 0, -1], [1, -1])
+        assert r.evaluate(1) == 2
+
+    def test_exact_fraction_result(self):
+        r = RationalFunction([1], [3])
+        assert r.evaluate(1) == frac(1, 3)
+        assert isinstance(r.evaluate(1), Fraction)
+
+
+class TestExpansions:
+    def test_maclaurin_of_geometric(self):
+        g = RationalFunction([1], [1, -1])
+        assert g.series(4) == [1, 1, 1, 1, 1]
+
+    def test_taylor_about_one_with_removable_singularity(self):
+        # (1-z^3)/(1-z) = 1 + z + z^2; about z=1: 3 + 3e + e^2
+        r = RationalFunction([1, 0, 0, -1], [1, -1])
+        assert r.taylor(1, 3) == [3, 3, 1, 0]
+
+    def test_taylor_pole_raises(self):
+        r = RationalFunction([1], [1, -1])
+        with pytest.raises(PoleError):
+            r.taylor(1, 2)
+
+    def test_series_of_rational_pgf(self):
+        # p z/(1-(1-p)z) with p=1/2: pmf (0, 1/2, 1/4, 1/8, ...)
+        p = frac(1, 2)
+        g = RationalFunction([0, p], [1, -(1 - p)])
+        assert g.series(3) == [0, frac(1, 2), frac(1, 4), frac(1, 8)]
+
+
+class TestPlumbing:
+    def test_equality_cross_multiplied(self):
+        a = RationalFunction([1, 1], [2, 2])
+        b = RationalFunction([1], [2])
+        assert a == b
+
+    def test_equality_with_scalar(self):
+        assert RationalFunction([3], [3]) == 1
+
+    def test_float_mode(self):
+        r = RationalFunction([frac(1, 2)], [1, frac(-1, 2)]).to_float()
+        out = r.series(2)
+        assert out == pytest.approx([0.5, 0.25, 0.125])

@@ -1,0 +1,136 @@
+"""Unit tests for the truncated-series kernels and moment conversions."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.errors import PoleError, SeriesError
+from repro.series.taylor import (
+    central_from_raw,
+    factorial_from_taylor,
+    moments_from_taylor,
+    raw_from_factorial,
+    series_compose,
+    series_div,
+    series_mul,
+    series_pow,
+    stirling2,
+)
+
+
+class TestSeriesMul:
+    def test_basic_product(self):
+        # (1+x)(1+x) = 1+2x+x^2
+        assert series_mul([1, 1], [1, 1], 3) == [1, 2, 1, 0]
+
+    def test_truncation(self):
+        assert series_mul([1, 1, 1], [1, 1, 1], 1) == [1, 2]
+
+
+class TestSeriesDiv:
+    def test_geometric_series(self):
+        # 1 / (1 - x) = 1 + x + x^2 + ...
+        assert series_div([1], [1, -1], 4) == [1, 1, 1, 1, 1]
+
+    def test_exact_fractions(self):
+        # 1 / (1 - x/2)
+        out = series_div([Fraction(1)], [Fraction(1), Fraction(-1, 2)], 3)
+        assert out == [1, Fraction(1, 2), Fraction(1, 4), Fraction(1, 8)]
+
+    def test_int_division_stays_exact(self):
+        out = series_div([1], [2], 2)
+        assert out == [Fraction(1, 2), 0, 0]
+        assert isinstance(out[0], Fraction)
+
+    def test_removable_singularity(self):
+        # (x + x^2) / x = 1 + x
+        assert series_div([0, 1, 1], [0, 1], 2) == [1, 1, 0]
+
+    def test_removable_singularity_higher_order(self):
+        # x^2 / x^2 = 1
+        assert series_div([0, 0, 1], [0, 0, 1], 2) == [1, 0, 0]
+
+    def test_pole_detected(self):
+        with pytest.raises(PoleError):
+            series_div([1], [0, 1], 2)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(SeriesError):
+            series_div([1], [0, 0], 2)
+
+    def test_div_inverts_mul(self):
+        a = [Fraction(2), Fraction(1), Fraction(3), Fraction(-1)]
+        b = [Fraction(1), Fraction(-1, 3), Fraction(1, 7)]
+        prod = series_mul(a, b, 5)
+        assert series_div(prod, b, 3)[:4] == a
+
+
+class TestSeriesCompose:
+    def test_compose_polynomial(self):
+        # outer(y) = 1 + y^2, inner(x) = x + x^2
+        # -> 1 + (x+x^2)^2 = 1 + x^2 + 2x^3 + x^4
+        out = series_compose([1, 0, 1], [0, 1, 1], 4)
+        assert out == [1, 0, 1, 2, 1]
+
+    def test_nonzero_constant_term_rejected(self):
+        with pytest.raises(SeriesError):
+            series_compose([1, 1], [1, 1], 2)
+
+    def test_compose_identity(self):
+        assert series_compose([3, 1, 4], [0, 1], 2) == [3, 1, 4]
+
+
+class TestSeriesPow:
+    def test_square(self):
+        assert series_pow([1, 1], 2, 2) == [1, 2, 1]
+
+    def test_power_zero(self):
+        assert series_pow([5, 5], 0, 2) == [1, 0, 0]
+
+    def test_negative_rejected(self):
+        with pytest.raises(SeriesError):
+            series_pow([1, 1], -1, 2)
+
+
+class TestStirling:
+    def test_small_table(self):
+        # S(3,1)=1, S(3,2)=3, S(3,3)=1; S(4,2)=7
+        assert stirling2(3, 1) == 1
+        assert stirling2(3, 2) == 3
+        assert stirling2(3, 3) == 1
+        assert stirling2(4, 2) == 7
+
+    def test_boundaries(self):
+        assert stirling2(0, 0) == 1
+        assert stirling2(5, 0) == 0
+        assert stirling2(2, 3) == 0
+
+
+class TestMomentConversion:
+    def test_poisson_like_moments(self):
+        """Bernoulli(1/2): t(1+e) = 1 + e/2, all higher terms zero."""
+        taylor = [Fraction(1), Fraction(1, 2), Fraction(0)]
+        fac = factorial_from_taylor(taylor)
+        assert fac == [1, Fraction(1, 2), 0]
+        raw = raw_from_factorial(fac)
+        # E X = 1/2, E X^2 = 1/2 for an indicator
+        assert raw == [1, Fraction(1, 2), Fraction(1, 2)]
+        central = central_from_raw(raw)
+        assert central[2] == Fraction(1, 4)  # Var = p(1-p)
+
+    def test_deterministic_moments(self):
+        """X = 3 constant: t(z) = z^3, t(1+e) = 1 + 3e + 3e^2 + e^3."""
+        taylor = [1, 3, 3, 1]
+        raw = raw_from_factorial(factorial_from_taylor(taylor))
+        assert raw[1] == 3
+        assert raw[2] == 9
+        assert raw[3] == 27
+        central = central_from_raw(raw)
+        assert central[2] == 0
+        assert central[3] == 0
+
+    def test_moments_from_taylor_bundle(self):
+        bundle = moments_from_taylor([1, 3, 3, 1])
+        assert bundle["raw"][1] == 3
+        assert bundle["central"][2] == 0
+        assert bundle["factorial"][2] == 6  # E[X(X-1)] = 6 for X=3

@@ -1,0 +1,175 @@
+"""Differential tests: vectorised engine vs the naive reference model.
+
+Both simulators consume *identical pre-generated traffic*; the test
+demands identical per-message waiting times at every stage.  Scenarios
+are both hand-picked (multi-packet, store-and-forward, finite buffers)
+and hypothesis-generated.
+"""
+
+from typing import List
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import ClockedEngine
+from repro.simulation.topology import OmegaTopology, RandomRoutingTopology
+from repro.simulation.traffic import CycleArrivals
+
+from tests.simulation.reference_model import ReferenceNetwork
+
+
+class ScriptedTraffic:
+    """Replays a pre-generated traffic script into the engine."""
+
+    def __init__(self, width: int, script: List[tuple]) -> None:
+        self.width = width
+        self._script = list(script)
+        self._cursor = 0
+        self.injected = 0
+
+    def generate(self) -> CycleArrivals:
+        if self._cursor >= len(self._script):
+            empty = np.empty(0, dtype=np.int64)
+            return CycleArrivals(empty, empty, empty)
+        sources, dests, services, _ids = self._script[self._cursor]
+        self._cursor += 1
+        self.injected += len(sources)
+        return CycleArrivals(
+            np.asarray(sources, dtype=np.int64),
+            np.asarray(dests, dtype=np.int64),
+            np.asarray(services, dtype=np.int64),
+        )
+
+
+def make_script(rng, width, dest_space, n_cycles, p, max_service=1, bulk=1):
+    """Random traffic script: per-cycle (sources, dests, services, ids)."""
+    script = []
+    next_id = 0
+    for _ in range(n_cycles):
+        active = np.flatnonzero(rng.random(width) < p)
+        dests = rng.integers(0, dest_space, size=active.size)
+        if bulk > 1:
+            active = np.repeat(active, bulk)
+            dests = np.repeat(dests, bulk)
+        services = rng.integers(1, max_service + 1, size=active.size)
+        ids = np.arange(next_id, next_id + active.size)
+        next_id += active.size
+        script.append((active, dests, services, ids))
+    return script
+
+
+def run_both(topology, script, transfer="cut_through", buffer_capacity=None):
+    n_cycles = len(script)
+    total_msgs = sum(len(s[0]) for s in script)
+
+    traffic = ScriptedTraffic(topology.width, script)
+    engine = ClockedEngine(
+        topology,
+        traffic,
+        transfer=transfer,
+        buffer_capacity=buffer_capacity,
+        track_limit=max(total_msgs, 1),
+    )
+    engine.run(n_cycles + 200, warmup=0)  # drain
+
+    ref = ReferenceNetwork(
+        topology, transfer=transfer, buffer_capacity=buffer_capacity
+    )
+    ref.run_with_traffic(script)
+    for _ in range(200):
+        ref.step_service()
+    return engine, ref
+
+
+def assert_identical(engine, ref, topology):
+    waits = engine.tracker.waits[: engine.tracker.allocated]
+    for (msg_id, stage), ref_wait in ref.waits.items():
+        got = waits[msg_id, stage]
+        assert got == ref_wait, (
+            f"message {msg_id} stage {stage}: engine={got} reference={ref_wait}"
+        )
+    # both saw every service event (unless drops occurred)
+    engine_events = int((waits >= 0).sum())
+    assert engine_events == len(ref.waits)
+    assert engine.completed >= len(ref.completed)  # engine counts non-tracked too
+
+
+class TestHandPicked:
+    def test_unit_service_banyan(self):
+        topo = OmegaTopology(2, 3)
+        script = make_script(np.random.default_rng(0), 8, 8, 60, p=0.6)
+        engine, ref = run_both(topo, script)
+        assert_identical(engine, ref, topo)
+
+    def test_multi_packet_cut_through(self):
+        topo = OmegaTopology(2, 3)
+        rng = np.random.default_rng(1)
+        script = [
+            (np.array([0, 3]), np.array([5, 5]), np.array([4, 4]), np.array([0, 1])),
+            (np.array([1]), np.array([5]), np.array([2]), np.array([2])),
+        ] + [(np.array([], dtype=int),) * 4 for _ in range(20)]
+        engine, ref = run_both(topo, script)
+        assert_identical(engine, ref, topo)
+
+    def test_store_and_forward(self):
+        topo = OmegaTopology(2, 2)
+        script = make_script(np.random.default_rng(2), 4, 4, 50, p=0.3, max_service=3)
+        engine, ref = run_both(topo, script, transfer="store_forward")
+        assert_identical(engine, ref, topo)
+
+    def test_finite_buffers_drop_identically(self):
+        topo = OmegaTopology(2, 2)
+        script = make_script(np.random.default_rng(3), 4, 4, 80, p=0.9, max_service=2)
+        engine, ref = run_both(topo, script, buffer_capacity=2)
+        assert engine.queues.dropped == ref.dropped
+        assert_identical(engine, ref, topo)
+
+    def test_width_decoupled_topology(self):
+        topo = RandomRoutingTopology(2, 5, width=8)
+        script = make_script(
+            np.random.default_rng(4), 8, topo.destination_space, 60, p=0.5
+        )
+        engine, ref = run_both(topo, script)
+        assert_identical(engine, ref, topo)
+
+    def test_bulk_arrivals(self):
+        topo = OmegaTopology(2, 3)
+        script = make_script(np.random.default_rng(5), 8, 8, 40, p=0.3, bulk=2)
+        engine, ref = run_both(topo, script)
+        assert_identical(engine, ref, topo)
+
+
+class TestHypothesisDifferential:
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        k=st.sampled_from([2, 3]),
+        n_stages=st.integers(min_value=1, max_value=3),
+        p=st.floats(min_value=0.1, max_value=0.9),
+        max_service=st.integers(min_value=1, max_value=4),
+        transfer=st.sampled_from(["cut_through", "store_forward"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_scenarios(self, seed, k, n_stages, p, max_service, transfer):
+        topo = OmegaTopology(k, n_stages)
+        script = make_script(
+            np.random.default_rng(seed), topo.width, topo.width, 30,
+            p=p, max_service=max_service,
+        )
+        engine, ref = run_both(topo, script, transfer=transfer)
+        assert_identical(engine, ref, topo)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        capacity=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_finite_buffer_scenarios(self, seed, capacity):
+        topo = OmegaTopology(2, 2)
+        script = make_script(
+            np.random.default_rng(seed), 4, 4, 40, p=0.8, max_service=2
+        )
+        engine, ref = run_both(topo, script, buffer_capacity=capacity)
+        assert engine.queues.dropped == ref.dropped
+        assert_identical(engine, ref, topo)

@@ -1,0 +1,104 @@
+"""Lindley single-queue simulator vs the exact Theorem 1 analysis."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arrivals import BulkUniformTraffic, FavoriteOutputTraffic, UniformTraffic
+from repro.core.first_stage import FirstStageQueue
+from repro.errors import SimulationError
+from repro.service import DeterministicService, GeometricService, MultiSizeService
+from repro.simulation.queue_sim import (
+    lindley_unfinished_work,
+    simulate_first_stage_queue,
+)
+
+
+class TestLindleyKernel:
+    def test_matches_naive_recursion(self):
+        rng = np.random.default_rng(3)
+        work = rng.integers(0, 4, size=500)
+        fast = lindley_unfinished_work(work)
+        s = 0
+        for n, c in enumerate(work):
+            s = max(0, s + c - 1)
+            assert fast[n] == s
+
+    def test_idle_system_stays_empty(self):
+        assert (lindley_unfinished_work(np.zeros(10, dtype=int)) == 0).all()
+
+    def test_saturated_system_grows_linearly(self):
+        out = lindley_unfinished_work(np.full(10, 3))
+        assert (out == 2 * np.arange(1, 11)).all()
+
+
+class TestAgainstExactAnalysis:
+    CASES = [
+        ("uniform", UniformTraffic(k=2, p=0.5), DeterministicService(1)),
+        ("bulk", BulkUniformTraffic(k=2, p=0.15, b=3), DeterministicService(1)),
+        ("favorite", FavoriteOutputTraffic(k=2, p=0.5, q=0.5), DeterministicService(1)),
+        ("constant-m", UniformTraffic(k=2, p=0.125), DeterministicService(4)),
+        ("geometric", UniformTraffic(k=2, p=0.25), GeometricService(0.5)),
+        ("multisize", UniformTraffic(k=2, p=0.0625), MultiSizeService([4, 8], [0.5, 0.5])),
+    ]
+
+    @pytest.mark.parametrize(
+        "seed,name,arr,srv",
+        [(i, *case) for i, case in enumerate(CASES)],
+        ids=[c[0] for c in CASES],
+    )
+    def test_mean_and_variance(self, seed, name, arr, srv):
+        # deterministic seeds: str hash() is randomised per process
+        rng = np.random.default_rng(1234 + seed)
+        res = simulate_first_stage_queue(arr, srv, n_cycles=600_000, rng=rng)
+        exact = FirstStageQueue(arr, srv)
+        mean, var = float(exact.waiting_mean()), float(exact.waiting_variance())
+        assert res.mean() == pytest.approx(mean, rel=0.05, abs=0.01)
+        # variance estimates mix slowly for heavy-tailed service mixes
+        assert res.variance() == pytest.approx(var, rel=0.15, abs=0.02)
+
+    def test_full_distribution_uniform(self):
+        """Bin-by-bin agreement of the simulated pmf with Theorem 1."""
+        arr, srv = UniformTraffic(k=2, p=0.5), DeterministicService(1)
+        res = simulate_first_stage_queue(arr, srv, 800_000, rng=np.random.default_rng(7))
+        exact = FirstStageQueue(arr, srv).waiting_pmf(12)
+        sim = res.pmf(12)
+        assert np.abs(sim - exact).max() < 5e-3
+
+    def test_decomposition_components(self):
+        """The s and w' components match their own transforms."""
+        arr, srv = BulkUniformTraffic(k=2, p=0.2, b=2), DeterministicService(1)
+        res = simulate_first_stage_queue(arr, srv, 400_000, rng=np.random.default_rng(11))
+        q = FirstStageQueue(arr, srv)
+        assert res.unfinished_work.mean() == pytest.approx(
+            float(q.moments().work_mean), rel=0.05, abs=0.01
+        )
+        assert res.predecessor_service.mean() == pytest.approx(
+            float(q.moments().predecessor_mean), rel=0.05, abs=0.01
+        )
+
+    def test_waits_are_work_plus_predecessors(self):
+        arr, srv = UniformTraffic(k=4, p=0.6), DeterministicService(1)
+        res = simulate_first_stage_queue(arr, srv, 50_000, rng=np.random.default_rng(2))
+        assert (res.waits == res.unfinished_work + res.predecessor_service).all()
+
+
+class TestValidation:
+    def test_too_few_cycles(self):
+        with pytest.raises(SimulationError):
+            simulate_first_stage_queue(
+                UniformTraffic(k=2, p=0.5), DeterministicService(1), 1
+            )
+
+    def test_bad_warmup(self):
+        with pytest.raises(SimulationError):
+            simulate_first_stage_queue(
+                UniformTraffic(k=2, p=0.5), DeterministicService(1), 100, warmup=100
+            )
+
+    def test_zero_traffic(self):
+        with pytest.raises(SimulationError):
+            simulate_first_stage_queue(
+                UniformTraffic(k=2, p=0), DeterministicService(1), 1000
+            )

@@ -1,0 +1,55 @@
+"""Independent-replication runner tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.simulation.replication import (
+    ReplicatedStatistic,
+    replicate,
+    replicated_statistic,
+)
+
+
+def small_config():
+    return NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=64)
+
+
+class TestReplicate:
+    def test_runs_are_independent(self):
+        results = replicate(small_config(), n_replications=3, n_cycles=2_000)
+        means = [r.stage_means[0] for r in results]
+        assert len(set(means)) == 3  # different seeds, different paths
+
+    def test_seed_in_config_is_overridden(self):
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=64, seed=7)
+        a, b = replicate(cfg, n_replications=2, n_cycles=1_500)
+        assert a.stage_means[0] != b.stage_means[0]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            replicate(small_config(), n_replications=1, n_cycles=1_000)
+
+
+class TestReplicatedStatistic:
+    def test_interval_covers_exact_value(self):
+        results = replicate(small_config(), n_replications=5, n_cycles=4_000)
+        stat = replicated_statistic(results, lambda r: r.stage_means[0])
+        assert stat.n == 5
+        # w1 = 0.25 exactly; 5 replications at 4k cycles should cover it
+        assert stat.covers(0.25)
+        assert stat.half_width < 0.05
+
+    def test_interval_arithmetic(self):
+        stat = ReplicatedStatistic(values=(1.0, 2.0, 3.0), confidence=0.95)
+        low, high = stat.interval()
+        assert low < stat.mean < high
+        assert stat.mean == 2.0
+        assert "+/-" in str(stat)
+
+    def test_validation(self):
+        results = replicate(small_config(), n_replications=2, n_cycles=1_000)
+        with pytest.raises(SimulationError):
+            replicated_statistic(results[:1], lambda r: 0.0)
+        with pytest.raises(SimulationError):
+            replicated_statistic(results, lambda r: 0.0, confidence=1.5)

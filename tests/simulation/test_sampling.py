@@ -1,0 +1,76 @@
+"""Alias-method sampler tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.simulation.sampling import AliasSampler
+
+
+class TestConstruction:
+    def test_table_encodes_input_pmf(self):
+        pmf = [0.1, 0.2, 0.3, 0.4]
+        s = AliasSampler(pmf)
+        assert s.reconstructed_pmf() == pytest.approx(pmf, abs=1e-12)
+
+    def test_degenerate(self):
+        s = AliasSampler([1.0])
+        rng = np.random.default_rng(0)
+        assert (s.sample(rng, 100) == 0).all()
+
+    def test_unnormalised_input_renormalised(self):
+        s = AliasSampler([2.0, 2.0])
+        assert s.reconstructed_pmf() == pytest.approx([0.5, 0.5])
+
+    def test_custom_values(self):
+        s = AliasSampler([0.5, 0.5], values=np.array([10, 20]))
+        rng = np.random.default_rng(1)
+        draws = s.sample(rng, 1000)
+        assert set(np.unique(draws)) == {10, 20}
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            AliasSampler([])
+        with pytest.raises(SimulationError):
+            AliasSampler([0.5, -0.5])
+        with pytest.raises(SimulationError):
+            AliasSampler([0.0, 0.0])
+        with pytest.raises(SimulationError):
+            AliasSampler([1.0], values=np.array([1, 2]))
+        with pytest.raises(SimulationError):
+            AliasSampler([1.0]).sample_indices(np.random.default_rng(0), -1)
+
+
+class TestStatistics:
+    def test_frequencies_match(self):
+        pmf = [0.05, 0.15, 0.30, 0.50]
+        s = AliasSampler(pmf)
+        rng = np.random.default_rng(2)
+        draws = s.sample_indices(rng, 400_000)
+        freq = np.bincount(draws, minlength=4) / draws.size
+        assert freq == pytest.approx(pmf, abs=0.005)
+
+    @given(
+        weights=st.lists(
+            st.integers(min_value=0, max_value=20), min_size=1, max_size=10
+        ).filter(lambda w: sum(w) > 0)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_reconstruction_property(self, weights):
+        total = sum(weights)
+        pmf = [w / total for w in weights]
+        s = AliasSampler(pmf)
+        assert s.reconstructed_pmf() == pytest.approx(pmf, abs=1e-9)
+
+    def test_matches_choice_distribution(self):
+        """Same distribution as rng.choice (KS-style max-gap check)."""
+        pmf = np.array([0.2, 0.1, 0.4, 0.3])
+        s = AliasSampler(pmf)
+        rng = np.random.default_rng(3)
+        a = np.bincount(s.sample_indices(rng, 200_000), minlength=4) / 200_000
+        b = np.bincount(
+            rng.choice(4, size=200_000, p=pmf), minlength=4
+        ) / 200_000
+        assert np.abs(a - b).max() < 0.01

@@ -1,0 +1,125 @@
+"""Output-statistics estimator tests."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.stats import (
+    StageAccumulator,
+    TrackedMessages,
+    batch_means_ci,
+    histogram_pmf,
+)
+
+
+class TestStageAccumulator:
+    def test_streaming_moments(self):
+        acc = StageAccumulator(2)
+        rng = np.random.default_rng(0)
+        data0 = rng.exponential(2.0, size=5000)
+        data1 = rng.exponential(5.0, size=5000)
+        for i in range(0, 5000, 100):
+            acc.add(np.zeros(100, dtype=int), data0[i : i + 100])
+            acc.add(np.ones(100, dtype=int), data1[i : i + 100])
+        assert acc.means() == pytest.approx([data0.mean(), data1.mean()])
+        assert acc.variances() == pytest.approx(
+            [data0.var(ddof=1), data1.var(ddof=1)], rel=1e-9
+        )
+
+    def test_empty_stage_is_nan(self):
+        acc = StageAccumulator(2)
+        acc.add(np.zeros(3, dtype=int), np.ones(3))
+        assert np.isnan(acc.means()[1])
+        assert np.isnan(acc.variances()[1])
+
+    def test_no_samples_noop(self):
+        acc = StageAccumulator(1)
+        acc.add(np.array([], dtype=int), np.array([]))
+        assert acc.count[0] == 0
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            StageAccumulator(0)
+
+
+class TestTrackedMessages:
+    def test_allocation_caps_at_limit(self):
+        t = TrackedMessages(limit=3, n_stages=2)
+        ids = t.allocate(5)
+        assert ids.tolist() == [0, 1, 2, -1, -1]
+        assert t.allocate(2).tolist() == [-1, -1]
+
+    def test_complete_rows_filter(self):
+        t = TrackedMessages(limit=4, n_stages=2)
+        t.allocate(4)
+        t.record(np.array([0, 1]), np.array([0, 0]), np.array([1.0, 2.0]))
+        t.record(np.array([0]), np.array([1]), np.array([3.0]))
+        rows = t.complete_rows()
+        assert rows.shape == (1, 2)
+        assert rows[0].tolist() == [1.0, 3.0]
+
+    def test_totals(self):
+        t = TrackedMessages(limit=2, n_stages=3)
+        t.allocate(1)
+        for s, w in enumerate([1.0, 0.0, 2.5]):
+            t.record(np.array([0]), np.array([s]), np.array([w]))
+        assert t.totals().tolist() == [3.5]
+
+    def test_untracked_records_ignored(self):
+        t = TrackedMessages(limit=2, n_stages=1)
+        t.record(np.array([-1]), np.array([0]), np.array([9.0]))
+        assert t.complete_rows().shape[0] == 0
+
+    def test_correlations_need_samples(self):
+        t = TrackedMessages(limit=2, n_stages=2)
+        with pytest.raises(SimulationError):
+            t.stage_correlations()
+
+    def test_correlations_of_independent_streams(self):
+        rng = np.random.default_rng(1)
+        t = TrackedMessages(limit=5000, n_stages=2)
+        ids = t.allocate(5000)
+        for s in range(2):
+            t.record(ids, np.full(5000, s), rng.normal(size=5000))
+        corr = t.stage_correlations()
+        assert corr[0, 0] == pytest.approx(1.0)
+        assert abs(corr[0, 1]) < 0.05
+
+
+class TestBatchMeans:
+    def test_iid_coverage(self):
+        rng = np.random.default_rng(10)
+        hits = 0
+        for _ in range(40):
+            sample = rng.normal(3.0, 1.0, size=2000)
+            ci = batch_means_ci(sample, n_batches=20)
+            hits += ci.low <= 3.0 <= ci.high
+        assert hits >= 30  # ~95% nominal
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            batch_means_ci(np.ones(10), n_batches=1)
+        with pytest.raises(SimulationError):
+            batch_means_ci(np.ones(10), n_batches=20)
+
+    def test_interval_endpoints(self):
+        ci = batch_means_ci(np.arange(100, dtype=float), n_batches=10)
+        assert ci.low < ci.mean < ci.high
+
+
+class TestHistogram:
+    def test_normalised(self):
+        pmf = histogram_pmf(np.array([0, 0, 1, 2]))
+        assert pmf.tolist() == [0.5, 0.25, 0.25]
+
+    def test_n_bins_truncates_and_pads(self):
+        pmf = histogram_pmf(np.array([0, 3]), n_bins=3)
+        assert pmf.tolist() == [0.5, 0.0, 0.0]
+        pmf = histogram_pmf(np.array([0]), n_bins=4)
+        assert len(pmf) == 4
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            histogram_pmf(np.array([]))
+        with pytest.raises(SimulationError):
+            histogram_pmf(np.array([-1.0]))

@@ -1,0 +1,175 @@
+"""Topology tests: permutations, self-routing, conflict-free identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.simulation.topology import (
+    BaselineTopology,
+    ButterflyTopology,
+    OmegaTopology,
+    RandomRoutingTopology,
+    int_log,
+    is_power_of,
+    perfect_shuffle,
+    routability_matrix,
+    trace_path,
+)
+
+BANYANS = [OmegaTopology, ButterflyTopology, BaselineTopology]
+SHAPES = [(2, 3), (2, 4), (4, 2), (3, 2), (2, 1)]
+
+
+class TestHelpers:
+    def test_is_power_of(self):
+        assert is_power_of(8, 2)
+        assert is_power_of(1, 2)
+        assert not is_power_of(12, 2)
+        assert not is_power_of(0, 2)
+
+    def test_int_log(self):
+        assert int_log(64, 4) == 3
+        with pytest.raises(TopologyError):
+            int_log(12, 2)
+
+    def test_perfect_shuffle_rotates_digits(self):
+        # width 8, k=2: sigma(i) rotates the 3-bit string left
+        sigma = perfect_shuffle(8, 2)
+        for i in range(8):
+            b = f"{i:03b}"
+            assert sigma[i] == int(b[1:] + b[0], 2)
+
+    def test_perfect_shuffle_is_permutation(self):
+        sigma = perfect_shuffle(81, 3)
+        assert sorted(sigma) == list(range(81))
+
+
+@pytest.mark.parametrize("cls", BANYANS, ids=lambda c: c.__name__)
+@pytest.mark.parametrize("k,n", SHAPES)
+class TestBanyanCorrectness:
+    def test_wirings_are_permutations(self, cls, k, n):
+        t = cls(k, n)
+        for s in range(n):
+            assert sorted(t.input_wiring(s).tolist()) == list(range(t.width))
+
+    def test_full_self_routing(self, cls, k, n):
+        t = cls(k, n)
+        reached = routability_matrix(t)
+        assert (reached == np.arange(t.width)[None, :]).all()
+
+    def test_trace_path_consistent(self, cls, k, n):
+        t = cls(k, n)
+        path = trace_path(t, source=0, dest=t.width - 1)
+        assert len(path) == n
+        assert path[-1] == t.width - 1
+
+    def test_identity_is_conflict_free(self, cls, k, n):
+        """Every input routing to its own index: at each stage all
+        messages occupy distinct queues (needed by the favourite-output
+        traffic model).  Omega and butterfly realize the identity
+        conflict-free; the baseline network famously does not (it is
+        topologically equivalent but not functionally identical), which
+        is why the favourite-output experiments use omega wiring."""
+        if cls is BaselineTopology:
+            pytest.skip("baseline does not route the identity conflict-free")
+        t = cls(k, n)
+        src = np.arange(t.width)
+        q = t.entry_queue(src, src)
+        assert len(set(q.tolist())) == t.width
+        for s in range(1, n):
+            q = t.next_queue(q, src, s)
+            assert len(set(q.tolist())) == t.width
+
+    def test_uniform_traffic_port_loads_balanced(self, cls, k, n):
+        """Uniform destinations spread evenly over every stage's queues
+        for all three wirings (the statistical property the analysis
+        actually relies on)."""
+        t = cls(k, n)
+        rng = np.random.default_rng(5)
+        src = rng.integers(0, t.width, size=20_000)
+        dst = rng.integers(0, t.width, size=20_000)
+        q = t.entry_queue(src, dst)
+        for s in range(n):
+            counts = np.bincount(q, minlength=t.width)
+            assert counts.std() / counts.mean() < 0.25
+            if s + 1 < n:
+                q = t.next_queue(q, dst, s + 1)
+
+
+class TestValidation:
+    def test_bad_degree(self):
+        with pytest.raises(TopologyError):
+            OmegaTopology(1, 3)
+
+    def test_bad_stage_count(self):
+        with pytest.raises(TopologyError):
+            OmegaTopology(2, 0)
+
+    def test_width_must_match_for_banyans(self):
+        with pytest.raises(TopologyError):
+            OmegaTopology(2, 3, width=16)
+
+    def test_random_topology_requires_power_width(self):
+        with pytest.raises(TopologyError):
+            RandomRoutingTopology(2, 5, width=12)
+
+    def test_random_topology_rejects_destination_tracing(self):
+        t = RandomRoutingTopology(2, 5, width=16)
+        assert not t.supports_destinations
+        with pytest.raises(TopologyError):
+            trace_path(t, 0, 3)
+
+class TestRandomRoutingTopology:
+    def test_decoupled_depth(self):
+        t = RandomRoutingTopology(2, 12, width=32)
+        assert t.n_stages == 12
+        assert t.width == 32
+        assert t.destination_space == 2 ** 12
+
+    def test_digits_uniform_per_stage(self):
+        t = RandomRoutingTopology(4, 3, width=64)
+        rng = np.random.default_rng(0)
+        dests = rng.integers(0, t.destination_space, size=40_000)
+        for stage in range(3):
+            digits = t.routing_digits(dests, stage)
+            freq = np.bincount(digits, minlength=4) / 40_000
+            assert np.abs(freq - 0.25).max() < 0.02
+
+    def test_digits_deterministic_per_destination(self):
+        """Bulk siblings share a virtual destination, hence a path."""
+        t = RandomRoutingTopology(2, 6, width=16)
+        dests = np.array([37, 37, 11])
+        d0 = t.routing_digits(dests, 2)
+        assert d0[0] == d0[1]
+
+    def test_overflow_guard(self):
+        with pytest.raises(TopologyError):
+            RandomRoutingTopology(2, 70, width=16)
+
+
+class TestNetworkxExport:
+    def test_graph_shape(self):
+        nx = pytest.importorskip("networkx")
+        t = OmegaTopology(2, 3)
+        g = t.to_networkx()
+        # 8 ins + 8 outs + 3 stages x 4 switches
+        assert g.number_of_nodes() == 8 + 8 + 12
+        # every input reaches every output
+        reach = nx.descendants(g, ("in", 0))
+        assert all(("out", i) in reach for i in range(8))
+
+
+class TestPropertyBased:
+    @given(
+        k=st.sampled_from([2, 3, 4]),
+        n=st.integers(min_value=1, max_value=4),
+        data=st.data(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_random_pair_routes_correctly(self, k, n, data):
+        t = OmegaTopology(k, n)
+        src = data.draw(st.integers(min_value=0, max_value=t.width - 1))
+        dst = data.draw(st.integers(min_value=0, max_value=t.width - 1))
+        assert trace_path(t, src, dst)[-1] == dst

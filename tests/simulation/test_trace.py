@@ -1,0 +1,84 @@
+"""Message-journey tracing tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.simulation.trace import MessageTracer
+
+
+def traced_run(n_cycles=300, **config_kwargs):
+    cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=11, **config_kwargs)
+    sim = NetworkSimulator(cfg)
+    tracer = MessageTracer(limit=200)
+    sim.engine.observer = tracer
+    result = sim.run(n_cycles, warmup=0)
+    return sim, tracer, result
+
+
+class TestTracer:
+    def test_journeys_recorded(self):
+        sim, tracer, _ = traced_run()
+        assert tracer.traced > 0
+        j = tracer.journey(0)
+        assert j.injected_cycle is not None
+        assert j.source is not None
+
+    def test_completed_journeys_cross_all_stages(self):
+        sim, tracer, _ = traced_run()
+        done = tracer.completed_journeys(n_stages=3)
+        assert done
+        for j in done[:10]:
+            stages = sorted(e.stage for e in j.events)
+            assert stages == [0, 1, 2]
+            # service starts are causally ordered
+            cycles = [e.cycle for e in sorted(j.events, key=lambda e: e.stage)]
+            assert all(a < b for a, b in zip(cycles, cycles[1:]))
+
+    def test_waits_match_statistics_tracker(self):
+        sim, tracer, result = traced_run()
+        rows = result.tracked.waits
+        for j in tracer.completed_journeys(3)[:20]:
+            for e in j.events:
+                assert rows[j.track_id, e.stage] == e.wait
+
+    def test_total_wait_consistency(self):
+        sim, tracer, result = traced_run()
+        done = tracer.completed_journeys(3)
+        totals = {j.track_id: j.total_wait for j in done}
+        matrix = result.tracked.complete_rows()
+        # the tracker's totals for the traced subset coincide
+        for j in done[:10]:
+            assert j.total_wait == sum(e.wait for e in j.events)
+
+    def test_describe_renders(self):
+        _, tracer, _ = traced_run()
+        text = tracer.journey(0).describe()
+        assert "message 0" in text
+        assert "stage 1" in text
+
+    def test_slowest_sorted(self):
+        _, tracer, _ = traced_run(n_cycles=500)
+        slow = tracer.slowest(3)
+        waits = [j.total_wait for j in slow]
+        assert waits == sorted(waits, reverse=True)
+
+    def test_untraced_message_raises(self):
+        _, tracer, _ = traced_run()
+        with pytest.raises(SimulationError):
+            tracer.journey(10 ** 9)
+
+    def test_limit_validation(self):
+        with pytest.raises(SimulationError):
+            MessageTracer(limit=0)
+
+    def test_first_stage_wait_zero_when_idle(self):
+        """At light load most first-stage waits are zero (idle ports)."""
+        _, tracer, _ = traced_run(n_cycles=400)
+        first_waits = [
+            e.wait
+            for j in tracer.completed_journeys(3)
+            for e in j.events
+            if e.stage == 0
+        ]
+        assert first_waits.count(0) / len(first_waits) > 0.5

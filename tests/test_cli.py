@@ -1,0 +1,57 @@
+"""CLI surface tests (fast cycle counts)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_table_command(self):
+        args = build_parser().parse_args(["table", "I", "--cycles", "2500"])
+        assert args.command == "table"
+        assert args.id == "I"
+        assert args.cycles == 2500
+
+    def test_figure_command(self):
+        args = build_parser().parse_args(["figure", "5", "--stages", "3"])
+        assert args.id == 5
+        assert args.stages == 3
+
+    def test_unknown_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table", "XIII"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestExecution:
+    def test_table_I_runs(self, capsys):
+        assert main(["table", "I", "--cycles", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE I" in out
+        assert "ESTIMATE" in out
+
+    def test_totals_table_runs(self, capsys):
+        assert main(["table", "VII", "--cycles", "2500"]) == 0
+        out = capsys.readouterr().out
+        assert "TABLE VII" in out
+
+    def test_figure_runs(self, capsys):
+        assert main(["figure", "3", "--stages", "3", "--cycles", "2500"]) == 0
+        assert "Figure 3" in capsys.readouterr().out
+
+    def test_seed_override(self, capsys):
+        assert main(["table", "VI", "--cycles", "2500", "--seed", "9"]) == 0
+        assert "TABLE VI" in capsys.readouterr().out
+
+    def test_sweep_runs(self, capsys):
+        assert main(["sweep", "load", "--cycles", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "load sweep" in out
+        assert "p=0.2" in out
+
+    def test_sweep_kind_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep", "bogus"])

@@ -1,0 +1,49 @@
+"""Examples stay importable and syntactically healthy.
+
+Full runs take minutes (they use paper-grade simulation lengths), so
+the unit suite only compiles them and checks each defines a ``main``;
+the quickstart -- the one a new user runs first -- is executed for real
+with its output spot-checked.
+"""
+
+import pathlib
+import py_compile
+import runpy
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(EXAMPLES) >= 4  # quickstart + three domain studies
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / (path.name + "c")), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_defines_main(path):
+    source = path.read_text()
+    assert "def main(" in source
+    assert '__name__ == "__main__"' in source
+
+
+def test_quickstart_runs_end_to_end():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "E[w]   = 1/4" in out
+    assert "simulated" in out

@@ -1,0 +1,93 @@
+"""Integration property test: analysis == simulation for *random* models.
+
+Hypothesis generates arbitrary (small-support) arrival and service
+distributions; the exact Theorem 1 mean must match the Lindley
+simulation within statistical tolerance.  This is the strongest
+evidence the library offers that the analysis layer and the sampling
+layer agree on *every* model a user can construct, not just the
+paper's named families.
+"""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.arrivals import CustomArrivals
+from repro.core.first_stage import FirstStageQueue
+from repro.service import GeneralService
+from repro.simulation.queue_sim import simulate_first_stage_queue
+
+
+@st.composite
+def arrival_pmfs(draw):
+    """Random pmf on {0..3} with enough idle mass to keep rho < 1."""
+    weights = draw(
+        st.tuples(
+            st.integers(min_value=5, max_value=20),  # strong mass at 0
+            st.integers(min_value=0, max_value=6),
+            st.integers(min_value=0, max_value=3),
+            st.integers(min_value=0, max_value=1),
+        )
+    )
+    assume(sum(weights[1:]) > 0)
+    total = sum(weights)
+    return [Fraction(w, total) for w in weights]
+
+
+@st.composite
+def service_pmfs(draw):
+    """Random pmf on {1, 2, 3} (no zero-cycle service)."""
+    weights = draw(
+        st.tuples(
+            st.integers(min_value=1, max_value=10),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=0, max_value=2),
+        )
+    )
+    total = sum(weights)
+    return [Fraction(0)] + [Fraction(w, total) for w in weights]
+
+
+class TestRandomModelAgreement:
+    @given(arr_pmf=arrival_pmfs(), srv_pmf=service_pmfs(), seed=st.integers(0, 10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_mean_agreement(self, arr_pmf, srv_pmf, seed):
+        arrivals = CustomArrivals(arr_pmf)
+        service = GeneralService(srv_pmf)
+        rho = arrivals.rate * service.mean
+        # heavy loads mix too slowly for a bounded-length run: the
+        # waiting-time autocorrelation time grows like (1 - rho)^-2,
+        # shrinking the effective sample size far below the nominal one
+        assume(rho < Fraction(3, 4))
+
+        exact = FirstStageQueue(arrivals, service)
+        mean = float(exact.waiting_mean())
+        var = float(exact.waiting_variance())
+
+        sim = simulate_first_stage_queue(
+            arrivals, service, 150_000, rng=np.random.default_rng(seed)
+        )
+        # i.i.d. sigma inflated by a crude autocorrelation-time factor
+        sigma = (var / sim.waits.size) ** 0.5 / (1.0 - float(rho))
+        tol = max(6 * sigma, 0.08 * (mean + 0.05))
+        assert abs(sim.mean() - mean) < tol + 0.02, (
+            f"rho={float(rho):.3f}: sim {sim.mean():.4f} vs exact {mean:.4f}"
+        )
+
+    @given(arr_pmf=arrival_pmfs(), seed=st.integers(0, 10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_variance_agreement_unit_service(self, arr_pmf, seed):
+        arrivals = CustomArrivals(arr_pmf)
+        service = GeneralService([0, 1])
+        rho = arrivals.rate
+        assume(rho < Fraction(4, 5))
+
+        exact = FirstStageQueue(arrivals, service)
+        var = float(exact.waiting_variance())
+        sim = simulate_first_stage_queue(
+            arrivals, service, 200_000, rng=np.random.default_rng(seed)
+        )
+        assert sim.variance() == pytest.approx(var, rel=0.2, abs=0.02)
