@@ -8,8 +8,6 @@ right-tail error against simulation for a short (3-stage) and a deep
 (12-stage) network.
 """
 
-import numpy as np
-
 from repro.core.later_stages import LaterStageModel
 from repro.core.total_delay import NetworkDelayModel
 from repro.simulation.network import NetworkConfig, NetworkSimulator

@@ -6,8 +6,6 @@ ablation compares three policies on the same scenario -- none, fixed
 the auto rule spends no more data than it needs.
 """
 
-import pytest
-
 from repro.simulation.network import NetworkConfig, NetworkSimulator
 
 

@@ -13,12 +13,13 @@ measure the throughput claims the documentation makes:
 """
 
 from fractions import Fraction
+from time import perf_counter
 
 import numpy as np
-import pytest
 
 from repro.arrivals import UniformTraffic
 from repro.core.first_stage import FirstStageQueue
+from repro.obs.metrics import MetricsCollector
 from repro.service import DeterministicService
 from repro.simulation.network import NetworkConfig, NetworkSimulator
 from repro.simulation.queue_sim import lindley_unfinished_work
@@ -36,6 +37,43 @@ def test_engine_cycles_per_second(benchmark):
     benchmark.pedantic(run_chunk, rounds=4, iterations=1, warmup_rounds=1)
     # documented order of magnitude: >= 500 cycles/s for a 1024-port network
     assert benchmark.stats.stats.mean < 1.0
+
+
+def test_metrics_observer_overhead(benchmark):
+    """Metrics at default stride must cost < 10% of the unobserved engine.
+
+    Interleaved best-of-N timing of identically-seeded simulators, one
+    with a default-stride MetricsCollector attached; the minimum over
+    rounds suppresses scheduler noise.
+    """
+
+    def build(observed: bool) -> NetworkSimulator:
+        sim = NetworkSimulator(
+            NetworkConfig(k=2, n_stages=8, p=0.5, topology="random", width=128, seed=1)
+        )
+        if observed:
+            sim.attach_metrics(MetricsCollector())
+        return sim
+
+    def chunk(sim):
+        t0 = perf_counter()
+        sim.engine.run(500, warmup=0)
+        return perf_counter() - t0
+
+    base_times, observed_times = [], []
+    for _ in range(5):
+        base_times.append(chunk(build(observed=False)))
+        observed_times.append(chunk(build(observed=True)))
+    base, observed = min(base_times), min(observed_times)
+
+    def report():
+        return observed
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    assert observed <= base * 1.10, (
+        f"metrics overhead {observed / base - 1:.1%} exceeds 10% "
+        f"(unobserved {base:.4f}s, observed {observed:.4f}s)"
+    )
 
 
 def test_lindley_throughput(benchmark):

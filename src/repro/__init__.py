@@ -50,6 +50,14 @@ from repro.core.first_stage import FirstStageQueue
 from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
 from repro.core.total_delay import NetworkDelayModel
 from repro.errors import ReproError
+from repro.obs import (
+    EngineObserver,
+    MetricsCollector,
+    ObservationSession,
+    PhaseTimers,
+    current_session,
+    session,
+)
 from repro.series.pgf import PGF
 from repro.service import (
     DeterministicService,
@@ -103,4 +111,11 @@ __all__ = [
     "NetworkResult",
     "NetworkSimulator",
     "simulate_first_stage_queue",
+    # observability
+    "EngineObserver",
+    "MetricsCollector",
+    "PhaseTimers",
+    "ObservationSession",
+    "session",
+    "current_session",
 ]

@@ -91,7 +91,7 @@ def figure_waiting_histogram(
             f"unknown figure {figure_id}; pick from {sorted(FIGURE_CONFIGS)}"
         )
     p, m = FIGURE_CONFIGS[figure_id]
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     model = LaterStageModel(k=2, p=Fraction(str(p)), m=m, constants=constants)
     net = NetworkDelayModel(stages=stages, model=model)
     gamma = net.gamma_approximation()

@@ -5,17 +5,21 @@ On a terminal we render each integer bin as a bar of ``#`` and mark the
 gamma approximation's value for the same bin with ``*`` -- when the two
 coincide (the paper's "incredibly good match") the stars ride the bar
 tips.
+
+Also here: :func:`render_metrics_summary`, the terminal digest of an
+instrumented run (``python -m repro metrics`` / ``--metrics-out``) --
+per-stage occupancy/utilization columns plus engine phase timings.
 """
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.analysis.figures import FigureResult
 
-__all__ = ["render_figure", "render_lag_profile"]
+__all__ = ["render_figure", "render_lag_profile", "render_metrics_summary"]
 
 
 def render_figure(result: FigureResult, width: int = 60, max_rows: int = 40) -> str:
@@ -42,6 +46,59 @@ def render_figure(result: FigureResult, width: int = 60, max_rows: int = 40) -> 
         lines.append(f"{j:5d} {hist[j]:8.4f} {gamma[j]:8.4f} |{bar}")
     if len(hist) > n:
         lines.append(f"  ... ({len(hist) - n} more bins)")
+    return "\n".join(lines)
+
+
+def render_metrics_summary(result, collector: Optional[object] = None) -> str:
+    """Digest of one instrumented run: stages, metrics window, timings.
+
+    ``result`` is a :class:`~repro.simulation.network.NetworkResult`;
+    ``collector`` the :class:`~repro.obs.metrics.MetricsCollector` that
+    observed it (``None`` renders the statistics panel only).
+    """
+    cfg = result.config
+    lines = [
+        f"instrumented run: k={cfg.k} stages={cfg.n_stages} p={cfg.p} "
+        f"rho={cfg.traffic_intensity:.3f}",
+        f"cycles: {result.n_cycles} (warmup {result.warmup}); "
+        f"injected {result.injected}, completed {result.completed}, "
+        f"dropped {result.dropped}; throughput {result.throughput():.3f}/cycle; "
+        f"{result.elapsed_seconds:.2f}s wall "
+        f"({result.n_cycles / max(result.elapsed_seconds, 1e-9):,.0f} cycles/s)",
+    ]
+    summary = collector.summary() if collector is not None else {"samples": 0}
+    if summary["samples"]:
+        lines.append(
+            f"metrics: {summary['samples']} samples, stride {summary['stride']}, "
+            f"cycles {summary['first_cycle']}..{summary['last_cycle']}"
+            + (
+                f" ({summary['samples_overwritten']} overwritten)"
+                if summary["samples_overwritten"]
+                else ""
+            )
+        )
+        lines.append(
+            f"{'stage':>5} {'mean wait':>10} {'mean depth':>11} "
+            f"{'max depth':>10} {'utilization':>12}"
+        )
+        for i in range(cfg.n_stages):
+            lines.append(
+                f"{i + 1:5d} {result.stage_means[i]:10.4f} "
+                f"{summary['mean_queue_depth'][i]:11.3f} "
+                f"{summary['max_queue_depth'][i]:10d} "
+                f"{summary['mean_utilization'][i]:12.4f}"
+            )
+    else:
+        lines.append("metrics: no samples collected")
+    if result.timings:
+        total = sum(t["seconds"] for t in result.timings.values()) or 1e-12
+        lines.append("phase timings:")
+        for name, timing in sorted(result.timings.items()):
+            lines.append(
+                f"  {name:>8} {timing['seconds']:8.3f}s "
+                f"({100 * timing['seconds'] / total:5.1f}%)  "
+                f"{int(timing['calls'])} calls"
+            )
     return "\n".join(lines)
 
 

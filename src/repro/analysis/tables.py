@@ -165,7 +165,7 @@ def table_I(
     constants: InterpolationConstants = PAPER_CONSTANTS,
 ) -> StageTableResult:
     """Table I: waiting times and variances, ``p`` varying (k=2, m=1, q=0)."""
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("I", "p varying (k=2, m=1, q=0)", n_stages)
     for i, p in enumerate(loads):
         cfg = NetworkConfig(
@@ -186,7 +186,7 @@ def table_II(
     constants: InterpolationConstants = PAPER_CONSTANTS,
 ) -> StageTableResult:
     """Table II: ``k`` varying (p=0.5, m=1, q=0)."""
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("II", "k varying (p=0.5, m=1, q=0)", n_stages)
     for i, k in enumerate(degrees):
         width = {2: 128, 4: 256, 8: 512}.get(k, k ** 3)
@@ -208,7 +208,7 @@ def table_III(
     constants: InterpolationConstants = PAPER_CONSTANTS,
 ) -> StageTableResult:
     """Table III: ``p`` and ``m`` varying with ``rho = 0.5`` (k=2, q=0)."""
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("III", f"m varying at rho={rho} (k=2, q=0)", n_stages)
     for i, m in enumerate(sizes):
         p = rho / m
@@ -231,7 +231,7 @@ def table_IV(
     constants: InterpolationConstants = PAPER_CONSTANTS,
 ) -> StageTableResult:
     """Table IV: sizes 4 and 8 mixed, ``(g1, g2)`` varying (rho=0.5, k=2)."""
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult(
         "IV", f"size mix m={sizes} varying at rho={rho} (k=2, q=0)", n_stages
     )
@@ -276,7 +276,7 @@ def table_V(
 
     Needs destination routing, hence a true ``2**n_stages``-wide banyan.
     """
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("V", f"q varying (p={p}, k=2, m=1)", n_stages)
     for i, q in enumerate(biases):
         cfg = NetworkConfig(k=2, n_stages=n_stages, p=p, q=q, seed=seed + i)
@@ -337,7 +337,7 @@ def table_VI(
     seed: int = 606,
 ) -> CorrelationTableResult:
     """Table VI: correlations of waiting times between stages (k=2, p=0.5, m=1)."""
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     cfg = NetworkConfig(
         k=2, n_stages=n_stages, p=p, topology="random",
         width=_DEEP_WIDTH, seed=seed,
@@ -430,7 +430,7 @@ def table_totals(
     if table_id not in TOTALS_CONFIGS:
         raise KeyError(f"unknown totals table {table_id!r}; pick from {sorted(TOTALS_CONFIGS)}")
     p, m = TOTALS_CONFIGS[table_id]
-    n_cycles = n_cycles or default_cycles()
+    n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = TotalsTableResult(
         table_id, f"total waiting time (k=2, p={p}, m={m})", p, m
     )

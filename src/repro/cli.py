@@ -6,10 +6,17 @@ Usage::
     python -m repro table VII          # totals Tables VII..XII
     python -m repro figure 5 --stages 6
     python -m repro calibrate          # re-derive Section IV constants
+    python -m repro metrics --stages 6 # instrumented run: metrics + timings
     python -m repro all                # everything (paper-grade: slow)
 
 ``--cycles`` (or the ``REPRO_SIM_CYCLES`` environment variable) trades
 accuracy for time; the defaults give each entry a few seconds.
+
+``--metrics-out DIR`` wraps any command in an observation session (see
+``docs/observability.md``): every simulation run writes a
+``run-NNNN.manifest.json`` (config, seed, versions, timings, summary
+statistics) and a ``run-NNNN.metrics.jsonl`` per-stage time series into
+``DIR``, turning the invocation into a reproducible artifact.
 """
 
 from __future__ import annotations
@@ -32,6 +39,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--cycles", type=int, default=None, help="simulation cycles per run"
     )
     common.add_argument("--seed", type=int, default=None, help="override master seed")
+    common.add_argument(
+        "--metrics-out",
+        metavar="DIR",
+        default=None,
+        help="write run manifests + per-stage metrics JSONL into DIR",
+    )
+    common.add_argument(
+        "--metrics-stride",
+        type=int,
+        default=16,
+        help="cycles between metrics samples (with --metrics-out; default 16)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -66,17 +85,43 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", parents=[common],
         help="fast end-to-end self-validation (~1 min)",
     )
+
+    m = sub.add_parser(
+        "metrics", parents=[common],
+        help="one instrumented run: per-stage metrics + phase timings",
+    )
+    m.add_argument("--k", type=int, default=2, help="switch degree (default 2)")
+    m.add_argument("--stages", type=int, default=6, help="network depth (default 6)")
+    m.add_argument("--p", type=float, default=0.5, help="arrival probability")
+    m.add_argument("--m", type=int, default=1, help="message size (packets)")
+    m.add_argument(
+        "--width", type=int, default=None,
+        help="ports per stage (enables width-decoupled random routing)",
+    )
+    m.add_argument(
+        "--buffer", type=int, default=None, help="finite buffer capacity (drops)"
+    )
     return parser
+
+
+def _sim_kwargs(cycles: Optional[int], seed: Optional[int]) -> dict:
+    """Overrides for the analysis generators.
+
+    ``is not None`` (not truthiness), so an explicit ``--cycles 0`` is
+    passed through to be rejected loudly instead of silently ignored.
+    """
+    kwargs = {}
+    if cycles is not None:
+        kwargs["n_cycles"] = cycles
+    if seed is not None:
+        kwargs["seed"] = seed
+    return kwargs
 
 
 def _run_table(table_id: str, cycles: Optional[int], seed: Optional[int]) -> str:
     from repro.analysis import tables
 
-    kwargs = {}
-    if cycles:
-        kwargs["n_cycles"] = cycles
-    if seed is not None:
-        kwargs["seed"] = seed
+    kwargs = _sim_kwargs(cycles, seed)
     if table_id in _STAGE_TABLES:
         fn = {
             "I": tables.table_I,
@@ -95,11 +140,7 @@ def _run_figure(figure_id: int, stages: int, cycles: Optional[int], seed: Option
     from repro.analysis.figures import figure_waiting_histogram
     from repro.analysis.report import render_figure
 
-    kwargs = {}
-    if cycles:
-        kwargs["n_cycles"] = cycles
-    if seed is not None:
-        kwargs["seed"] = seed
+    kwargs = _sim_kwargs(cycles, seed)
     return render_figure(figure_waiting_histogram(figure_id, stages, **kwargs))
 
 
@@ -107,7 +148,8 @@ def _run_calibrate(cycles: Optional[int]) -> str:
     from repro.core.calibration import calibrated_constants
     from repro.core.later_stages import PAPER_CONSTANTS
 
-    fresh = calibrated_constants(n_cycles=cycles or 40_000, include_nonuniform=True)
+    n_cycles = cycles if cycles is not None else 40_000
+    fresh = calibrated_constants(n_cycles=n_cycles, include_nonuniform=True)
     lines = ["recalibrated Section IV constants (k=2) vs shipped defaults:"]
     for name in (
         "mean_slope",
@@ -128,11 +170,7 @@ def _run_calibrate(cycles: Optional[int]) -> str:
 def _run_sweep(kind: str, cycles: Optional[int], seed: Optional[int]) -> str:
     from repro.analysis.sweeps import load_sweep, message_size_sweep, switch_size_sweep
 
-    kwargs = {}
-    if cycles:
-        kwargs["n_cycles"] = cycles
-    if seed is not None:
-        kwargs["seed"] = seed
+    kwargs = _sim_kwargs(cycles, seed)
     fn = {"load": load_sweep, "switch": switch_size_sweep, "message": message_size_sweep}[kind]
     rows = fn(**kwargs)
     lines = [
@@ -149,10 +187,31 @@ def _run_sweep(kind: str, cycles: Optional[int], seed: Optional[int]) -> str:
     return "\n".join(lines)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """Entry point; returns the process exit code."""
-    args = build_parser().parse_args(argv)
-    started = time.time()
+def _run_metrics(args) -> str:
+    from repro.analysis.report import render_metrics_summary
+    from repro.obs.metrics import MetricsCollector
+    from repro.simulation.network import NetworkConfig, NetworkSimulator
+
+    config = NetworkConfig(
+        k=args.k,
+        n_stages=args.stages,
+        p=args.p,
+        message_size=args.m,
+        topology="random" if args.width is not None else "omega",
+        width=args.width,
+        buffer_capacity=args.buffer,
+        seed=args.seed if args.seed is not None else 1,
+    )
+    sim = NetworkSimulator(config)
+    if sim.metrics is None:  # no --metrics-out session installed one
+        sim.attach_metrics(MetricsCollector(stride=args.metrics_stride))
+    sim.engine.enable_profiling()
+    n_cycles = args.cycles if args.cycles is not None else 20_000
+    result = sim.run(n_cycles)
+    return render_metrics_summary(result, sim.metrics)
+
+
+def _dispatch(args) -> int:
     if args.command == "table":
         print(_run_table(args.id, args.cycles, args.seed))
     elif args.command == "figure":
@@ -165,10 +224,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(generate_experiments_markdown(n_cycles=args.cycles, seed=args.seed))
     elif args.command == "sweep":
         print(_run_sweep(args.kind, args.cycles, args.seed))
+    elif args.command == "metrics":
+        print(_run_metrics(args))
     elif args.command == "validate":
         from repro.analysis.validate import render_validation, run_validation
 
-        checks = run_validation(n_cycles=args.cycles or 8_000)
+        checks = run_validation(
+            n_cycles=args.cycles if args.cycles is not None else 8_000
+        )
         print(render_validation(checks))
         if any(not c.passed for c in checks):
             return 1
@@ -182,8 +245,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             for stages in (3, 6, 9, 12):
                 print(_run_figure(figure_id, stages, args.cycles, args.seed))
                 print()
-    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
     return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    started = time.time()
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out is not None:
+        from repro.obs.session import session
+
+        with session(metrics_out, stride=args.metrics_stride) as sess:
+            code = _dispatch(args)
+        print(
+            f"[{len(sess.manifests)} run manifest(s) -> {metrics_out}]",
+            file=sys.stderr,
+        )
+    else:
+        code = _dispatch(args)
+    print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -33,7 +33,7 @@ gamma on simulated histograms.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List, Literal, Optional
+from typing import List, Literal
 
 import numpy as np
 

@@ -1,0 +1,211 @@
+"""Per-cycle metrics collection (engine observer).
+
+:class:`MetricsCollector` samples the engine every ``stride`` cycles
+and records, per network stage, a bounded time series of:
+
+* **queue depth** -- messages buffered at the stage's output ports;
+* **busy ports** -- ports mid-transmission (utilization = busy/width);
+* cumulative **injected / completed / dropped** message counts;
+* running **waiting-time moments** (count, sum, sum of squares) as
+  snapshots of the engine's streaming per-stage accumulator, so any
+  window's mean/variance is a difference of two samples.
+
+Everything is read from engine state already maintained for the paper's
+statistics -- the collector does no per-event work, only a strided
+vectorised snapshot -- so observing a run perturbs neither its sample
+path (observers never touch RNG streams) nor, materially, its wall
+clock (the overhead benchmark holds it under 10%).
+
+Memory is O(``capacity``) regardless of run length: samples live in a
+ring buffer and the oldest are overwritten once ``capacity`` is
+exceeded, keeping 100k-cycle production sweeps at constant footprint.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.obs.base import EngineObserver
+
+__all__ = ["MetricsCollector", "METRICS_RECORD_FIELDS"]
+
+#: Field names of one exported metrics record (JSONL schema, version 1).
+#: Per-stage fields hold one list entry per stage; the rest are scalars.
+METRICS_RECORD_FIELDS = {
+    "cycle": int,
+    "queue_depth": list,
+    "busy_ports": list,
+    "utilization": list,
+    "wait_count": list,
+    "wait_sum": list,
+    "wait_sumsq": list,
+    "injected": int,
+    "completed": int,
+    "dropped": int,
+    "in_flight": int,
+}
+
+
+class MetricsCollector(EngineObserver):
+    """Strided, ring-buffer-bounded per-stage metrics observer.
+
+    Parameters
+    ----------
+    stride:
+        Sample every ``stride``-th cycle (1 = every cycle).
+    capacity:
+        Maximum samples kept; older samples are overwritten (ring
+        buffer).  ``stride * capacity`` cycles of history are retained.
+    """
+
+    def __init__(self, stride: int = 16, capacity: int = 4096) -> None:
+        if stride < 1:
+            raise SimulationError(f"stride must be >= 1, got {stride}")
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity}")
+        self.stride = stride
+        self.capacity = capacity
+        self._engine = None
+        self._taken = 0  # total samples ever taken (>= kept)
+        self._overwritten = 0
+
+    # -- observer protocol ----------------------------------------------
+    def on_attach(self, engine) -> None:
+        self._engine = engine
+        n, cap = engine.n_stages, self.capacity
+        self._cycle = np.zeros(cap, dtype=np.int64)
+        self._queue_depth = np.zeros((cap, n), dtype=np.int64)
+        self._busy_ports = np.zeros((cap, n), dtype=np.int64)
+        self._wait_count = np.zeros((cap, n), dtype=np.int64)
+        self._wait_sum = np.zeros((cap, n), dtype=np.float64)
+        self._wait_sumsq = np.zeros((cap, n), dtype=np.float64)
+        self._injected = np.zeros(cap, dtype=np.int64)
+        self._completed = np.zeros(cap, dtype=np.int64)
+        self._dropped = np.zeros(cap, dtype=np.int64)
+
+    def on_cycle_end(self, t: int) -> None:
+        if t % self.stride:
+            return
+        engine = self._engine
+        if engine is None:
+            raise SimulationError("MetricsCollector was never attached to an engine")
+        i = self._taken % self.capacity
+        if self._taken >= self.capacity:
+            self._overwritten += 1
+        shape = (engine.n_stages, engine.width)
+        self._cycle[i] = t
+        self._queue_depth[i] = engine.queues.counts.reshape(shape).sum(axis=1)
+        self._busy_ports[i] = (engine.busy.reshape(shape) > 0).sum(axis=1)
+        count, total, total_sq = engine.stats.snapshot()
+        self._wait_count[i] = count
+        self._wait_sum[i] = total
+        self._wait_sumsq[i] = total_sq
+        self._injected[i] = engine.injected
+        self._completed[i] = engine.completed
+        self._dropped[i] = engine.queues.dropped
+        self._taken += 1
+
+    # -- accessors ------------------------------------------------------
+    @property
+    def n_samples(self) -> int:
+        """Samples currently held (<= capacity)."""
+        return min(self._taken, self.capacity)
+
+    @property
+    def samples_taken(self) -> int:
+        """Samples ever taken (overwritten ones included)."""
+        return self._taken
+
+    @property
+    def samples_overwritten(self) -> int:
+        """Samples lost to ring-buffer wraparound."""
+        return self._overwritten
+
+    def _ordered(self, arr: np.ndarray) -> np.ndarray:
+        """A chronological copy of one ring array's valid samples."""
+        if self._taken <= self.capacity:
+            return arr[: self._taken].copy()
+        i = self._taken % self.capacity
+        return np.concatenate([arr[i:], arr[:i]])
+
+    def series(self) -> Dict[str, np.ndarray]:
+        """All kept samples, chronological, as named arrays.
+
+        Per-stage arrays have shape ``(n_samples, n_stages)``; scalar
+        counters have shape ``(n_samples,)``.  ``utilization`` is
+        derived as busy ports over stage width.
+        """
+        if self._engine is None:
+            raise SimulationError("MetricsCollector was never attached to an engine")
+        width = float(self._engine.width)
+        busy = self._ordered(self._busy_ports)
+        return {
+            "cycle": self._ordered(self._cycle),
+            "queue_depth": self._ordered(self._queue_depth),
+            "busy_ports": busy,
+            "utilization": busy / width,
+            "wait_count": self._ordered(self._wait_count),
+            "wait_sum": self._ordered(self._wait_sum),
+            "wait_sumsq": self._ordered(self._wait_sumsq),
+            "injected": self._ordered(self._injected),
+            "completed": self._ordered(self._completed),
+            "dropped": self._ordered(self._dropped),
+        }
+
+    def records(self) -> Iterator[dict]:
+        """Yield one JSON-ready dict per kept sample (the JSONL schema)."""
+        s = self.series()
+        for j in range(s["cycle"].size):
+            yield {
+                "cycle": int(s["cycle"][j]),
+                "queue_depth": [int(x) for x in s["queue_depth"][j]],
+                "busy_ports": [int(x) for x in s["busy_ports"][j]],
+                "utilization": [float(x) for x in s["utilization"][j]],
+                "wait_count": [int(x) for x in s["wait_count"][j]],
+                "wait_sum": [float(x) for x in s["wait_sum"][j]],
+                "wait_sumsq": [float(x) for x in s["wait_sumsq"][j]],
+                "injected": int(s["injected"][j]),
+                "completed": int(s["completed"][j]),
+                "dropped": int(s["dropped"][j]),
+                "in_flight": int(s["queue_depth"][j].sum()),
+            }
+
+    def summary(self) -> dict:
+        """Aggregate digest of the kept window (JSON-ready)."""
+        s = self.series()
+        if s["cycle"].size == 0:
+            return {"samples": 0}
+        span = int(s["cycle"][-1] - s["cycle"][0]) or 1
+        throughput = float(s["completed"][-1] - s["completed"][0]) / span
+        return {
+            "samples": int(s["cycle"].size),
+            "stride": self.stride,
+            "first_cycle": int(s["cycle"][0]),
+            "last_cycle": int(s["cycle"][-1]),
+            "samples_overwritten": self._overwritten,
+            "mean_queue_depth": [float(x) for x in s["queue_depth"].mean(axis=0)],
+            "max_queue_depth": [int(x) for x in s["queue_depth"].max(axis=0)],
+            "mean_utilization": [float(x) for x in s["utilization"].mean(axis=0)],
+            "window_throughput": throughput,
+            "injected": int(s["injected"][-1]),
+            "completed": int(s["completed"][-1]),
+            "dropped": int(s["dropped"][-1]),
+        }
+
+    def stage_wait_means(self) -> np.ndarray:
+        """Latest running per-stage mean waits (NaN where unobserved)."""
+        if self.n_samples == 0:
+            raise SimulationError("no samples collected")
+        s = self.series()
+        count = s["wait_count"][-1].astype(np.float64)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(count > 0, s["wait_sum"][-1] / count, np.nan)
+
+    def __repr__(self) -> str:
+        return (
+            f"MetricsCollector(stride={self.stride}, capacity={self.capacity}, "
+            f"samples={self.n_samples})"
+        )

@@ -1,0 +1,150 @@
+"""Observation sessions: turn whole CLI invocations into artifacts.
+
+Table and figure generators build their own simulators internally, so
+"record metrics for this ``python -m repro table I`` run" cannot be
+threaded as an argument through every generator.  Instead an
+:class:`ObservationSession` is installed process-wide (the
+``--metrics-out`` flag wraps the command in one):
+:class:`~repro.simulation.network.NetworkSimulator` consults
+:func:`current_session` at construction, attaches a fresh
+:class:`~repro.obs.metrics.MetricsCollector`, enables engine phase
+timers, and on run completion writes ``run-NNNN.manifest.json`` plus
+``run-NNNN.metrics.jsonl`` into the session's output directory.
+Replication batches additionally write a ``batch-NNNN.json`` index.
+
+Sessions nest safely (the previous one is restored on exit) and are
+no-ops for code that never looks them up.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from pathlib import Path
+from typing import List, Optional, Union
+
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA_VERSION,
+    build_manifest,
+    write_manifest,
+    write_metrics_jsonl,
+)
+from repro.obs.metrics import MetricsCollector
+
+__all__ = ["ObservationSession", "session", "current_session"]
+
+_current: Optional["ObservationSession"] = None
+
+
+class ObservationSession:
+    """One output directory collecting manifests + metrics for many runs.
+
+    Parameters
+    ----------
+    out_dir:
+        Directory receiving the artifacts (created on demand).
+    stride, capacity:
+        Passed to every :class:`MetricsCollector` the session hands out.
+    profile:
+        Enable engine phase timers on instrumented simulators.
+    """
+
+    def __init__(
+        self,
+        out_dir: Union[str, Path],
+        stride: int = 16,
+        capacity: int = 4096,
+        profile: bool = True,
+    ) -> None:
+        self.out_dir = Path(out_dir)
+        self.stride = stride
+        self.capacity = capacity
+        self.profile = profile
+        self._run_seq = 0
+        self._batch_seq = 0
+        #: manifest paths written so far, in order
+        self.manifests: List[Path] = []
+
+    # -- used by NetworkSimulator ---------------------------------------
+    def new_collector(self) -> MetricsCollector:
+        """A collector configured with the session's stride/capacity."""
+        return MetricsCollector(stride=self.stride, capacity=self.capacity)
+
+    def next_run_id(self) -> str:
+        self._run_seq += 1
+        return f"run-{self._run_seq:04d}"
+
+    def record_run(
+        self,
+        result,
+        collector: Optional[MetricsCollector],
+        timings: Optional[dict] = None,
+        elapsed_seconds: float = 0.0,
+    ) -> Path:
+        """Write one run's manifest (+ metrics JSONL); returns its path."""
+        run_id = self.next_run_id()
+        metrics_file = None
+        if collector is not None and collector.n_samples > 0:
+            metrics_path = self.out_dir / f"{run_id}.metrics.jsonl"
+            write_metrics_jsonl(metrics_path, collector)
+            metrics_file = metrics_path.name
+        manifest = build_manifest(
+            result,
+            run_id=run_id,
+            elapsed_seconds=elapsed_seconds,
+            timings=timings,
+            metrics_file=metrics_file,
+        )
+        path = write_manifest(self.out_dir / f"{run_id}.manifest.json", manifest)
+        self.manifests.append(path)
+        return path
+
+    # -- used by repro.simulation.replication ---------------------------
+    def record_batch(self, results, statistic_name: str = "") -> Path:
+        """Write an index record tying one replication batch together."""
+        import json
+
+        import math
+
+        self._batch_seq += 1
+        batch_id = f"batch-{self._batch_seq:04d}"
+        run_ids = [p.name for p in self.manifests[-len(results):]]
+
+        def _mean(result):
+            try:
+                value = float(result.total_waiting_mean())
+            except Exception:
+                return None
+            return value if math.isfinite(value) else None
+
+        record = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "kind": "replication_batch",
+            "batch_id": batch_id,
+            "n_replications": len(results),
+            "statistic": statistic_name,
+            "seeds": [r.config.seed for r in results],
+            "run_manifests": run_ids,
+            "total_waiting_means": [_mean(r) for r in results],
+        }
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = self.out_dir / f"{batch_id}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        return path
+
+
+@contextmanager
+def session(out_dir: Union[str, Path], **kwargs):
+    """Install an :class:`ObservationSession` for the enclosed block."""
+    global _current
+    previous = _current
+    sess = ObservationSession(out_dir, **kwargs)
+    _current = sess
+    try:
+        yield sess
+    finally:
+        _current = previous
+
+
+def current_session() -> Optional[ObservationSession]:
+    """The active session, or ``None`` when observation is off."""
+    return _current

@@ -23,7 +23,7 @@ Design notes
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import Callable, Iterable, Sequence, Union
+from typing import Callable, Iterable, Union
 
 from repro.errors import SeriesError
 

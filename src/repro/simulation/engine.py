@@ -22,11 +22,14 @@ tractable in pure Python.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Literal, Optional
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.base import ObserverSet
+from repro.obs.profiling import PhaseTimers
 from repro.simulation.stats import StageAccumulator, TrackedMessages
 from repro.simulation.switch import RingBufferQueues
 from repro.simulation.topology import MultistageTopology
@@ -59,9 +62,10 @@ class ClockedEngine:
         statistics (streaming stage statistics are unaffected).
     observer:
         Optional event sink (e.g.
-        :class:`~repro.simulation.trace.MessageTracer`) receiving
-        ``on_inject`` / ``on_service_start`` callbacks; ``None`` costs
-        nothing.
+        :class:`~repro.simulation.trace.MessageTracer`) attached at
+        construction; any number more can be added with
+        :meth:`add_observer` (see :mod:`repro.obs.base`).  With no
+        observers the dispatch costs nothing.
     """
 
     def __init__(
@@ -84,7 +88,10 @@ class ClockedEngine:
         self.traffic = traffic
         self.transfer = transfer
         self.routing_rng = routing_rng
-        self.observer = observer
+        #: composable observer registry (see :mod:`repro.obs.base`)
+        self.observers = ObserverSet(self)
+        #: phase timers (``inject``/``serve``/``tick``); ``None`` = off
+        self.timers: Optional[PhaseTimers] = None
         self.width = topology.width
         self.n_stages = topology.n_stages
         n_ports = self.n_stages * self.width
@@ -121,6 +128,39 @@ class ClockedEngine:
         self.record_cycle_series = False
         self.cycle_wait_sums: list = []
         self.cycle_wait_counts: list = []
+        if observer is not None:
+            self.add_observer(observer)
+
+    # ------------------------------------------------------------------
+    # observers / instrumentation
+    # ------------------------------------------------------------------
+    def add_observer(self, observer) -> None:
+        """Attach an observer (idempotent); see :mod:`repro.obs.base`."""
+        self.observers.add(observer)
+
+    def remove_observer(self, observer) -> None:
+        """Detach an observer (no-op if absent)."""
+        self.observers.remove(observer)
+
+    @property
+    def observer(self):
+        """Legacy single-observer view: the first attached, or ``None``.
+
+        Assigning replaces *all* attached observers (the historical
+        single-slot semantics); prefer :meth:`add_observer`.
+        """
+        attached = self.observers.observers
+        return attached[0] if attached else None
+
+    @observer.setter
+    def observer(self, value) -> None:
+        self.observers.replace([] if value is None else [value])
+
+    def enable_profiling(self) -> PhaseTimers:
+        """Start accumulating inject/serve/tick wall-clock phase timers."""
+        if self.timers is None:
+            self.timers = PhaseTimers()
+        return self.timers
 
     # ------------------------------------------------------------------
     # simulation loop
@@ -142,9 +182,30 @@ class ClockedEngine:
         measuring = t >= self.measure_from
         if self.record_cycle_series:
             self._cycle_probe = [0.0, 0]
-        self._inject(t, measuring)
-        self._serve(t, measuring)
-        np.subtract(self.busy, 1, out=self.busy, where=self.busy > 0)
+        # on_cycle_end observers fire after inject+serve but before the
+        # busy decrement, so a port transmitting during cycle t is still
+        # visibly busy (utilization sampling would otherwise miss every
+        # unit-service transmission).
+        timers = self.timers
+        if timers is None:
+            self._inject(t, measuring)
+            self._serve(t, measuring)
+            for callback in self.observers.cycle_end:
+                callback(t)
+            np.subtract(self.busy, 1, out=self.busy, where=self.busy > 0)
+        else:
+            t0 = perf_counter()
+            self._inject(t, measuring)
+            t1 = perf_counter()
+            self._serve(t, measuring)
+            t2 = perf_counter()
+            for callback in self.observers.cycle_end:
+                callback(t)
+            np.subtract(self.busy, 1, out=self.busy, where=self.busy > 0)
+            t3 = perf_counter()
+            timers.add("inject", t1 - t0)
+            timers.add("serve", t2 - t1)
+            timers.add("tick", t3 - t2)
         if self.record_cycle_series:
             self.cycle_wait_sums.append(self._cycle_probe[0])
             self.cycle_wait_counts.append(self._cycle_probe[1])
@@ -172,8 +233,8 @@ class ClockedEngine:
             arrival=np.full(n, t, dtype=np.int64),
             track=track,
         )
-        if self.observer is not None:
-            self.observer.on_inject(t, arrivals.sources, lines, track)
+        for callback in self.observers.inject:
+            callback(t, arrivals.sources, lines, track)
 
     def _serve(self, t: int, measuring: bool) -> None:
         candidates = np.flatnonzero((self.busy == 0) & (self.queues.counts > 0))
@@ -193,8 +254,8 @@ class ClockedEngine:
             last = stages == self.n_stages - 1
             self._cycle_probe[0] += float(waits[last].sum())
             self._cycle_probe[1] += int(last.sum())
-        if self.observer is not None:
-            self.observer.on_service_start(t, ready, stages, waits, msg["track"])
+        for callback in self.observers.service_start:
+            callback(t, ready, stages, waits, msg["track"])
         self.busy[ready] = msg["service"]
         self._forward(t, ready, stages, msg)
 

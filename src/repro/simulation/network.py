@@ -22,11 +22,12 @@ ablation benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Literal, Optional, Sequence, Tuple
+from typing import Literal, Optional, Tuple
 
 import numpy as np
 
 from repro.errors import ModelError, SimulationError
+from repro.obs.session import current_session
 from repro.service.base import ServiceProcess
 from repro.service.deterministic import DeterministicService
 from repro.service.multisize import MultiSizeService
@@ -173,6 +174,12 @@ class NetworkResult:
     completed: int = 0
     dropped: int = 0
     max_occupancy: int = 0
+    #: wall-clock seconds spent inside :meth:`NetworkSimulator.run`
+    elapsed_seconds: float = 0.0
+    #: engine phase timings (``PhaseTimers.as_dict``) when profiling was on
+    timings: Optional[dict] = None
+    #: manifest written for this run (observation session only)
+    manifest_path: Optional[str] = None
 
     # -- totals ---------------------------------------------------------
     def total_waits(self) -> np.ndarray:
@@ -244,6 +251,19 @@ class NetworkSimulator:
             routing_rng=routing_rng,
             track_limit=config.track_limit,
         )
+        #: metrics collector attached by the active observation session
+        #: (or by the user via :meth:`attach_metrics`); ``None`` = off
+        self.metrics = None
+        self._session = current_session()
+        if self._session is not None:
+            self.attach_metrics(self._session.new_collector())
+            if self._session.profile:
+                self.engine.enable_profiling()
+
+    def attach_metrics(self, collector) -> None:
+        """Attach a metrics collector observer to this simulator's engine."""
+        self.metrics = collector
+        self.engine.add_observer(collector)
 
     def run(self, n_cycles: int, warmup: Optional[object] = None) -> NetworkResult:
         """Simulate and summarise.
@@ -260,10 +280,15 @@ class NetworkSimulator:
             warmup = max(500, n_cycles // 10)
         if warmup >= n_cycles:
             raise SimulationError(f"warmup {warmup} >= n_cycles {n_cycles}")
+        from time import perf_counter
+
+        started = perf_counter()
         self.engine.run(n_cycles, warmup=int(warmup))
+        elapsed = perf_counter() - started
         stats = self.engine.stats
         warmup = int(warmup)
-        return NetworkResult(
+        timers = self.engine.timers
+        result = NetworkResult(
             config=self.config,
             n_cycles=n_cycles,
             warmup=warmup,
@@ -275,7 +300,18 @@ class NetworkSimulator:
             completed=self.engine.completed,
             dropped=self.engine.queues.dropped,
             max_occupancy=self.engine.queues.max_occupancy,
+            elapsed_seconds=elapsed,
+            timings=timers.as_dict() if timers is not None else None,
         )
+        if self._session is not None:
+            path = self._session.record_run(
+                result,
+                self.metrics,
+                timings=result.timings,
+                elapsed_seconds=elapsed,
+            )
+            result.manifest_path = str(path)
+        return result
 
     def _auto_warmup(self, n_cycles: int) -> int:
         """MSER-5 truncation from a pilot run of a fresh twin simulator.

@@ -18,6 +18,7 @@ import numpy as np
 from scipy import stats as sps
 
 from repro.errors import SimulationError
+from repro.obs.session import current_session
 from repro.simulation.network import NetworkConfig, NetworkResult, NetworkSimulator
 
 __all__ = ["ReplicatedStatistic", "replicate", "replicated_statistic"]
@@ -81,6 +82,10 @@ def replicate(
     for i in range(n_replications):
         cfg = replace(config, seed=base_seed + i)
         out.append(NetworkSimulator(cfg).run(n_cycles, warmup=warmup))
+    session = current_session()
+    if session is not None:
+        # tie the per-run manifests together as one reproducible batch
+        session.record_batch(out)
     return out
 
 

@@ -18,7 +18,6 @@ histograms (Figures 3--8).  This module supplies the estimators:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import NamedTuple, Optional
 
 import numpy as np
@@ -54,6 +53,16 @@ class StageAccumulator:
         self.count += np.bincount(stages, minlength=n)
         self.total += np.bincount(stages, weights=waits, minlength=n)
         self.total_sq += np.bincount(stages, weights=waits * waits, minlength=n)
+
+    def snapshot(self) -> tuple:
+        """``(count, total, total_sq)`` copies of the running sums.
+
+        The raw moments, not the derived mean/variance: metrics
+        samplers (:class:`~repro.obs.metrics.MetricsCollector`) store
+        these cumulative snapshots so any window's statistics are a
+        difference of two samples.
+        """
+        return self.count.copy(), self.total.copy(), self.total_sq.copy()
 
     def means(self) -> np.ndarray:
         """Per-stage sample mean waiting time."""

@@ -20,7 +20,7 @@ finite-buffer ablation the paper lists as future work.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict
 
 import numpy as np
 

@@ -7,9 +7,10 @@ statistic looks wrong and you need to see *one* message's life instead
 of a histogram.
 
 Tracing is scoped by message track id (the same ids the statistics
-tracker hands out), bounded by ``limit``, and costs a few Python-level
-appends per cycle -- use it on small runs, not 100k-cycle production
-sweeps.
+tracker hands out) and bounded by ``limit``; once every traced journey
+has been served at all stages the tracer short-circuits and further
+cycles cost one boolean check, so it is safe to leave attached on long
+runs (the expensive window is only the first ``limit`` journeys).
 
 Example
 -------
@@ -27,11 +28,10 @@ True
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, List, Optional
 
 from repro.errors import SimulationError
+from repro.obs.base import EngineObserver
 
 __all__ = ["StageEvent", "MessageJourney", "MessageTracer"]
 
@@ -81,18 +81,32 @@ class MessageJourney:
         return "\n".join(lines)
 
 
-class MessageTracer:
-    """Engine observer recording journeys for the first ``limit`` messages."""
+class MessageTracer(EngineObserver):
+    """Engine observer recording journeys for the first ``limit`` messages.
 
-    def __init__(self, limit: int = 1_000) -> None:
+    ``n_stages`` (learned automatically on attach) lets the tracer tell
+    when every traced journey is complete and stop observing; it may be
+    given explicitly when the tracer is driven outside an engine.
+    """
+
+    def __init__(self, limit: int = 1_000, n_stages: Optional[int] = None) -> None:
         if limit < 1:
             raise SimulationError(f"trace limit must be >= 1, got {limit}")
         self.limit = limit
         self._journeys: Dict[int, MessageJourney] = {}
+        self._n_stages = n_stages
+        self._completed = 0
+        self._done = False
 
     # -- observer protocol ----------------------------------------------
+    def on_attach(self, engine) -> None:
+        """Learn the network depth so completion can be detected."""
+        self._n_stages = engine.n_stages
+
     def on_inject(self, t: int, sources, entry_lines, track_ids) -> None:
         """Record injections of traced (tracked, within-limit) messages."""
+        if self._done:
+            return
         for src, line, tid in zip(sources, entry_lines, track_ids):
             tid = int(tid)
             if 0 <= tid < self.limit:
@@ -105,6 +119,8 @@ class MessageTracer:
 
     def on_service_start(self, t: int, ports, stages, waits, track_ids) -> None:
         """Record service starts of traced messages."""
+        if self._done:
+            return
         for port, stage, wait, tid in zip(ports, stages, waits, track_ids):
             tid = int(tid)
             journey = self._journeys.get(tid)
@@ -112,12 +128,24 @@ class MessageTracer:
                 journey.events.append(
                     StageEvent(cycle=t, stage=int(stage), port=int(port), wait=int(wait))
                 )
+                if (
+                    self._n_stages is not None
+                    and journey.stages_served == self._n_stages
+                ):
+                    self._completed += 1
+        if self._completed >= self.limit:
+            self._done = True
 
     # -- queries ----------------------------------------------------------
     @property
     def traced(self) -> int:
         """Number of messages with at least an injection record."""
         return len(self._journeys)
+
+    @property
+    def finished(self) -> bool:
+        """True once all ``limit`` journeys completed and tracing stopped."""
+        return self._done
 
     def journey(self, track_id: int) -> MessageJourney:
         """The journey of one message (raises if it was not traced)."""

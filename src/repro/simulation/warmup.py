@@ -19,8 +19,6 @@ slowest-converging one).
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 
 from repro.errors import SimulationError

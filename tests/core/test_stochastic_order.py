@@ -7,7 +7,6 @@ would indicate a transform bug no point-value test might catch.
 from fractions import Fraction
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

@@ -1,0 +1,178 @@
+"""MetricsCollector tests: sampling, bounding, schema, non-perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.manifest import validate_metrics_record
+from repro.obs.metrics import METRICS_RECORD_FIELDS, MetricsCollector
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.simulation.trace import MessageTracer
+
+
+def metered_run(n_cycles=400, stride=4, capacity=4096, **config_kwargs):
+    cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=3, **config_kwargs)
+    sim = NetworkSimulator(cfg)
+    collector = MetricsCollector(stride=stride, capacity=capacity)
+    sim.attach_metrics(collector)
+    result = sim.run(n_cycles, warmup=0)
+    return sim, collector, result
+
+
+class TestSampling:
+    def test_stride_controls_sample_count(self):
+        _, collector, _ = metered_run(n_cycles=400, stride=4)
+        # cycles 0, 4, ..., 396
+        assert collector.n_samples == 100
+        cycles = collector.series()["cycle"]
+        assert cycles[0] == 0 and cycles[-1] == 396
+        assert np.all(np.diff(cycles) == 4)
+
+    def test_stride_one_samples_every_cycle(self):
+        _, collector, _ = metered_run(n_cycles=50, stride=1)
+        assert collector.n_samples == 50
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            MetricsCollector(stride=0)
+        with pytest.raises(SimulationError):
+            MetricsCollector(capacity=0)
+
+
+class TestRingBounding:
+    def test_memory_bounded_by_capacity(self):
+        _, collector, _ = metered_run(n_cycles=400, stride=2, capacity=16)
+        assert collector.samples_taken == 200
+        assert collector.n_samples == 16
+        assert collector.samples_overwritten == 200 - 16
+
+    def test_wraparound_keeps_newest_chronologically(self):
+        _, collector, _ = metered_run(n_cycles=400, stride=2, capacity=16)
+        cycles = collector.series()["cycle"]
+        assert cycles.size == 16
+        assert np.all(np.diff(cycles) > 0)
+        assert cycles[-1] == 398  # newest survives; oldest evicted
+
+    def test_per_stage_arrays_follow_ring_order(self):
+        _, collector, _ = metered_run(n_cycles=400, stride=2, capacity=16)
+        s = collector.series()
+        # cumulative counters never decrease in chronological order
+        assert np.all(np.diff(s["injected"]) >= 0)
+        assert np.all(np.diff(s["completed"]) >= 0)
+        assert np.all(np.diff(s["wait_count"], axis=0) >= 0)
+
+
+class TestSeries:
+    def test_utilization_in_unit_interval(self):
+        _, collector, _ = metered_run()
+        util = collector.series()["utilization"]
+        assert np.all(util >= 0) and np.all(util <= 1)
+
+    def test_utilization_tracks_offered_load(self):
+        # at rho=0.4 with unit service, each stage transmits ~p of cycles
+        _, collector, _ = metered_run(n_cycles=2_000)
+        util = collector.series()["utilization"].mean(axis=0)
+        assert np.allclose(util, 0.4, atol=0.05)
+
+    def test_wait_moments_match_engine_stats(self):
+        # stride=1 so the final sample coincides with the final cycle
+        sim, collector, result = metered_run(stride=1)
+        s = collector.series()
+        assert np.array_equal(s["wait_count"][-1], result.stage_counts)
+        means = collector.stage_wait_means()
+        assert np.allclose(means, result.stage_means)
+
+    def test_summary_digest(self):
+        # stride=1 so the final sample coincides with the final cycle
+        _, collector, result = metered_run(stride=1)
+        summary = collector.summary()
+        assert summary["samples"] == collector.n_samples
+        assert summary["completed"] == result.completed
+        assert len(summary["mean_queue_depth"]) == 3
+        assert summary["window_throughput"] > 0
+
+    def test_empty_summary(self):
+        collector = MetricsCollector()
+        sim = NetworkSimulator(NetworkConfig(k=2, n_stages=3, p=0.4, seed=3))
+        sim.attach_metrics(collector)
+        assert collector.summary() == {"samples": 0}
+
+
+class TestRecordSchema:
+    def test_records_match_documented_schema(self):
+        _, collector, _ = metered_run()
+        n = 0
+        for record in collector.records():
+            validate_metrics_record(record, n_stages=3)
+            n += 1
+        assert n == collector.n_samples
+
+    def test_schema_fields_frozen(self):
+        assert set(METRICS_RECORD_FIELDS) == {
+            "cycle",
+            "queue_depth",
+            "busy_ports",
+            "utilization",
+            "wait_count",
+            "wait_sum",
+            "wait_sumsq",
+            "injected",
+            "completed",
+            "dropped",
+            "in_flight",
+        }
+
+    def test_validate_rejects_missing_field(self):
+        _, collector, _ = metered_run()
+        record = next(collector.records())
+        record.pop("cycle")
+        with pytest.raises(SimulationError):
+            validate_metrics_record(record)
+
+    def test_validate_rejects_wrong_stage_count(self):
+        _, collector, _ = metered_run()
+        record = next(collector.records())
+        with pytest.raises(SimulationError):
+            validate_metrics_record(record, n_stages=7)
+
+
+class TestNonPerturbation:
+    """Observers must not change what the simulation computes."""
+
+    def unobserved(self, **config_kwargs):
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=3, **config_kwargs)
+        return NetworkSimulator(cfg).run(400, warmup=0)
+
+    def test_metrics_and_tracer_leave_statistics_identical(self):
+        base = self.unobserved()
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=3)
+        sim = NetworkSimulator(cfg)
+        sim.attach_metrics(MetricsCollector(stride=4))
+        sim.engine.add_observer(MessageTracer(limit=50))
+        observed = sim.run(400, warmup=0)
+        assert np.array_equal(base.stage_means, observed.stage_means)
+        assert np.array_equal(base.stage_variances, observed.stage_variances)
+        assert np.array_equal(base.stage_counts, observed.stage_counts)
+        assert base.injected == observed.injected
+        assert base.completed == observed.completed
+
+    def test_composition_identical_under_finite_buffer_drops(self):
+        base = self.unobserved(buffer_capacity=2)
+        assert base.dropped > 0  # the scenario genuinely drops
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=3, buffer_capacity=2)
+        sim = NetworkSimulator(cfg)
+        sim.attach_metrics(MetricsCollector(stride=4))
+        sim.engine.add_observer(MessageTracer(limit=50))
+        observed = sim.run(400, warmup=0)
+        assert np.array_equal(base.stage_means, observed.stage_means)
+        assert base.dropped == observed.dropped
+        assert base.completed == observed.completed
+
+    def test_profiling_leaves_statistics_identical(self):
+        base = self.unobserved()
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=3)
+        sim = NetworkSimulator(cfg)
+        sim.engine.enable_profiling()
+        observed = sim.run(400, warmup=0)
+        assert np.array_equal(base.stage_means, observed.stage_means)
+        assert observed.timings is not None

@@ -1,0 +1,195 @@
+"""Observer protocol / multiplexer tests."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.obs.base import OBSERVER_EVENTS, EngineObserver, ObserverSet
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.simulation.trace import MessageTracer
+
+
+class CountingObserver(EngineObserver):
+    """Counts every callback it receives."""
+
+    def __init__(self):
+        self.attached = None
+        self.injects = 0
+        self.services = 0
+        self.cycles = 0
+
+    def on_attach(self, engine):
+        self.attached = engine
+
+    def on_inject(self, t, sources, entry_lines, track_ids):
+        self.injects += 1
+
+    def on_service_start(self, t, ports, stages, waits, track_ids):
+        self.services += 1
+
+    def on_cycle_end(self, t):
+        self.cycles += 1
+
+
+class CycleOnlyObserver(EngineObserver):
+    def __init__(self):
+        self.cycles = 0
+
+    def on_cycle_end(self, t):
+        self.cycles += 1
+
+
+class DuckObserver:
+    """Never subclassed the base -- the legacy duck-typed shape."""
+
+    def __init__(self):
+        self.injects = 0
+
+    def on_inject(self, t, sources, entry_lines, track_ids):
+        self.injects += 1
+
+
+def small_sim(**kwargs):
+    return NetworkSimulator(NetworkConfig(k=2, n_stages=3, p=0.4, seed=5, **kwargs))
+
+
+class TestObserverSet:
+    def test_noop_callbacks_not_dispatched(self):
+        s = ObserverSet()
+        s.add(EngineObserver())
+        assert s.inject == [] and s.service_start == [] and s.cycle_end == []
+
+    def test_overridden_callbacks_dispatched(self):
+        s = ObserverSet()
+        obs = CycleOnlyObserver()
+        s.add(obs)
+        assert s.inject == [] and len(s.cycle_end) == 1
+
+    def test_duck_typed_observer_dispatched(self):
+        s = ObserverSet()
+        duck = DuckObserver()
+        s.add(duck)
+        assert len(s.inject) == 1
+        s.inject[0](0, [], [], [])
+        assert duck.injects == 1
+
+    def test_add_is_idempotent(self):
+        s = ObserverSet()
+        obs = CountingObserver()
+        s.add(obs)
+        s.add(obs)
+        assert len(s) == 1 and len(s.cycle_end) == 1
+
+    def test_remove_rebuilds_dispatch(self):
+        s = ObserverSet()
+        obs = CountingObserver()
+        s.add(obs)
+        s.remove(obs)
+        assert len(s) == 0 and s.cycle_end == []
+        s.remove(obs)  # absent: no-op
+
+    def test_event_names_cover_dispatch_lists(self):
+        assert OBSERVER_EVENTS == ("on_inject", "on_service_start", "on_cycle_end")
+
+
+class TestEngineRegistry:
+    def test_multiple_observers_all_notified(self):
+        sim = small_sim()
+        a, b = CountingObserver(), CycleOnlyObserver()
+        sim.engine.add_observer(a)
+        sim.engine.add_observer(b)
+        sim.run(100, warmup=0)
+        assert a.cycles == 100 and b.cycles == 100
+        assert a.injects > 0 and a.services > 0
+
+    def test_on_attach_receives_engine(self):
+        sim = small_sim()
+        obs = CountingObserver()
+        sim.engine.add_observer(obs)
+        assert obs.attached is sim.engine
+
+    def test_legacy_observer_slot_still_works(self):
+        sim = small_sim()
+        tracer = MessageTracer(limit=10)
+        sim.engine.observer = tracer
+        assert sim.engine.observer is tracer
+        sim.run(100, warmup=0)
+        assert tracer.traced > 0
+
+    def test_legacy_slot_assignment_replaces(self):
+        sim = small_sim()
+        first, second = CountingObserver(), CountingObserver()
+        sim.engine.observer = first
+        sim.engine.observer = second
+        assert sim.engine.observer is second
+        assert first not in sim.engine.observers
+
+    def test_legacy_slot_none_clears(self):
+        sim = small_sim()
+        sim.engine.observer = CountingObserver()
+        sim.engine.observer = None
+        assert sim.engine.observer is None
+        assert len(sim.engine.observers) == 0
+
+    def test_constructor_observer_attached(self):
+        from repro.simulation.engine import ClockedEngine
+
+        sim = small_sim()
+        obs = CountingObserver()
+        engine = ClockedEngine(sim.topology, sim.traffic, observer=obs)
+        assert obs.attached is engine
+
+    def test_remove_observer_stops_notifications(self):
+        sim = small_sim()
+        obs = CountingObserver()
+        sim.engine.add_observer(obs)
+        sim.run(50, warmup=0)
+        seen = obs.cycles
+        sim.engine.remove_observer(obs)
+        sim.engine.run(50, warmup=0)
+        assert obs.cycles == seen
+
+
+class TestProfiling:
+    def test_phase_timers_accumulate(self):
+        sim = small_sim()
+        timers = sim.engine.enable_profiling()
+        sim.run(200, warmup=0)
+        assert set(timers.seconds) == {"inject", "serve", "tick"}
+        assert timers.calls["inject"] == 200
+        assert all(v >= 0 for v in timers.seconds.values())
+        d = timers.as_dict()
+        assert d["serve"]["calls"] == 200
+
+    def test_enable_profiling_idempotent(self):
+        sim = small_sim()
+        t1 = sim.engine.enable_profiling()
+        t2 = sim.engine.enable_profiling()
+        assert t1 is t2
+
+    def test_profiled_decorator_gated(self):
+        from repro.obs.profiling import (
+            GLOBAL_TIMERS,
+            disable_profiling,
+            enable_profiling,
+            profiled,
+        )
+
+        @profiled("test.fn")
+        def fn():
+            return 42
+
+        disable_profiling(reset=True)
+        fn()
+        assert "test.fn" not in GLOBAL_TIMERS.seconds
+        enable_profiling()
+        try:
+            assert fn() == 42
+            assert GLOBAL_TIMERS.calls["test.fn"] == 1
+        finally:
+            disable_profiling(reset=True)
+
+    def test_metrics_collector_requires_attach(self):
+        from repro.obs.metrics import MetricsCollector
+
+        with pytest.raises(SimulationError):
+            MetricsCollector().series()

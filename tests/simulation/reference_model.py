@@ -17,7 +17,7 @@ pre-generated traffic* and require identical per-message waiting times.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Literal, Optional, Tuple
 
 import numpy as np

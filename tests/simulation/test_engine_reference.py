@@ -9,7 +9,6 @@ and hypothesis-generated.
 from typing import List
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -105,7 +104,6 @@ class TestHandPicked:
 
     def test_multi_packet_cut_through(self):
         topo = OmegaTopology(2, 3)
-        rng = np.random.default_rng(1)
         script = [
             (np.array([0, 3]), np.array([5, 5]), np.array([4, 4]), np.array([0, 1])),
             (np.array([1]), np.array([5]), np.array([2]), np.array([2])),

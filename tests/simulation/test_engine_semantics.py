@@ -6,7 +6,6 @@ form.
 """
 
 import numpy as np
-import pytest
 
 from repro.simulation.engine import ClockedEngine
 from repro.simulation.topology import OmegaTopology

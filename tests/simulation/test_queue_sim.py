@@ -1,7 +1,5 @@
 """Lindley single-queue simulator vs the exact Theorem 1 analysis."""
 
-from fractions import Fraction
-
 import numpy as np
 import pytest
 

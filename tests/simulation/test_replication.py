@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.simulation.network import NetworkConfig
 from repro.simulation.replication import (
     ReplicatedStatistic,
     replicate,

@@ -45,11 +45,11 @@ class TestTracer:
     def test_total_wait_consistency(self):
         sim, tracer, result = traced_run()
         done = tracer.completed_journeys(3)
-        totals = {j.track_id: j.total_wait for j in done}
-        matrix = result.tracked.complete_rows()
+        matrix = result.tracked.waits
         # the tracker's totals for the traced subset coincide
         for j in done[:10]:
             assert j.total_wait == sum(e.wait for e in j.events)
+            assert j.total_wait == matrix[j.track_id, :3].sum()
 
     def test_describe_renders(self):
         _, tracer, _ = traced_run()
@@ -71,6 +71,31 @@ class TestTracer:
     def test_limit_validation(self):
         with pytest.raises(SimulationError):
             MessageTracer(limit=0)
+
+    def test_short_circuits_after_all_journeys_complete(self):
+        """Regression: tracing must stop once `limit` journeys finish.
+
+        The docstring promises the tracer is cheap to leave attached;
+        that only holds if observation short-circuits after the traced
+        cohort completes instead of inspecting every later event.
+        """
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.4, seed=11)
+        sim = NetworkSimulator(cfg)
+        tracer = MessageTracer(limit=5)
+        sim.engine.add_observer(tracer)
+        sim.run(400, warmup=0)
+        assert tracer.finished
+        assert len(tracer.completed_journeys(3)) == 5
+        # post-completion events are ignored entirely
+        events_before = sum(j.stages_served for j in tracer.slowest(5))
+        tracer.on_inject(999, [0], [0], [2])
+        tracer.on_service_start(999, [0], [0], [1.0], [2])
+        assert tracer.traced == 5
+        assert sum(j.stages_served for j in tracer.slowest(5)) == events_before
+
+    def test_not_finished_while_journeys_incomplete(self):
+        _, tracer, _ = traced_run(n_cycles=5)
+        assert not tracer.finished
 
     def test_first_stage_wait_zero_when_idle(self):
         """At light load most first-stage waits are zero (idle ports)."""

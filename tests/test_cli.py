@@ -1,8 +1,10 @@
 """CLI surface tests (fast cycle counts)."""
 
+import json
+
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import _run_table, build_parser, main
 
 
 class TestParser:
@@ -55,3 +57,93 @@ class TestExecution:
     def test_sweep_kind_validated(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["sweep", "bogus"])
+
+
+class TestCyclesOverride:
+    def test_explicit_cycles_zero_not_ignored(self, monkeypatch):
+        """`--cycles 0` must reach the generator, not fall back silently."""
+        import repro.analysis.tables as tables
+
+        captured = {}
+
+        class FakeTable:
+            def to_text(self):
+                return "TABLE I (fake)"
+
+        def fake_table_I(**kwargs):
+            captured.update(kwargs)
+            return FakeTable()
+
+        monkeypatch.setattr(tables, "table_I", fake_table_I)
+        _run_table("I", 0, None)
+        assert captured == {"n_cycles": 0}
+
+    def test_omitted_cycles_leaves_default(self, monkeypatch):
+        import repro.analysis.tables as tables
+
+        captured = {}
+
+        class FakeTable:
+            def to_text(self):
+                return "TABLE I (fake)"
+
+        def fake_table_I(**kwargs):
+            captured.update(kwargs)
+            return FakeTable()
+
+        monkeypatch.setattr(tables, "table_I", fake_table_I)
+        _run_table("I", None, None)
+        assert "n_cycles" not in captured
+
+
+class TestMetricsCommand:
+    def test_metrics_run(self, capsys):
+        assert main(["metrics", "--stages", "3", "--p", "0.4", "--cycles", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "instrumented run" in out
+        assert "phase timings" in out
+        assert "utilization" in out
+
+    def test_metrics_finite_buffer(self, capsys):
+        code = main(
+            ["metrics", "--stages", "3", "--p", "0.6", "--cycles", "1500",
+             "--buffer", "2"]
+        )
+        assert code == 0
+        assert "dropped" in capsys.readouterr().out
+
+
+class TestMetricsOut:
+    def test_table_smoke_emits_manifest_and_jsonl(self, tmp_path, capsys):
+        """The acceptance smoke run: table I with --metrics-out."""
+        from repro.obs.manifest import validate_manifest, validate_metrics_record
+
+        out_dir = tmp_path / "artifacts"
+        assert main(
+            ["table", "I", "--cycles", "2000", "--metrics-out", str(out_dir)]
+        ) == 0
+        assert "TABLE I" in capsys.readouterr().out
+        manifests = sorted(out_dir.glob("*.manifest.json"))
+        metrics = sorted(out_dir.glob("*.metrics.jsonl"))
+        assert manifests and metrics
+        for path in manifests:
+            manifest = json.loads(path.read_text())
+            validate_manifest(manifest)
+            assert manifest["n_cycles"] == 2000
+            assert manifest["config"]["k"] == 2
+            assert manifest["throughput"] >= 0
+        lines = metrics[0].read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["kind"] == "metrics_header"
+        n_stages = None
+        for line in lines[1:]:
+            record = json.loads(line)
+            if n_stages is None:
+                n_stages = len(record["queue_depth"])
+            validate_metrics_record(record, n_stages=n_stages)
+
+    def test_session_not_left_installed(self, tmp_path):
+        from repro.obs.session import current_session
+
+        main(["table", "VI", "--cycles", "2500", "--metrics-out", str(tmp_path)])
+        assert current_session() is None

@@ -8,7 +8,6 @@ with its output spot-checked.
 
 import pathlib
 import py_compile
-import runpy
 import subprocess
 import sys
 
