@@ -1,8 +1,10 @@
 # Convenience targets for development.
 
 PYTHON ?= python
+WORKERS ?= 4
+CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full coverage tables figures report calibrate clean
+.PHONY: install test bench bench-full coverage tables tables-parallel figures report calibrate clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -22,6 +24,13 @@ bench-full:
 tables:
 	for t in I II III IV V VI VII VIII IX X XI XII; do \
 		$(PYTHON) -m repro table $$t; echo; \
+	done
+
+# All twelve tables through the repro.exec process pool + result cache
+# (bit-identical to `make tables`; repeats are served from $(CACHE)).
+tables-parallel:
+	for t in I II III IV V VI VII VIII IX X XI XII; do \
+		$(PYTHON) -m repro table $$t --workers $(WORKERS) --cache $(CACHE); echo; \
 	done
 
 figures:

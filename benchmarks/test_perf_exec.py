@@ -1,0 +1,98 @@
+"""Parallel-runner benchmarks: wall-clock speedup and cache-hit latency.
+
+These measure the two performance claims ``docs/execution.md`` makes
+about :mod:`repro.exec`:
+
+* a CPU-bound multi-scenario batch at ``--workers 4`` finishes at least
+  twice as fast as the same batch run serially (needs >= 4 usable
+  cores -- skipped on smaller boxes, where process parallelism cannot
+  beat the fork overhead);
+* a fully cache-served repeat of a batch is far cheaper than
+  re-simulating it, on any machine.
+"""
+
+import os
+from time import perf_counter
+
+import pytest
+
+from repro.exec.cache import ResultCache
+from repro.exec.runner import run_many
+from repro.exec.spec import ExperimentSpec
+from repro.simulation.network import NetworkConfig
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def batch_specs(n=8, n_cycles=6_000):
+    """A CPU-bound batch: n load points on a moderately wide network."""
+    return [
+        ExperimentSpec(
+            NetworkConfig(
+                k=2, n_stages=6, p=0.15 + 0.06 * i, topology="random",
+                width=64, seed=300 + i,
+            ),
+            n_cycles=n_cycles,
+            label=f"bench-{i}",
+        )
+        for i in range(n)
+    ]
+
+
+@pytest.mark.skipif(
+    _usable_cpus() < 4,
+    reason=f"speedup benchmark needs >= 4 usable CPUs, have {_usable_cpus()}",
+)
+def test_parallel_speedup_at_4_workers(benchmark):
+    """An 8-scenario batch at 4 workers must be >= 2x faster than serial."""
+    specs = batch_specs()
+    # one throwaway pool exercises the fork/import machinery so the
+    # measured run is not paying one-time interpreter start-up costs
+    run_many(specs[:2], workers=2)
+
+    t0 = perf_counter()
+    serial = run_many(specs, workers=1)
+    t_serial = perf_counter() - t0
+
+    t0 = perf_counter()
+    parallel = run_many(specs, workers=4)
+    t_parallel = perf_counter() - t0
+
+    assert serial.n_simulated == parallel.n_simulated == len(specs)
+
+    def report():
+        return t_parallel
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    assert t_serial >= 2.0 * t_parallel, (
+        f"expected >= 2x speedup at 4 workers: serial {t_serial:.2f}s, "
+        f"parallel {t_parallel:.2f}s ({t_serial / t_parallel:.2f}x)"
+    )
+
+
+def test_cached_repeat_is_cheap(benchmark, tmp_path):
+    """A 100%-cached batch must cost a small fraction of simulating it."""
+    specs = batch_specs(n=4, n_cycles=4_000)
+    cache = ResultCache(tmp_path / "cache")
+
+    t0 = perf_counter()
+    first = run_many(specs, workers=1, cache=cache)
+    t_simulate = perf_counter() - t0
+    assert first.n_simulated == len(specs)
+
+    def repeat():
+        batch = run_many(specs, workers=1, cache=cache)
+        assert batch.n_cached == len(specs)
+        return batch
+
+    benchmark.pedantic(repeat, rounds=3, iterations=1, warmup_rounds=1)
+    t_cached = benchmark.stats.stats.mean
+    assert t_cached * 5.0 <= t_simulate, (
+        f"cached repeat {t_cached:.3f}s not clearly cheaper than "
+        f"simulation {t_simulate:.3f}s"
+    )

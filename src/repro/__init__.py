@@ -50,6 +50,14 @@ from repro.core.first_stage import FirstStageQueue
 from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
 from repro.core.total_delay import NetworkDelayModel
 from repro.errors import ReproError
+from repro.exec import (
+    BatchResult,
+    ExecutionContext,
+    ExperimentSpec,
+    ResultCache,
+    run_many,
+    use_execution,
+)
 from repro.obs import (
     EngineObserver,
     MetricsCollector,
@@ -118,4 +126,11 @@ __all__ = [
     "ObservationSession",
     "session",
     "current_session",
+    # execution (repro.exec)
+    "ExperimentSpec",
+    "BatchResult",
+    "ResultCache",
+    "ExecutionContext",
+    "run_many",
+    "use_execution",
 ]

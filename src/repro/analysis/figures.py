@@ -32,7 +32,8 @@ from repro.analysis.tables import _DEEP_WIDTH, default_cycles
 from repro.core.distributions import GammaApproximant
 from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
 from repro.core.total_delay import NetworkDelayModel
-from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.exec.context import simulate
+from repro.simulation.network import NetworkConfig
 
 __all__ = ["FigureResult", "figure_waiting_histogram", "FIGURE_CONFIGS"]
 
@@ -101,7 +102,7 @@ def figure_waiting_histogram(
         k=2, n_stages=stages, p=p, message_size=m,
         topology="random", width=_DEEP_WIDTH, seed=seed + figure_id * 29 + stages,
     )
-    sim = NetworkSimulator(cfg).run(n_cycles)
+    sim = simulate(cfg, n_cycles, label=f"figure-{figure_id}:n={stages}")
     totals = sim.total_waits()
     counts = np.bincount(totals.astype(np.int64), minlength=n_bins)[:n_bins]
     return FigureResult(

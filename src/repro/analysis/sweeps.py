@@ -25,7 +25,9 @@ import numpy as np
 
 from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
 from repro.errors import AnalysisError
-from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.exec.context import run_batch
+from repro.exec.spec import ExperimentSpec
+from repro.simulation.network import NetworkConfig
 from repro.simulation.stats import batch_means_ci
 
 __all__ = ["SweepPoint", "sweep", "load_sweep", "switch_size_sweep", "message_size_sweep"]
@@ -61,17 +63,31 @@ def sweep(
 ) -> List[SweepPoint]:
     """Run each configuration and assemble :class:`SweepPoint` rows.
 
-    The per-message totals get a batch-means CI (the tracked cohort is
-    split into contiguous batches, which also absorbs residual warm-up
-    drift); the first-stage CI uses the same method on a synthetic
-    per-batch split of the streaming statistics is not possible, so it
-    reuses the tracked cohort's first-stage column.
+    Both confidence intervals are honest batch-means intervals over the
+    tracked per-message cohort, split into ``n_batches`` contiguous
+    batches (which also absorbs residual warm-up drift): the totals CI
+    batches each message's summed wait, and the first-stage CI batches
+    the cohort's *first-stage column*.  (The streaming per-stage
+    accumulators keep only aggregate moments, so they cannot be
+    re-batched after the fact; the tracked cohort is the one sample
+    path both intervals can honestly come from.)  Note the first-stage
+    CI is therefore centred on the tracked cohort's mean, which may
+    differ slightly from the streaming ``first_stage_mean``.
+
+    The configurations run as one :mod:`repro.exec` batch: an ambient
+    execution context (CLI ``--workers`` / ``--cache``) parallelises
+    and caches the sweep; the default context runs serially inline.
     """
     if not (len(configs) == len(labels) == len(models)):
         raise AnalysisError("configs, labels and models must align")
+    specs = [
+        ExperimentSpec(config=config, n_cycles=n_cycles, label=f"sweep:{label}")
+        for config, label in zip(configs, labels)
+    ]
+    batch = run_batch(specs).raise_on_failure()
     out: List[SweepPoint] = []
-    for config, label, model in zip(configs, labels, models):
-        result = NetworkSimulator(config).run(n_cycles)
+    for result, label, model in zip(batch.results(), labels, models):
+        config = result.config
         rows = result.tracked.complete_rows()
         if rows.shape[0] < 2 * n_batches:
             raise AnalysisError(

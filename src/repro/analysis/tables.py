@@ -14,6 +14,11 @@ variance (Section V) against the simulated totals for ``n`` = 3, 6, 9,
 Simulation effort is controlled by ``n_cycles`` (and the environment
 variable ``REPRO_SIM_CYCLES`` consulted by :func:`default_cycles`), so
 the same code serves quick CI smoke levels and paper-grade runs.
+
+Every generator routes its simulations through :mod:`repro.exec` as one
+batch, so under an ambient execution context (CLI ``--workers`` /
+``--cache``) a table's columns run in parallel and reruns are served
+from the content-addressed result cache; see ``docs/execution.md``.
 """
 
 from __future__ import annotations
@@ -27,7 +32,9 @@ import numpy as np
 
 from repro.core.later_stages import InterpolationConstants, LaterStageModel, PAPER_CONSTANTS
 from repro.core.total_delay import NetworkDelayModel, covariance_chain_constants
-from repro.simulation.network import NetworkConfig, NetworkSimulator
+from repro.exec.context import run_batch, simulate
+from repro.exec.spec import ExperimentSpec
+from repro.simulation.network import NetworkConfig
 
 __all__ = [
     "default_cycles",
@@ -139,22 +146,34 @@ class StageTableResult:
         return "\n".join(lines)
 
 
-def _stage_column(
-    label: str,
-    config: NetworkConfig,
-    model: LaterStageModel,
+def _stage_columns(
+    items: Sequence[Tuple[str, NetworkConfig, LaterStageModel]],
     n_cycles: int,
-) -> StageColumn:
-    result = NetworkSimulator(config).run(n_cycles)
-    return StageColumn(
-        label=label,
-        stage_means=result.stage_means,
-        stage_variances=result.stage_variances,
-        analysis_mean=float(model.stage_mean(1)),
-        analysis_variance=float(model.stage_variance(1)),
-        estimate_mean=float(model.limit_mean()),
-        estimate_variance=float(model.limit_variance()),
-    )
+    table_id: str,
+) -> List[StageColumn]:
+    """Simulate every ``(label, config, model)`` column as one batch.
+
+    Routed through :mod:`repro.exec` so an ambient execution context
+    (``--workers`` / ``--cache``) parallelises and caches the columns;
+    without one, this is the old serial inline loop.
+    """
+    specs = [
+        ExperimentSpec(config=cfg, n_cycles=n_cycles, label=f"table-{table_id}:{label}")
+        for label, cfg, _ in items
+    ]
+    batch = run_batch(specs).raise_on_failure()
+    return [
+        StageColumn(
+            label=label,
+            stage_means=result.stage_means,
+            stage_variances=result.stage_variances,
+            analysis_mean=float(model.stage_mean(1)),
+            analysis_variance=float(model.stage_variance(1)),
+            estimate_mean=float(model.limit_mean()),
+            estimate_variance=float(model.limit_variance()),
+        )
+        for (label, _, model), result in zip(items, batch.results())
+    ]
 
 
 def table_I(
@@ -167,13 +186,15 @@ def table_I(
     """Table I: waiting times and variances, ``p`` varying (k=2, m=1, q=0)."""
     n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("I", "p varying (k=2, m=1, q=0)", n_stages)
+    items = []
     for i, p in enumerate(loads):
         cfg = NetworkConfig(
             k=2, n_stages=n_stages, p=p, topology="random",
             width=_DEEP_WIDTH, seed=seed + i,
         )
         model = LaterStageModel(k=2, p=p, constants=constants)
-        out.columns.append(_stage_column(f"p={p}", cfg, model, n_cycles))
+        items.append((f"p={p}", cfg, model))
+    out.columns = _stage_columns(items, n_cycles, "I")
     return out
 
 
@@ -188,6 +209,7 @@ def table_II(
     """Table II: ``k`` varying (p=0.5, m=1, q=0)."""
     n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("II", "k varying (p=0.5, m=1, q=0)", n_stages)
+    items = []
     for i, k in enumerate(degrees):
         width = {2: 128, 4: 256, 8: 512}.get(k, k ** 3)
         cfg = NetworkConfig(
@@ -195,7 +217,8 @@ def table_II(
             width=width, seed=seed + i,
         )
         model = LaterStageModel(k=k, p=p, constants=constants)
-        out.columns.append(_stage_column(f"k={k}", cfg, model, n_cycles))
+        items.append((f"k={k}", cfg, model))
+    out.columns = _stage_columns(items, n_cycles, "II")
     return out
 
 
@@ -210,6 +233,7 @@ def table_III(
     """Table III: ``p`` and ``m`` varying with ``rho = 0.5`` (k=2, q=0)."""
     n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("III", f"m varying at rho={rho} (k=2, q=0)", n_stages)
+    items = []
     for i, m in enumerate(sizes):
         p = rho / m
         cfg = NetworkConfig(
@@ -217,7 +241,8 @@ def table_III(
             topology="random", width=_DEEP_WIDTH, seed=seed + i,
         )
         model = LaterStageModel(k=2, p=Fraction(str(rho)) / m, m=m, constants=constants)
-        out.columns.append(_stage_column(f"m={m}", cfg, model, n_cycles))
+        items.append((f"m={m}", cfg, model))
+    out.columns = _stage_columns(items, n_cycles, "III")
     return out
 
 
@@ -235,6 +260,7 @@ def table_IV(
     out = StageTableResult(
         "IV", f"size mix m={sizes} varying at rho={rho} (k=2, q=0)", n_stages
     )
+    items = []
     for i, (g1, g2) in enumerate(mixes):
         g1f, g2f = Fraction(str(g1)), Fraction(str(g2))
         mbar = sizes[0] * g1f + sizes[1] * g2f
@@ -258,9 +284,8 @@ def table_IV(
             model = LaterStageModel(
                 k=2, p=p, sizes=use_sizes, probabilities=use_probs, constants=constants
             )
-        out.columns.append(
-            _stage_column(f"g=({g1},{g2})", cfg, model, n_cycles)
-        )
+        items.append((f"g=({g1},{g2})", cfg, model))
+    out.columns = _stage_columns(items, n_cycles, "IV")
     return out
 
 
@@ -278,10 +303,12 @@ def table_V(
     """
     n_cycles = default_cycles() if n_cycles is None else n_cycles
     out = StageTableResult("V", f"q varying (p={p}, k=2, m=1)", n_stages)
+    items = []
     for i, q in enumerate(biases):
         cfg = NetworkConfig(k=2, n_stages=n_stages, p=p, q=q, seed=seed + i)
         model = LaterStageModel(k=2, p=p, q=q, constants=constants)
-        out.columns.append(_stage_column(f"q={q}", cfg, model, n_cycles))
+        items.append((f"q={q}", cfg, model))
+    out.columns = _stage_columns(items, n_cycles, "V")
     return out
 
 
@@ -342,7 +369,7 @@ def table_VI(
         k=2, n_stages=n_stages, p=p, topology="random",
         width=_DEEP_WIDTH, seed=seed,
     )
-    result = NetworkSimulator(cfg).run(n_cycles)
+    result = simulate(cfg, n_cycles, label="table-VI")
     a, b = covariance_chain_constants(2, Fraction(str(p)))
     return CorrelationTableResult(
         table_id="VI",
@@ -435,12 +462,19 @@ def table_totals(
         table_id, f"total waiting time (k=2, p={p}, m={m})", p, m
     )
     model = LaterStageModel(k=2, p=Fraction(str(p)), m=m, constants=constants)
-    for i, n in enumerate(depths):
-        cfg = NetworkConfig(
-            k=2, n_stages=n, p=p, message_size=m,
-            topology="random", width=_DEEP_WIDTH, seed=seed + 13 * i,
+    specs = [
+        ExperimentSpec(
+            config=NetworkConfig(
+                k=2, n_stages=n, p=p, message_size=m,
+                topology="random", width=_DEEP_WIDTH, seed=seed + 13 * i,
+            ),
+            n_cycles=n_cycles,
+            label=f"table-{table_id}:n={n}",
         )
-        sim = NetworkSimulator(cfg).run(n_cycles)
+        for i, n in enumerate(depths)
+    ]
+    batch = run_batch(specs).raise_on_failure()
+    for n, sim in zip(depths, batch.results()):
         totals = sim.total_waits()
         net = NetworkDelayModel(stages=n, model=model)
         out.rows.append(

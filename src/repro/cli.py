@@ -7,10 +7,17 @@ Usage::
     python -m repro figure 5 --stages 6
     python -m repro calibrate          # re-derive Section IV constants
     python -m repro metrics --stages 6 # instrumented run: metrics + timings
+    python -m repro batch --workers 4  # parallel scenario batch (cached)
+    python -m repro cache stats        # result-cache maintenance
     python -m repro all                # everything (paper-grade: slow)
 
 ``--cycles`` (or the ``REPRO_SIM_CYCLES`` environment variable) trades
 accuracy for time; the defaults give each entry a few seconds.
+
+``--workers N`` runs each command's simulations through the
+:mod:`repro.exec` process pool, and ``--cache DIR`` serves repeated
+scenarios from the content-addressed result cache -- both are
+bit-identical to the serial uncached run (see ``docs/execution.md``).
 
 ``--metrics-out DIR`` wraps any command in an observation session (see
 ``docs/observability.md``): every simulation run writes a
@@ -51,6 +58,19 @@ def build_parser() -> argparse.ArgumentParser:
         default=16,
         help="cycles between metrics samples (with --metrics-out; default 16)",
     )
+    common.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for simulation batches (default: serial)",
+    )
+    common.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="content-addressed result cache directory (default: off; "
+        "'batch' and 'cache' commands default to .repro-cache)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -85,6 +105,36 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", parents=[common],
         help="fast end-to-end self-validation (~1 min)",
     )
+
+    b = sub.add_parser(
+        "batch", parents=[common],
+        help="run a scenario batch through the parallel cached runner",
+    )
+    b.add_argument(
+        "--scenarios",
+        default="smoke",
+        help="named scenario set (smoke) or path to a JSON spec file",
+    )
+    b.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed task (default 1)",
+    )
+    b.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task seconds before a dispatched chunk counts as failed",
+    )
+    b.add_argument(
+        "--no-cache", action="store_true", help="run without the result cache"
+    )
+    b.add_argument(
+        "--require-cached", action="store_true",
+        help="exit non-zero unless every task is served from cache",
+    )
+
+    c = sub.add_parser(
+        "cache", parents=[common], help="result-cache maintenance"
+    )
+    c.add_argument("action", choices=["stats", "clear"])
 
     m = sub.add_parser(
         "metrics", parents=[common],
@@ -187,6 +237,72 @@ def _run_sweep(kind: str, cycles: Optional[int], seed: Optional[int]) -> str:
     return "\n".join(lines)
 
 
+def _run_batch(args) -> int:
+    from repro.exec import DEFAULT_CACHE_DIR, ResultCache, load_scenarios, run_many
+
+    specs = load_scenarios(args.scenarios, n_cycles=args.cycles)
+    cache = None if args.no_cache else ResultCache(args.cache or DEFAULT_CACHE_DIR)
+    workers = args.workers or 1
+
+    def progress(event) -> None:
+        note = f"  [{event['event']:>9}] {event['label'] or event['digest']}"
+        if event.get("error"):
+            note += f"  ({event['error']})"
+        print(note, file=sys.stderr)
+
+    batch = run_many(
+        specs,
+        workers=workers,
+        cache=cache,
+        retries=args.retries,
+        timeout=args.timeout,
+        progress=progress,
+    )
+    lines = [
+        f"batch of {batch.n_tasks} scenarios (workers={workers}, "
+        f"cache={'off' if cache is None else cache.root})",
+        f"{'label':>18} {'status':>10} {'attempts':>8} {'digest':>14} {'w1 mean':>9}",
+    ]
+    for o in batch.outcomes:
+        w1 = f"{float(o.result.stage_means[0]):9.4f}" if o.result is not None else "        -"
+        lines.append(
+            f"{o.spec.label:>18} {o.status:>10} {o.attempts:8d} "
+            f"{o.spec.digest[:12]:>14} {w1}"
+        )
+    lines.append(
+        f"batch: {batch.n_tasks} tasks -- {batch.n_simulated} simulated, "
+        f"{batch.n_cached} cached, {batch.n_failed} failed "
+        f"in {batch.elapsed_seconds:.1f}s"
+    )
+    for o in batch.failures():
+        lines.append(f"FAILED {o.spec.label or o.index}: "
+                     f"{(o.error or '').strip().splitlines()[-1]}")
+    if cache is not None:
+        lines.append(cache.stats().to_text())
+    print("\n".join(lines))
+    if batch.n_failed:
+        return 1
+    if args.require_cached and batch.n_simulated:
+        print(
+            f"--require-cached: {batch.n_simulated} task(s) had to be simulated",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_cache(args) -> int:
+    from repro.exec import DEFAULT_CACHE_DIR, ResultCache
+
+    cache = ResultCache(args.cache or DEFAULT_CACHE_DIR)
+    if args.action == "stats":
+        print(cache.stats().to_text())
+    else:
+        removed = cache.clear()
+        print(f"cleared {removed} cache entrie(s) from {cache.root}")
+    return 0
+
+
 def _run_metrics(args) -> str:
     from repro.analysis.report import render_metrics_summary
     from repro.obs.metrics import MetricsCollector
@@ -224,6 +340,10 @@ def _dispatch(args) -> int:
         print(generate_experiments_markdown(n_cycles=args.cycles, seed=args.seed))
     elif args.command == "sweep":
         print(_run_sweep(args.kind, args.cycles, args.seed))
+    elif args.command == "batch":
+        return _run_batch(args)
+    elif args.command == "cache":
+        return _run_cache(args)
     elif args.command == "metrics":
         print(_run_metrics(args))
     elif args.command == "validate":
@@ -252,18 +372,31 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
     started = time.time()
+
+    def dispatch_in_context() -> int:
+        from repro.exec import ExecutionContext, ResultCache, use_execution
+
+        # the batch/cache commands manage their own cache handle
+        cache_dir = args.cache if args.command not in ("batch", "cache") else None
+        context = ExecutionContext(
+            workers=args.workers or 1,
+            cache=ResultCache(cache_dir) if cache_dir else None,
+        )
+        with use_execution(context):
+            return _dispatch(args)
+
     metrics_out = getattr(args, "metrics_out", None)
     if metrics_out is not None:
         from repro.obs.session import session
 
         with session(metrics_out, stride=args.metrics_stride) as sess:
-            code = _dispatch(args)
+            code = dispatch_in_context()
         print(
             f"[{len(sess.manifests)} run manifest(s) -> {metrics_out}]",
             file=sys.stderr,
         )
     else:
-        code = _dispatch(args)
+        code = dispatch_in_context()
     print(f"[{time.time() - started:.1f}s]", file=sys.stderr)
     return code
 

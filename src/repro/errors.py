@@ -20,6 +20,7 @@ __all__ = [
     "SimulationError",
     "TopologyError",
     "CalibrationError",
+    "ExecutionError",
 ]
 
 
@@ -85,3 +86,12 @@ class TopologyError(SimulationError):
 
 class CalibrationError(ReproError):
     """A Section-IV style calibration run failed to produce constants."""
+
+
+class ExecutionError(ReproError):
+    """The experiment-execution layer (:mod:`repro.exec`) failed.
+
+    Raised for malformed experiment specs, unreproducible content
+    digests, and batches whose failures the caller asked to be fatal
+    (:meth:`~repro.exec.runner.BatchResult.raise_on_failure`).
+    """

@@ -1,0 +1,390 @@
+"""Parallel experiment runner: process pool, retries, partial results.
+
+:func:`run_many` takes a batch of :class:`~repro.exec.spec.ExperimentSpec`
+and produces a :class:`BatchResult` holding one :class:`TaskOutcome`
+per spec, in spec order.  The contract:
+
+* **Determinism** -- seeds are resolved per batch position before any
+  dispatch (:func:`~repro.exec.spec.resolve_seeds`), every task is
+  simulated from only its spec, and both the in-process and the
+  worker-process paths ship results through the same payload
+  round-trip (:mod:`repro.exec.cache`).  ``workers=N`` is therefore
+  bit-identical to ``workers=1`` for any ``N``.
+* **Caching** -- with a :class:`~repro.exec.cache.ResultCache`, hits
+  skip simulation entirely (outcome status ``"cached"``) and fresh
+  completions are written back.
+* **Robustness** -- a task that raises is retried up to ``retries``
+  times; a task that exhausts its retries is reported as ``"failed"``
+  (with the worker traceback) while every other task still completes.
+  A batch never aborts because one scenario is sick.
+* **Observability** -- each outcome fires the optional ``progress``
+  callback, and an active :func:`repro.obs.session` records an
+  ``exec-batch-NNNN.json`` manifest for the whole batch.
+
+Timeout semantics: ``timeout`` bounds how long the parent waits per
+dispatched chunk (``timeout * chunk_len`` seconds from dispatch).  An
+expired chunk is treated as one failure of each of its tasks and
+retried under the same bound.  CPython cannot preempt a worker mid-
+simulation, so a genuinely hung worker still occupies its process slot
+until pool shutdown -- the timeout bounds *batch bookkeeping*, not
+worker CPU time.
+"""
+
+from __future__ import annotations
+
+import traceback
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Callable, List, Optional, Sequence
+
+from repro.errors import ExecutionError
+from repro.exec.cache import ResultCache, payload_to_result, result_to_payload
+from repro.exec.spec import ExperimentSpec, resolve_seeds
+from repro.obs.session import current_session
+from repro.simulation.network import NetworkResult, NetworkSimulator
+from repro.simulation.rng import DEFAULT_SEED
+
+__all__ = ["TaskOutcome", "BatchResult", "LocalPool", "run_many", "execute_spec"]
+
+
+def execute_spec(spec: ExperimentSpec) -> NetworkResult:
+    """Run one spec to completion (the default task function)."""
+    return NetworkSimulator(spec.config).run(spec.n_cycles, warmup=spec.warmup)
+
+
+def _worker_init() -> None:
+    """Pool-worker start-up: drop the inherited observation session.
+
+    Run manifests carry process-local sequence numbers; several forked
+    workers writing ``run-NNNN`` into one directory would silently
+    overwrite each other.  A pooled batch is recorded by the parent's
+    ``exec-batch`` manifest instead.
+    """
+    import importlib
+
+    # attribute access would find the session() contextmanager that
+    # repro.obs re-exports, not the submodule
+    importlib.import_module("repro.obs.session")._deactivate()
+
+
+def _run_chunk(specs: List[ExperimentSpec], task_fn) -> List[tuple]:
+    """Worker-side chunk executor: one ``("ok"|"err", ...)`` per spec.
+
+    Results travel as payload dicts (see :mod:`repro.exec.cache`), not
+    full :class:`NetworkResult` objects, so the IPC cost is the moment
+    arrays plus the completed cohort -- never the full tracking matrix.
+    """
+    fn = task_fn or execute_spec
+    out = []
+    for spec in specs:
+        started = perf_counter()
+        try:
+            result = fn(spec)
+            payload = result if isinstance(result, dict) else result_to_payload(result)
+            payload.setdefault("elapsed_seconds", perf_counter() - started)
+            out.append(("ok", payload))
+        except Exception:
+            out.append(("err", traceback.format_exc(limit=20)))
+    return out
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one spec of a batch."""
+
+    index: int
+    spec: ExperimentSpec
+    #: ``"completed"`` (simulated this batch), ``"cached"``, or ``"failed"``
+    status: str
+    result: Optional[NetworkResult] = None
+    #: worker traceback (or timeout note) for failed tasks
+    error: Optional[str] = None
+    #: attempts actually made (0 for cache hits)
+    attempts: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("completed", "cached")
+
+
+@dataclass
+class BatchResult:
+    """All outcomes of one :func:`run_many` call, in spec order."""
+
+    outcomes: List[TaskOutcome] = field(default_factory=list)
+    workers: int = 1
+    elapsed_seconds: float = 0.0
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.outcomes)
+
+    @property
+    def n_simulated(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "completed")
+
+    @property
+    def n_cached(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "cached")
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if o.status == "failed")
+
+    def results(self) -> List[Optional[NetworkResult]]:
+        """Per-spec results (``None`` where the task failed)."""
+        return [o.result for o in self.outcomes]
+
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if o.status == "failed"]
+
+    def raise_on_failure(self) -> "BatchResult":
+        """Raise :class:`ExecutionError` if any task failed; else self."""
+        failed = self.failures()
+        if failed:
+            notes = "; ".join(
+                f"{o.spec.label or f'task {o.index}'}: "
+                f"{(o.error or 'unknown error').strip().splitlines()[-1]}"
+                for o in failed
+            )
+            raise ExecutionError(
+                f"{len(failed)} of {self.n_tasks} batch task(s) failed after "
+                f"{max(o.attempts for o in failed)} attempt(s): {notes}"
+            )
+        return self
+
+
+def _emit(progress, outcome: TaskOutcome) -> None:
+    if progress is None:
+        return
+    try:
+        progress(
+            {
+                "event": outcome.status,
+                "index": outcome.index,
+                "label": outcome.spec.label,
+                "digest": outcome.spec.digest[:12],
+                "attempts": outcome.attempts,
+                "error": (
+                    outcome.error.strip().splitlines()[-1] if outcome.error else None
+                ),
+            }
+        )
+    except Exception:  # a broken progress sink must not kill the batch
+        pass
+
+
+def _finish_ok(outcomes, specs, i, payload, attempts, cache, progress) -> None:
+    spec = specs[i]
+    result = payload_to_result(payload, spec.config)
+    if cache is not None:
+        cache.put(spec, payload)
+    outcomes[i] = TaskOutcome(
+        index=i,
+        spec=spec,
+        status="completed",
+        result=result,
+        attempts=attempts,
+        elapsed_seconds=float(payload.get("elapsed_seconds", 0.0)),
+    )
+    _emit(progress, outcomes[i])
+
+
+def _finish_failed(outcomes, specs, i, error, attempts, progress) -> None:
+    outcomes[i] = TaskOutcome(
+        index=i, spec=specs[i], status="failed", error=error, attempts=attempts
+    )
+    _emit(progress, outcomes[i])
+
+
+def _run_serial(specs, pending, outcomes, retries, task_fn, cache, progress) -> None:
+    for i in pending:
+        attempts = 0
+        while True:
+            attempts += 1
+            (kind, value), = _run_chunk([specs[i]], task_fn)
+            if kind == "ok":
+                _finish_ok(outcomes, specs, i, value, attempts, cache, progress)
+                break
+            if attempts <= retries:
+                continue
+            _finish_failed(outcomes, specs, i, value, attempts, progress)
+            break
+
+
+class LocalPool:
+    """Chunked dispatch onto a :class:`ProcessPoolExecutor` with retries.
+
+    Tasks are submitted in chunks (amortising IPC and fork overhead);
+    failures within a chunk are retried *individually*, so one sick
+    scenario never drags its chunk-mates back through the pool.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        retries: int = 1,
+        timeout: Optional[float] = None,
+        chunksize: Optional[int] = None,
+    ) -> None:
+        self.workers = workers
+        self.retries = retries
+        self.timeout = timeout
+        self.chunksize = chunksize
+
+    def _chunks(self, pending: List[int]) -> List[List[int]]:
+        size = self.chunksize
+        if size is None:
+            # ~4 chunks per worker keeps the pool fed without making
+            # one slow chunk the long pole
+            size = max(1, -(-len(pending) // (self.workers * 4)))
+        return [pending[j : j + size] for j in range(0, len(pending), size)]
+
+    def run(self, specs, pending, outcomes, task_fn, cache, progress) -> None:
+        futures = {}  # future -> (index list, attempt number, dispatch time)
+        with ProcessPoolExecutor(
+            max_workers=min(self.workers, len(pending)), initializer=_worker_init
+        ) as pool:
+
+            def submit(idx_list: List[int], attempt: int) -> None:
+                fut = pool.submit(_run_chunk, [specs[i] for i in idx_list], task_fn)
+                futures[fut] = (idx_list, attempt, perf_counter())
+
+            def handle_error(i: int, attempt: int, error: str) -> None:
+                if attempt <= self.retries:
+                    _emit(
+                        progress,
+                        TaskOutcome(
+                            index=i, spec=specs[i], status="retry",
+                            error=error, attempts=attempt,
+                        ),
+                    )
+                    submit([i], attempt + 1)
+                else:
+                    _finish_failed(outcomes, specs, i, error, attempt, progress)
+
+            for chunk in self._chunks(pending):
+                submit(chunk, 1)
+
+            while futures:
+                if self.timeout is None:
+                    done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+                else:
+                    now = perf_counter()
+                    deadlines = {
+                        fut: t0 + self.timeout * len(idx)
+                        for fut, (idx, _, t0) in futures.items()
+                    }
+                    slack = max(0.0, min(deadlines.values()) - now)
+                    done, _ = wait(
+                        set(futures), timeout=slack, return_when=FIRST_COMPLETED
+                    )
+                    if not done:
+                        now = perf_counter()
+                        expired = [f for f, d in deadlines.items() if now >= d]
+                        for fut in expired:
+                            idx_list, attempt, t0 = futures.pop(fut)
+                            fut.cancel()  # frees the slot if not yet started
+                            note = (
+                                f"timeout: no result within "
+                                f"{self.timeout * len(idx_list):.1f}s of dispatch"
+                            )
+                            for i in idx_list:
+                                handle_error(i, attempt, note)
+                        continue
+                for fut in done:
+                    idx_list, attempt, _ = futures.pop(fut)
+                    try:
+                        chunk_out = fut.result()
+                    except Exception:
+                        # the worker process died (or the chunk call
+                        # itself broke); every spec in it counts one
+                        # failed attempt
+                        error = traceback.format_exc(limit=10)
+                        for i in idx_list:
+                            handle_error(i, attempt, error)
+                        continue
+                    for i, (kind, value) in zip(idx_list, chunk_out):
+                        if kind == "ok":
+                            _finish_ok(
+                                outcomes, specs, i, value, attempt, cache, progress
+                            )
+                        else:
+                            handle_error(i, attempt, value)
+
+
+def run_many(
+    specs: Sequence[ExperimentSpec],
+    *,
+    workers: int = 1,
+    cache: Optional[ResultCache] = None,
+    retries: int = 1,
+    timeout: Optional[float] = None,
+    chunksize: Optional[int] = None,
+    base_seed: int = DEFAULT_SEED,
+    progress: Optional[Callable[[dict], None]] = None,
+    task_fn: Optional[Callable[[ExperimentSpec], NetworkResult]] = None,
+) -> BatchResult:
+    """Execute a batch of specs; see the module docstring for the contract.
+
+    Parameters
+    ----------
+    workers:
+        Process count; ``1`` (default) runs in-process with no pool.
+    cache:
+        Optional :class:`ResultCache`; hits skip simulation, fresh
+        completions are written back.
+    retries:
+        Extra attempts after a task's first failure (so a task runs at
+        most ``retries + 1`` times).
+    timeout:
+        Per-task seconds the parent waits for a dispatched chunk
+        (pool mode only; see module docstring for the exact semantics).
+    chunksize:
+        Specs per pool submission; default targets ~4 chunks/worker.
+    base_seed:
+        Feeds :func:`~repro.exec.spec.resolve_seeds` for specs whose
+        config has no seed.
+    progress:
+        Callback receiving one event dict per outcome (and per retry).
+    task_fn:
+        Override for the per-spec work -- used by fault-injection
+        tests and custom workloads; must be picklable for ``workers > 1``.
+    """
+    if workers < 1:
+        raise ExecutionError(f"workers must be >= 1, got {workers}")
+    if retries < 0:
+        raise ExecutionError(f"retries must be >= 0, got {retries}")
+    started = perf_counter()
+    specs = resolve_seeds(specs, base_seed=base_seed)
+    outcomes: List[Optional[TaskOutcome]] = [None] * len(specs)
+
+    pending: List[int] = []
+    for i, spec in enumerate(specs):
+        cached = cache.get(spec) if cache is not None else None
+        if cached is not None:
+            outcomes[i] = TaskOutcome(
+                index=i, spec=spec, status="cached", result=cached, attempts=0
+            )
+            _emit(progress, outcomes[i])
+        else:
+            pending.append(i)
+
+    if pending:
+        if workers == 1 or len(pending) == 1:
+            _run_serial(specs, pending, outcomes, retries, task_fn, cache, progress)
+        else:
+            LocalPool(workers, retries=retries, timeout=timeout, chunksize=chunksize).run(
+                specs, pending, outcomes, task_fn, cache, progress
+            )
+
+    batch = BatchResult(
+        outcomes=list(outcomes), workers=workers,
+        elapsed_seconds=perf_counter() - started,
+    )
+    session = current_session()
+    if session is not None:
+        session.record_exec_batch(batch)
+    return batch

@@ -1,0 +1,89 @@
+"""Named scenario sets for ``python -m repro batch``.
+
+The ``smoke`` set is the CI workhorse: eight small, structurally
+diverse scenarios (load sweep, multi-packet messages, a wider switch,
+favourite-output bias) that exercise every traffic/service path of the
+simulator in seconds.  All seeds are pinned so repeated batches are
+served entirely from the result cache.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import ExecutionError
+from repro.exec.spec import ExperimentSpec, specs_from_file
+from repro.simulation.network import NetworkConfig
+
+__all__ = ["SCENARIO_SETS", "scenario_specs", "load_scenarios"]
+
+#: Default cycle budget for named sets (override with ``--cycles``).
+_DEFAULT_CYCLES = 2_000
+
+
+def smoke_specs(n_cycles: Optional[int] = None) -> List[ExperimentSpec]:
+    """Eight fast, structurally diverse scenarios (k, p, m, q coverage)."""
+    n = _DEFAULT_CYCLES if n_cycles is None else n_cycles
+    specs = []
+    for i, p in enumerate((0.2, 0.35, 0.5, 0.65)):
+        specs.append(
+            ExperimentSpec(
+                NetworkConfig(
+                    k=2, n_stages=3, p=p, topology="random", width=32, seed=41 + i
+                ),
+                n_cycles=n,
+                label=f"load-p{p}",
+            )
+        )
+    for j, m in enumerate((2, 4)):
+        specs.append(
+            ExperimentSpec(
+                NetworkConfig(
+                    k=2, n_stages=3, p=0.5 / m, message_size=m,
+                    topology="random", width=32, seed=61 + j,
+                ),
+                n_cycles=n,
+                label=f"message-m{m}",
+            )
+        )
+    specs.append(
+        ExperimentSpec(
+            NetworkConfig(k=4, n_stages=2, p=0.5, topology="random", width=64, seed=71),
+            n_cycles=n,
+            label="switch-k4",
+        )
+    )
+    specs.append(
+        ExperimentSpec(
+            NetworkConfig(k=2, n_stages=3, p=0.5, q=0.25, seed=81),
+            n_cycles=n,
+            label="favourite-q0.25",
+        )
+    )
+    return specs
+
+
+SCENARIO_SETS = {"smoke": smoke_specs}
+
+
+def scenario_specs(name: str, n_cycles: Optional[int] = None) -> List[ExperimentSpec]:
+    """Specs of one named set."""
+    try:
+        factory = SCENARIO_SETS[name]
+    except KeyError:
+        raise ExecutionError(
+            f"unknown scenario set {name!r}; pick from {sorted(SCENARIO_SETS)} "
+            "or pass a JSON spec file path"
+        ) from None
+    return factory(n_cycles)
+
+
+def load_scenarios(source: str, n_cycles: Optional[int] = None) -> List[ExperimentSpec]:
+    """Resolve a named set or a ``.json`` spec-file path.
+
+    ``n_cycles`` overrides the cycle budget of named sets; spec files
+    carry their own budgets and are not overridden.
+    """
+    if source.endswith(".json"):
+        return specs_from_file(source)
+    return scenario_specs(source, n_cycles)

@@ -61,6 +61,7 @@ class ObservationSession:
         self.profile = profile
         self._run_seq = 0
         self._batch_seq = 0
+        self._exec_seq = 0
         #: manifest paths written so far, in order
         self.manifests: List[Path] = []
 
@@ -131,6 +132,52 @@ class ObservationSession:
         path.write_text(json.dumps(record, indent=2) + "\n")
         return path
 
+    # -- used by repro.exec.runner --------------------------------------
+    def record_exec_batch(self, batch) -> Path:
+        """Write the manifest of one :func:`repro.exec.run_many` batch.
+
+        ``batch`` is a :class:`~repro.exec.runner.BatchResult`; the
+        record captures per-task status/attempts/digests so a partially
+        failed batch is auditable without re-running anything.
+        """
+        import json
+
+        self._exec_seq += 1
+        batch_id = f"exec-batch-{self._exec_seq:04d}"
+        record = {
+            "schema_version": MANIFEST_SCHEMA_VERSION,
+            "kind": "exec_batch",
+            "batch_id": batch_id,
+            "workers": batch.workers,
+            "n_tasks": batch.n_tasks,
+            "counts": {
+                "completed": batch.n_simulated,
+                "cached": batch.n_cached,
+                "failed": batch.n_failed,
+            },
+            "elapsed_seconds": batch.elapsed_seconds,
+            "tasks": [
+                {
+                    "index": o.index,
+                    "label": o.spec.label,
+                    "digest": o.spec.digest,
+                    "status": o.status,
+                    "attempts": o.attempts,
+                    "seed": o.spec.config.seed,
+                    "n_cycles": o.spec.n_cycles,
+                    "elapsed_seconds": o.elapsed_seconds,
+                    "error": (
+                        o.error.strip().splitlines()[-1] if o.error else None
+                    ),
+                }
+                for o in batch.outcomes
+            ],
+        }
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        path = self.out_dir / f"{batch_id}.json"
+        path.write_text(json.dumps(record, indent=2) + "\n")
+        return path
+
 
 @contextmanager
 def session(out_dir: Union[str, Path], **kwargs):
@@ -143,6 +190,19 @@ def session(out_dir: Union[str, Path], **kwargs):
         yield sess
     finally:
         _current = previous
+
+
+def _deactivate() -> None:
+    """Uninstall any ambient session in *this* process.
+
+    Used by :mod:`repro.exec` pool workers: a forked worker inherits
+    the parent's session, and per-run ``run-NNNN`` manifests written
+    from several workers would collide on the shared sequence numbers.
+    Pooled batches are recorded by the parent's ``exec-batch`` manifest
+    instead.
+    """
+    global _current
+    _current = None
 
 
 def current_session() -> Optional[ObservationSession]:

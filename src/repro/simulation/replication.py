@@ -12,14 +12,14 @@ complement to the within-run batch-means interval in
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 from scipy import stats as sps
 
 from repro.errors import SimulationError
 from repro.obs.session import current_session
-from repro.simulation.network import NetworkConfig, NetworkResult, NetworkSimulator
+from repro.simulation.network import NetworkConfig, NetworkResult
 
 __all__ = ["ReplicatedStatistic", "replicate", "replicated_statistic"]
 
@@ -47,7 +47,17 @@ class ReplicatedStatistic:
 
     @property
     def half_width(self) -> float:
-        """Student-t half width at the configured confidence."""
+        """Student-t half width at the configured confidence.
+
+        Requires ``n >= 2``: with one replication the interval has
+        ``df = 0`` degrees of freedom (``t.ppf`` returns NaN) and no
+        cross-replication variance exists.
+        """
+        if self.n < 2:
+            raise SimulationError(
+                f"a confidence interval needs at least 2 replications, got {self.n} "
+                "(a single run has no cross-replication variance; df = n - 1 = 0)"
+            )
         t = float(sps.t.ppf(0.5 + self.confidence / 2, df=self.n - 1))
         return t * self.std / self.n ** 0.5
 
@@ -70,21 +80,55 @@ def replicate(
     n_cycles: int,
     warmup=None,
     base_seed: int = 1000,
+    workers: Optional[int] = None,
 ) -> List[NetworkResult]:
     """Run ``n_replications`` independent copies of ``config``.
 
     Each replication gets seed ``base_seed + i`` (ignoring any seed in
-    ``config``, which would silently correlate the runs).
+    ``config``, which would silently correlate the runs), so the batch
+    is deterministic and cacheable regardless of worker count.
+
+    The batch goes through :func:`repro.exec.run_many`; ``workers``
+    overrides the ambient :class:`~repro.exec.context.ExecutionContext`
+    (default: serial, no cache -- identical to the historical inline
+    loop).
     """
     if n_replications < 2:
         raise SimulationError("need at least 2 replications for an interval")
-    out = []
-    for i in range(n_replications):
-        cfg = replace(config, seed=base_seed + i)
-        out.append(NetworkSimulator(cfg).run(n_cycles, warmup=warmup))
+    if not isinstance(warmup, (int, type(None))):
+        raise SimulationError(
+            f"replicate() needs an integer warm-up (or None), got {warmup!r}"
+        )
+    from repro.exec.context import current_execution
+    from repro.exec.runner import run_many
+    from repro.exec.spec import ExperimentSpec
+
+    ctx = current_execution()
+    effective_workers = ctx.workers if workers is None else workers
+    specs = [
+        ExperimentSpec(
+            config=replace(config, seed=base_seed + i),
+            n_cycles=n_cycles,
+            warmup=warmup,
+            label=f"replication-{i}",
+        )
+        for i in range(n_replications)
+    ]
+    batch = run_many(
+        specs,
+        workers=effective_workers,
+        cache=ctx.cache,
+        retries=ctx.retries,
+        timeout=ctx.timeout,
+    )
+    batch.raise_on_failure()
+    out = batch.results()
     session = current_session()
-    if session is not None:
+    if session is not None and effective_workers == 1 and batch.n_cached == 0:
         # tie the per-run manifests together as one reproducible batch
+        # (run manifests only exist when the runs happened inline in
+        # this process; parallel/cached batches are indexed by the
+        # exec-batch manifest instead)
         session.record_batch(out)
     return out
 

@@ -94,6 +94,24 @@ class TrackedMessages:
         self.waits = np.full((limit, n_stages), -1.0, dtype=np.float32)
         self._next = 0
 
+    @classmethod
+    def from_rows(cls, rows: np.ndarray, n_stages: int) -> "TrackedMessages":
+        """Rebuild a tracker from stored complete rows.
+
+        Used when a run is rehydrated from the result cache or shipped
+        back from a worker process (:mod:`repro.exec`): only the
+        completed cohort survives serialisation, so the rebuilt tracker
+        reproduces ``complete_rows()`` / ``totals()`` /
+        ``stage_correlations()`` bit-for-bit but reports ``allocated``
+        as the completed count.
+        """
+        rows = np.asarray(rows, dtype=np.float32).reshape(-1, n_stages)
+        tracker = cls(limit=max(1, rows.shape[0]), n_stages=n_stages)
+        if rows.shape[0]:
+            tracker.waits[: rows.shape[0]] = rows
+            tracker._next = rows.shape[0]
+        return tracker
+
     def allocate(self, n: int) -> np.ndarray:
         """Hand out up to ``n`` slot ids; -1 marks untracked messages."""
         start = self._next

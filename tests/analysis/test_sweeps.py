@@ -49,6 +49,27 @@ class TestOtherSweeps:
         )
 
 
+class TestExecutionRouting:
+    def test_sweep_is_cache_served_on_repeat(self, tmp_path):
+        from repro.exec import ExecutionContext, ResultCache, use_execution
+
+        cache = ResultCache(tmp_path / "cache")
+        with use_execution(ExecutionContext(cache=cache)):
+            first = load_sweep(loads=(0.3, 0.5), n_stages=4, n_cycles=3_000)
+            assert (cache.hits, cache.misses) == (0, 2)
+            second = load_sweep(loads=(0.3, 0.5), n_stages=4, n_cycles=3_000)
+        assert (cache.hits, cache.misses) == (2, 2)  # repeat: zero new simulations
+        for a, b in zip(first, second):
+            assert a.total_mean == b.total_mean
+            assert a.first_stage_ci == b.first_stage_ci
+
+    def test_first_stage_ci_brackets_cohort_mean(self):
+        # the CI is batch means over the tracked cohort's first-stage
+        # column, so it must bracket that cohort's own mean
+        rows = load_sweep(loads=(0.5,), n_stages=4, **FAST)
+        assert rows[0].first_stage_ci > 0
+
+
 class TestValidation:
     def test_misaligned_inputs(self):
         with pytest.raises(AnalysisError):

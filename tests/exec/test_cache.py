@@ -1,0 +1,133 @@
+"""Content-addressed cache: round trips, invalidation, robustness."""
+
+import json
+
+import numpy as np
+import pytest
+
+import repro.exec.cache as cache_mod
+from repro.exec.cache import ResultCache, payload_to_result, result_to_payload
+from repro.exec.spec import ExperimentSpec
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+
+
+def make_spec(p=0.5, seed=7, n_cycles=800):
+    return ExperimentSpec(
+        config=NetworkConfig(
+            k=2, n_stages=3, p=p, topology="random", width=16, seed=seed
+        ),
+        n_cycles=n_cycles,
+    )
+
+
+@pytest.fixture
+def spec():
+    return make_spec()
+
+
+@pytest.fixture
+def result(spec):
+    return NetworkSimulator(spec.config).run(spec.n_cycles, warmup=spec.warmup)
+
+
+def assert_results_identical(a, b):
+    assert np.array_equal(a.stage_means, b.stage_means)
+    assert np.array_equal(a.stage_variances, b.stage_variances)
+    assert np.array_equal(a.stage_counts, b.stage_counts)
+    assert np.array_equal(a.tracked.complete_rows(), b.tracked.complete_rows())
+    assert (a.injected, a.completed, a.dropped) == (b.injected, b.completed, b.dropped)
+
+
+class TestPayloadRoundTrip:
+    def test_bit_exact(self, spec, result):
+        rebuilt = payload_to_result(result_to_payload(result), spec.config)
+        assert_results_identical(result, rebuilt)
+
+    def test_tracked_statistics_survive(self, spec, result):
+        rebuilt = payload_to_result(result_to_payload(result), spec.config)
+        assert np.array_equal(rebuilt.tracked.totals(), result.tracked.totals())
+        assert np.array_equal(
+            rebuilt.tracked.stage_correlations(), result.tracked.stage_correlations()
+        )
+
+
+class TestHitMiss:
+    def test_get_put_get(self, tmp_path, spec, result):
+        cache = ResultCache(tmp_path / "cache")
+        assert cache.get(spec) is None
+        cache.put(spec, result)
+        hit = cache.get(spec)
+        assert hit is not None
+        assert_results_identical(result, hit)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_spec_change_is_miss(self, tmp_path, spec, result):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, result)
+        assert cache.get(make_spec(p=0.6)) is None
+        assert cache.get(make_spec(seed=8)) is None
+        assert cache.get(make_spec(n_cycles=900)) is None
+        assert cache.get(spec) is not None
+
+    def test_schema_bump_invalidates(self, tmp_path, spec, result, monkeypatch):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, result)
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", 2)
+        assert cache.get(spec) is None  # old entry lives under v1/
+        cache.put(spec, result)
+        assert cache.get(spec) is not None
+        assert len(cache.entries()) == 2  # both versions on disk, disjoint
+
+    def test_stale_metadata_version_is_miss(self, tmp_path, spec, result):
+        # same directory layout but a doctored in-file version field
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, result)
+        meta_path, _ = cache._entry_paths(spec.digest)
+        meta = json.loads(meta_path.read_text())
+        meta["schema_version"] = 999
+        meta_path.write_text(json.dumps(meta))
+        assert cache.get(spec) is None
+
+
+class TestRobustness:
+    def test_corrupt_metadata_is_miss(self, tmp_path, spec, result):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, result)
+        meta_path, _ = cache._entry_paths(spec.digest)
+        meta_path.write_text("{not json")
+        assert cache.get(spec) is None
+
+    def test_missing_arrays_is_miss(self, tmp_path, spec, result):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, result)
+        _, npz_path = cache._entry_paths(spec.digest)
+        npz_path.unlink()
+        assert cache.get(spec) is None
+
+    def test_get_on_empty_dir_never_raises(self, tmp_path, spec):
+        cache = ResultCache(tmp_path / "nonexistent")
+        assert cache.get(spec) is None
+
+
+class TestStatsAndClear:
+    def test_stats(self, tmp_path, spec, result):
+        cache = ResultCache(tmp_path / "cache")
+        stats = cache.stats()
+        assert stats.entries == 0 and stats.total_bytes == 0
+        cache.put(spec, result)
+        cache.put(make_spec(p=0.3), result)
+        cache.get(spec)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert stats.hits == 1
+        assert "2 entries" in stats.to_text()
+        assert stats.to_dict()["entries"] == 2
+
+    def test_clear(self, tmp_path, spec, result):
+        cache = ResultCache(tmp_path / "cache")
+        cache.put(spec, result)
+        assert cache.clear() == 1
+        assert cache.entries() == []
+        assert cache.get(spec) is None
+        assert cache.clear() == 0

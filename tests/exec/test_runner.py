@@ -1,0 +1,269 @@
+"""Batch runner: determinism, caching, fault tolerance, observability."""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.cache import ResultCache
+from repro.exec.runner import execute_spec, run_many
+from repro.exec.spec import ExperimentSpec
+from repro.obs import session
+from repro.simulation.network import NetworkConfig
+
+# ----------------------------------------------------------------------
+# picklable task functions for fault injection (must be module-level so
+# worker processes can import them by qualified name)
+
+_FLAG_ENV = "REPRO_TEST_FAIL_FLAG_DIR"
+
+
+def _flaky_task(spec):
+    """Fail exactly once (across all processes) for the 'flaky' spec."""
+    if spec.label == "flaky":
+        flag = Path(os.environ[_FLAG_ENV]) / "tripped"
+        if not flag.exists():
+            flag.write_text("x")
+            raise RuntimeError("injected transient failure")
+    return execute_spec(spec)
+
+
+def _doomed_task(spec):
+    """Fail every attempt for the 'doomed' spec."""
+    if spec.label == "doomed":
+        raise RuntimeError("injected permanent failure")
+    return execute_spec(spec)
+
+
+def _sleepy_task(spec):
+    """Hold the 'sleepy' spec well past any reasonable test timeout."""
+    if spec.label == "sleepy":
+        time.sleep(1.0)
+    return execute_spec(spec)
+
+
+# ----------------------------------------------------------------------
+
+
+def make_specs(n=6, n_cycles=600, seeded=True):
+    loads = [0.15 + 0.08 * i for i in range(n)]
+    return [
+        ExperimentSpec(
+            config=NetworkConfig(
+                k=2,
+                n_stages=3,
+                p=p,
+                topology="random",
+                width=16,
+                seed=(100 + i) if seeded else None,
+            ),
+            n_cycles=n_cycles,
+            label=f"load-{i}",
+        )
+        for i, p in enumerate(loads)
+    ]
+
+
+def assert_batches_identical(a, b):
+    assert a.n_tasks == b.n_tasks
+    for oa, ob in zip(a.outcomes, b.outcomes):
+        assert oa.spec.digest == ob.spec.digest
+        assert np.array_equal(oa.result.stage_means, ob.result.stage_means)
+        assert np.array_equal(oa.result.stage_variances, ob.result.stage_variances)
+        assert np.array_equal(oa.result.stage_counts, ob.result.stage_counts)
+        assert np.array_equal(
+            oa.result.tracked.complete_rows(), ob.result.tracked.complete_rows()
+        )
+        assert oa.result.completed == ob.result.completed
+
+
+class TestDeterminism:
+    def test_workers_4_bit_identical_to_workers_1(self):
+        # ISSUE acceptance: parallel statistics == serial statistics
+        specs = make_specs()
+        serial = run_many(specs, workers=1)
+        parallel = run_many(specs, workers=4)
+        assert serial.n_simulated == parallel.n_simulated == len(specs)
+        assert_batches_identical(serial, parallel)
+
+    def test_unseeded_specs_identical_across_worker_counts(self):
+        # seeds must come from batch position, not execution order
+        specs = make_specs(n=4, seeded=False)
+        serial = run_many(specs, workers=1, base_seed=77)
+        parallel = run_many(specs, workers=3, base_seed=77)
+        assert_batches_identical(serial, parallel)
+        other_base = run_many(specs, workers=1, base_seed=78)
+        assert not np.array_equal(
+            serial.outcomes[0].result.stage_means,
+            other_base.outcomes[0].result.stage_means,
+        )
+
+    def test_outcomes_in_spec_order(self):
+        specs = make_specs(n=5)
+        batch = run_many(specs, workers=2)
+        assert [o.index for o in batch.outcomes] == list(range(5))
+        assert [o.spec.label for o in batch.outcomes] == [s.label for s in specs]
+
+
+class TestCaching:
+    def test_repeated_batch_is_all_hits(self, tmp_path):
+        # ISSUE acceptance: identical repeat => zero new simulations
+        specs = make_specs(n=4)
+        cache = ResultCache(tmp_path / "cache")
+        first = run_many(specs, workers=1, cache=cache)
+        assert (first.n_simulated, first.n_cached) == (4, 0)
+        second = run_many(specs, workers=1, cache=cache)
+        assert (second.n_simulated, second.n_cached) == (0, 4)
+        assert all(o.status == "cached" and o.attempts == 0 for o in second.outcomes)
+        assert_batches_identical(first, second)
+
+    def test_cache_shared_between_serial_and_parallel(self, tmp_path):
+        specs = make_specs(n=4)
+        cache = ResultCache(tmp_path / "cache")
+        first = run_many(specs, workers=2, cache=cache)
+        assert first.n_simulated == 4
+        second = run_many(specs, workers=1, cache=cache)
+        assert (second.n_simulated, second.n_cached) == (0, 4)
+        assert_batches_identical(first, second)
+
+    def test_partial_hits_only_simulate_the_new_specs(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        run_many(make_specs(n=2), cache=cache)
+        batch = run_many(make_specs(n=4), cache=cache)
+        assert (batch.n_simulated, batch.n_cached) == (2, 2)
+        assert [o.status for o in batch.outcomes] == [
+            "cached", "cached", "completed", "completed",
+        ]
+
+
+class TestFaultTolerance:
+    def test_transient_failure_is_retried(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_ENV, str(tmp_path))
+        specs = make_specs(n=4)
+        specs[2] = ExperimentSpec(
+            config=specs[2].config, n_cycles=specs[2].n_cycles, label="flaky"
+        )
+        batch = run_many(specs, workers=2, retries=1, task_fn=_flaky_task)
+        assert batch.n_failed == 0
+        assert batch.outcomes[2].attempts == 2
+        assert all(o.ok for o in batch.outcomes)
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_permanent_failure_bounded_then_reported(self, workers):
+        # ISSUE acceptance: a sick task is retried up to the bound, then
+        # reported failed while every other task still completes
+        specs = make_specs(n=4)
+        specs[1] = ExperimentSpec(
+            config=specs[1].config, n_cycles=specs[1].n_cycles, label="doomed"
+        )
+        batch = run_many(specs, workers=workers, retries=2, task_fn=_doomed_task)
+        doomed = batch.outcomes[1]
+        assert doomed.status == "failed"
+        assert doomed.attempts == 3  # 1 initial + 2 retries
+        assert "injected permanent failure" in doomed.error
+        assert doomed.result is None
+        others = [o for i, o in enumerate(batch.outcomes) if i != 1]
+        assert all(o.status == "completed" for o in others)
+        assert batch.n_failed == 1 and batch.n_simulated == 3
+        with pytest.raises(ExecutionError, match="doomed"):
+            batch.raise_on_failure()
+        assert [r is None for r in batch.results()] == [False, True, False, False]
+
+    def test_retries_zero_means_single_attempt(self):
+        specs = make_specs(n=2)
+        specs[0] = ExperimentSpec(
+            config=specs[0].config, n_cycles=specs[0].n_cycles, label="doomed"
+        )
+        batch = run_many(specs, workers=1, retries=0, task_fn=_doomed_task)
+        assert batch.outcomes[0].status == "failed"
+        assert batch.outcomes[0].attempts == 1
+
+    def test_timeout_fails_slow_task_but_not_batch(self):
+        specs = make_specs(n=2)
+        specs[0] = ExperimentSpec(
+            config=specs[0].config, n_cycles=specs[0].n_cycles, label="sleepy"
+        )
+        batch = run_many(
+            specs, workers=2, retries=0, timeout=0.25,
+            chunksize=1, task_fn=_sleepy_task,
+        )
+        assert batch.outcomes[0].status == "failed"
+        assert "timeout" in batch.outcomes[0].error
+        assert batch.outcomes[1].status == "completed"
+
+    def test_failed_tasks_are_not_cached(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        specs = make_specs(n=2)
+        specs[0] = ExperimentSpec(
+            config=specs[0].config, n_cycles=specs[0].n_cycles, label="doomed"
+        )
+        run_many(specs, workers=1, retries=0, cache=cache, task_fn=_doomed_task)
+        assert len(cache.entries()) == 1  # only the healthy task
+
+    def test_input_validation(self):
+        with pytest.raises(ExecutionError):
+            run_many(make_specs(n=1), workers=0)
+        with pytest.raises(ExecutionError):
+            run_many(make_specs(n=1), retries=-1)
+
+
+class TestObservability:
+    def test_progress_events(self):
+        events = []
+        specs = make_specs(n=3)
+        run_many(specs, workers=1, progress=events.append)
+        assert len(events) == 3
+        assert {e["event"] for e in events} == {"completed"}
+        assert {e["label"] for e in events} == {s.label for s in specs}
+        assert all(len(e["digest"]) == 12 for e in events)
+
+    def test_retry_and_failure_events(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(_FLAG_ENV, str(tmp_path))
+        events = []
+        specs = [
+            ExperimentSpec(
+                config=make_specs(n=1)[0].config, n_cycles=600, label="flaky"
+            )
+        ]
+        run_many(specs, workers=1, retries=1, progress=events.append,
+                 task_fn=_flaky_task)
+        assert [e["event"] for e in events] == ["completed"]
+        assert events[0]["attempts"] == 2
+
+    def test_broken_progress_sink_does_not_abort(self):
+        def bad_sink(event):
+            raise RuntimeError("sink is broken")
+
+        batch = run_many(make_specs(n=2), workers=1, progress=bad_sink)
+        assert batch.n_simulated == 2
+
+    def test_exec_batch_manifest(self, tmp_path):
+        specs = make_specs(n=3)
+        specs[1] = ExperimentSpec(
+            config=specs[1].config, n_cycles=specs[1].n_cycles, label="doomed"
+        )
+        with session(tmp_path / "obs", profile=False):
+            run_many(specs, workers=1, retries=0, task_fn=_doomed_task)
+        (manifest,) = sorted((tmp_path / "obs").glob("exec-batch-*.json"))
+        doc = json.loads(manifest.read_text())
+        assert doc["kind"] == "exec_batch"
+        assert doc["n_tasks"] == 3
+        assert doc["counts"] == {"completed": 2, "cached": 0, "failed": 1}
+        statuses = [t["status"] for t in doc["tasks"]]
+        assert statuses == ["completed", "failed", "completed"]
+        assert doc["tasks"][1]["error"]
+        assert all(len(t["digest"]) == 64 for t in doc["tasks"])
+
+    def test_pool_workers_write_no_run_manifests(self, tmp_path):
+        # forked workers inherit the session; if they wrote run-NNNN
+        # manifests their process-local sequence numbers would collide
+        with session(tmp_path / "obs", profile=False):
+            batch = run_many(make_specs(n=4), workers=2)
+        assert batch.n_simulated == 4
+        out = tmp_path / "obs"
+        assert sorted(p.name for p in out.glob("exec-batch-*.json"))
+        assert list(out.glob("run-*.manifest.json")) == []

@@ -1,0 +1,138 @@
+"""Experiment-spec and digest tests."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.spec import (
+    ExperimentSpec,
+    resolve_seeds,
+    spec_from_jsonable,
+    specs_from_file,
+)
+from repro.simulation.network import NetworkConfig
+
+
+def spec(**overrides):
+    fields = dict(k=2, n_stages=3, p=0.5, topology="random", width=32, seed=7)
+    fields.update(overrides)
+    return ExperimentSpec(config=NetworkConfig(**fields), n_cycles=2_000)
+
+
+class TestDigest:
+    def test_equal_specs_equal_digests(self):
+        assert spec().digest == spec().digest
+        assert len(spec().digest) == 64
+
+    def test_config_changes_change_digest(self):
+        base = spec().digest
+        assert spec(p=0.6).digest != base
+        assert spec(seed=8).digest != base
+        assert spec(n_stages=4).digest != base
+
+    def test_cycles_and_warmup_in_digest(self):
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=32, seed=7)
+        a = ExperimentSpec(cfg, n_cycles=2_000)
+        b = ExperimentSpec(cfg, n_cycles=3_000)
+        c = ExperimentSpec(cfg, n_cycles=2_000, warmup=100)
+        assert len({a.digest, b.digest, c.digest}) == 3
+
+    def test_label_excluded_from_digest(self):
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=32, seed=7)
+        assert (
+            ExperimentSpec(cfg, 2_000, label="x").digest
+            == ExperimentSpec(cfg, 2_000, label="y").digest
+        )
+
+    def test_unstable_repr_rejected(self):
+        class Opaque:
+            pass  # default repr carries a memory address
+
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=32, seed=7)
+        bad = dataclasses.replace(cfg, track_limit=cfg.track_limit)
+        object.__setattr__(bad, "service", Opaque())
+        with pytest.raises(ExecutionError):
+            ExperimentSpec(bad, 2_000).digest
+
+
+class TestValidation:
+    def test_bad_cycles(self):
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=32)
+        with pytest.raises(ExecutionError):
+            ExperimentSpec(cfg, n_cycles=0)
+
+    def test_bad_warmup(self):
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=32)
+        with pytest.raises(ExecutionError):
+            ExperimentSpec(cfg, n_cycles=1_000, warmup=1_000)
+        with pytest.raises(ExecutionError):
+            ExperimentSpec(cfg, n_cycles=1_000, warmup=-1)
+
+    def test_config_type_checked(self):
+        with pytest.raises(ExecutionError):
+            ExperimentSpec(config={"k": 2}, n_cycles=1_000)
+
+
+class TestResolveSeeds:
+    def unseeded(self, p):
+        return ExperimentSpec(
+            NetworkConfig(k=2, n_stages=3, p=p, topology="random", width=32),
+            n_cycles=1_000,
+        )
+
+    def test_deterministic_by_position(self):
+        specs = [self.unseeded(p) for p in (0.2, 0.4, 0.6)]
+        a = resolve_seeds(specs, base_seed=11)
+        b = resolve_seeds(specs, base_seed=11)
+        assert [s.config.seed for s in a] == [s.config.seed for s in b]
+        assert all(s.config.seed is not None for s in a)
+
+    def test_seeds_distinct_and_base_dependent(self):
+        specs = [self.unseeded(p) for p in (0.2, 0.4, 0.6)]
+        seeds = [s.config.seed for s in resolve_seeds(specs, base_seed=11)]
+        assert len(set(seeds)) == 3
+        other = [s.config.seed for s in resolve_seeds(specs, base_seed=12)]
+        assert seeds != other
+
+    def test_explicit_seeds_untouched(self):
+        explicit = spec(seed=99)
+        out = resolve_seeds([explicit, self.unseeded(0.3)])
+        assert out[0] is explicit
+        assert out[1].config.seed is not None
+
+
+class TestJsonRoundTrip:
+    def test_roundtrip_preserves_digest(self):
+        original = ExperimentSpec(
+            NetworkConfig(
+                k=2, n_stages=4, p=0.25, sizes=(2, 4), probabilities=(0.5, 0.5),
+                topology="random", width=64, seed=5,
+            ),
+            n_cycles=3_000,
+            warmup=300,
+            label="mix",
+        )
+        rebuilt = spec_from_jsonable(json.loads(json.dumps(original.to_jsonable())))
+        assert rebuilt.digest == original.digest
+        assert rebuilt.label == "mix"
+
+    def test_unknown_fields_rejected(self):
+        doc = spec().to_jsonable()
+        doc["config"]["bogus"] = 1
+        with pytest.raises(ExecutionError):
+            spec_from_jsonable(doc)
+
+    def test_spec_file(self, tmp_path):
+        path = tmp_path / "specs.json"
+        path.write_text(json.dumps([spec().to_jsonable(), spec(p=0.3).to_jsonable()]))
+        specs = specs_from_file(path)
+        assert len(specs) == 2
+        assert specs[0].digest != specs[1].digest
+
+    def test_bad_spec_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{}")
+        with pytest.raises(ExecutionError):
+            specs_from_file(path)

@@ -29,6 +29,29 @@ class TestReplicate:
     def test_validation(self):
         with pytest.raises(SimulationError):
             replicate(small_config(), n_replications=1, n_cycles=1_000)
+        with pytest.raises(SimulationError):
+            replicate(small_config(), n_replications=2, n_cycles=1_000, warmup="auto")
+
+    def test_parallel_matches_serial(self):
+        import numpy as np
+
+        serial = replicate(small_config(), n_replications=3, n_cycles=1_500, workers=1)
+        parallel = replicate(small_config(), n_replications=3, n_cycles=1_500, workers=2)
+        for a, b in zip(serial, parallel):
+            assert np.array_equal(a.stage_means, b.stage_means)
+            assert np.array_equal(
+                a.tracked.complete_rows(), b.tracked.complete_rows()
+            )
+
+    def test_uses_ambient_execution_cache(self, tmp_path):
+        from repro.exec import ExecutionContext, ResultCache, use_execution
+
+        cache = ResultCache(tmp_path / "cache")
+        with use_execution(ExecutionContext(cache=cache)):
+            replicate(small_config(), n_replications=2, n_cycles=1_200)
+            assert len(cache.entries()) == 2
+            replicate(small_config(), n_replications=2, n_cycles=1_200)
+        assert cache.hits == 2  # second batch fully cache-served
 
 
 class TestReplicatedStatistic:
@@ -53,3 +76,12 @@ class TestReplicatedStatistic:
             replicated_statistic(results[:1], lambda r: 0.0)
         with pytest.raises(SimulationError):
             replicated_statistic(results, lambda r: 0.0, confidence=1.5)
+
+    def test_single_replication_half_width_raises(self):
+        # df = 0 used to surface as a silent NaN from t.ppf
+        stat = ReplicatedStatistic(values=(1.0,), confidence=0.95)
+        assert stat.mean == 1.0  # the point estimate is still usable
+        with pytest.raises(SimulationError, match="at least 2 replications"):
+            stat.half_width
+        with pytest.raises(SimulationError):
+            stat.interval()

@@ -96,6 +96,78 @@ class TestCyclesOverride:
         assert "n_cycles" not in captured
 
 
+class TestBatchCommand:
+    @staticmethod
+    def write_spec_file(path, n=2):
+        from repro.exec import ExperimentSpec
+        from repro.simulation.network import NetworkConfig
+
+        specs = [
+            ExperimentSpec(
+                NetworkConfig(
+                    k=2, n_stages=3, p=0.3 + 0.2 * i, topology="random",
+                    width=16, seed=50 + i,
+                ),
+                n_cycles=800,
+                label=f"cli-{i}",
+            )
+            for i in range(n)
+        ]
+        path.write_text(json.dumps([s.to_jsonable() for s in specs]))
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["batch"])
+        assert args.scenarios == "smoke"
+        assert args.retries == 1
+        assert not args.no_cache and not args.require_cached
+
+    def test_cache_action_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "bogus"])
+
+    def test_batch_then_cached_repeat(self, tmp_path, capsys):
+        spec_file = tmp_path / "specs.json"
+        self.write_spec_file(spec_file)
+        cache_dir = str(tmp_path / "cache")
+        argv = ["batch", "--scenarios", str(spec_file), "--cache", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 simulated, 0 cached, 0 failed" in out
+        # identical repeat must be served entirely from the cache
+        assert main(argv + ["--require-cached"]) == 0
+        out = capsys.readouterr().out
+        assert "0 simulated, 2 cached, 0 failed" in out
+
+    def test_require_cached_fails_on_cold_cache(self, tmp_path, capsys):
+        spec_file = tmp_path / "specs.json"
+        self.write_spec_file(spec_file, n=1)
+        code = main(
+            ["batch", "--scenarios", str(spec_file),
+             "--cache", str(tmp_path / "cache"), "--require-cached"]
+        )
+        assert code == 1
+
+    def test_no_cache_flag(self, tmp_path, capsys):
+        spec_file = tmp_path / "specs.json"
+        self.write_spec_file(spec_file, n=1)
+        assert main(["batch", "--scenarios", str(spec_file), "--no-cache"]) == 0
+        assert "cache=off" in capsys.readouterr().out
+        assert not (tmp_path / ".repro-cache").exists()
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        spec_file = tmp_path / "specs.json"
+        self.write_spec_file(spec_file, n=1)
+        cache_dir = str(tmp_path / "cache")
+        main(["batch", "--scenarios", str(spec_file), "--cache", cache_dir])
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache", cache_dir]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache", cache_dir]) == 0
+        assert "cleared 1" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache", cache_dir]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+
 class TestMetricsCommand:
     def test_metrics_run(self, capsys):
         assert main(["metrics", "--stages", "3", "--p", "0.4", "--cycles", "1500"]) == 0
