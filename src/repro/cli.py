@@ -71,6 +71,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed result cache directory (default: off; "
         "'batch' and 'cache' commands default to .repro-cache)",
     )
+    common.add_argument(
+        "--vectorize-replicas",
+        action="store_true",
+        help="stack same-shape scenarios (identical but for the seed) "
+        "onto the replica-batched engine; composes with --workers "
+        "(metrics are off for stacked runs)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -257,6 +264,7 @@ def _run_batch(args) -> int:
         retries=args.retries,
         timeout=args.timeout,
         progress=progress,
+        vectorize=getattr(args, "vectorize_replicas", False),
     )
     lines = [
         f"batch of {batch.n_tasks} scenarios (workers={workers}, "
@@ -381,6 +389,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         context = ExecutionContext(
             workers=args.workers or 1,
             cache=ResultCache(cache_dir) if cache_dir else None,
+            vectorize=getattr(args, "vectorize_replicas", False),
         )
         with use_execution(context):
             return _dispatch(args)

@@ -51,6 +51,7 @@ from repro.exec.scenarios import SCENARIO_SETS, load_scenarios, scenario_specs
 from repro.exec.spec import (
     SPEC_SCHEMA_VERSION,
     ExperimentSpec,
+    group_for_vectorize,
     resolve_seeds,
     spec_from_jsonable,
     specs_from_file,
@@ -60,6 +61,7 @@ __all__ = [
     # spec
     "SPEC_SCHEMA_VERSION",
     "ExperimentSpec",
+    "group_for_vectorize",
     "resolve_seeds",
     "spec_from_jsonable",
     "specs_from_file",

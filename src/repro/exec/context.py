@@ -41,6 +41,9 @@ class ExecutionContext:
     cache: Optional[ResultCache] = None
     retries: int = 1
     timeout: Optional[float] = None
+    #: stack same-shape specs onto the replica-batched engine
+    #: (:mod:`repro.simulation.batched`); composes with ``workers``
+    vectorize: bool = False
 
 
 _DEFAULT = ExecutionContext()
@@ -81,6 +84,7 @@ def run_batch(specs: Sequence[ExperimentSpec], **overrides) -> BatchResult:
         "cache": ctx.cache,
         "retries": ctx.retries,
         "timeout": ctx.timeout,
+        "vectorize": ctx.vectorize,
     }
     kwargs.update(overrides)
     return run_many(specs, **kwargs)

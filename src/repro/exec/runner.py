@@ -40,7 +40,7 @@ from typing import Callable, List, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.exec.cache import ResultCache, payload_to_result, result_to_payload
-from repro.exec.spec import ExperimentSpec, resolve_seeds
+from repro.exec.spec import ExperimentSpec, group_for_vectorize, resolve_seeds
 from repro.obs.session import current_session
 from repro.simulation.network import NetworkResult, NetworkSimulator
 from repro.simulation.rng import DEFAULT_SEED
@@ -87,6 +87,163 @@ def _run_chunk(specs: List[ExperimentSpec], task_fn) -> List[tuple]:
         except Exception:
             out.append(("err", traceback.format_exc(limit=20)))
     return out
+
+
+def _run_batched_group(specs: List[ExperimentSpec]) -> List[tuple]:
+    """Worker-side batched executor: one stacked run, one payload per spec.
+
+    The specs must share everything but their config seed (guaranteed by
+    :func:`~repro.exec.spec.group_for_vectorize`).  Failure is atomic --
+    a stacked run cannot partially succeed -- so an exception reports
+    every spec of the group as one failed attempt.
+    """
+    started = perf_counter()
+    try:
+        from repro.simulation.batched import run_batched
+
+        seeds = [s.config.seed for s in specs]
+        results = run_batched(
+            specs[0].config, seeds, specs[0].n_cycles, warmup=specs[0].warmup
+        )
+        elapsed = perf_counter() - started
+        out = []
+        for result in results:
+            payload = result_to_payload(result)
+            payload["elapsed_seconds"] = elapsed / len(specs)
+            out.append(("ok", payload))
+        return out
+    except Exception:
+        return [("err", traceback.format_exc(limit=20))] * len(specs)
+
+
+def _execute_job(specs: List[ExperimentSpec], batched: bool) -> List[tuple]:
+    """One vectorized-path job: a stacked group or a serial fallback."""
+    if batched:
+        return _run_batched_group(specs)
+    return _run_chunk(specs, None)
+
+
+def _run_vectorized(
+    specs, pending, groups, outcomes, *, workers, retries, timeout, cache, progress
+) -> None:
+    """Execute a grouped batch: stacked runs for marked groups.
+
+    Jobs are whole groups: if *any* member of a batchable group is
+    uncached, the entire group re-runs (a stacked run is a pure function
+    of the ordered seed list, so the cached members are simply
+    reproduced and only the pending ones are finished).  Unbatchable
+    specs (singletons, finite buffers) become one-spec serial jobs on
+    the proven :func:`_run_chunk` path.  Retries and timeouts apply per
+    job, atomically.
+    """
+    pending_set = set(pending)
+    jobs: List[tuple] = []  # (indices_to_run, indices_to_finish, batched)
+    for indices, batchable in groups:
+        need = [i for i in indices if i in pending_set]
+        if not need:
+            continue
+        if batchable:
+            jobs.append((indices, need, True))
+        else:
+            jobs.extend(([i], [i], False) for i in need)
+
+    def finish(job, attempt, job_out) -> List[tuple]:
+        """Finish a job's pending members; return member-level errors."""
+        indices, need, _ = job
+        by_index = dict(zip(indices, job_out))
+        errors = []
+        for i in need:
+            kind, value = by_index[i]
+            if kind == "ok":
+                _finish_ok(outcomes, specs, i, value, attempt, cache, progress)
+            else:
+                errors.append((i, value))
+        return errors
+
+    def handle_errors(job, attempt, errors, resubmit) -> None:
+        indices, need, batched = job
+        still = [i for i, _ in errors]
+        if attempt <= retries:
+            for i, error in errors:
+                _emit(
+                    progress,
+                    TaskOutcome(
+                        index=i, spec=specs[i], status="retry",
+                        error=error, attempts=attempt,
+                    ),
+                )
+            resubmit((indices, still, batched), attempt + 1)
+        else:
+            for i, error in errors:
+                _finish_failed(outcomes, specs, i, error, attempt, progress)
+
+    if workers == 1 or len(jobs) == 1:
+        for job in jobs:
+            attempt = 1
+            while job is not None:
+                indices, need, batched = job
+                job_out = _execute_job([specs[i] for i in indices], batched)
+                errors = finish(job, attempt, job_out)
+                job = None
+                if errors:
+                    def retry(next_job, next_attempt):
+                        nonlocal job, attempt
+                        job, attempt = next_job, next_attempt
+
+                    handle_errors((indices, need, batched), attempt, errors, retry)
+        return
+
+    futures = {}  # future -> (job, attempt, dispatch time)
+    with ProcessPoolExecutor(
+        max_workers=min(workers, len(jobs)), initializer=_worker_init
+    ) as pool:
+
+        def submit(job, attempt: int) -> None:
+            indices, _, batched = job
+            fut = pool.submit(_execute_job, [specs[i] for i in indices], batched)
+            futures[fut] = (job, attempt, perf_counter())
+
+        for job in jobs:
+            submit(job, 1)
+
+        while futures:
+            if timeout is None:
+                done, _ = wait(set(futures), return_when=FIRST_COMPLETED)
+            else:
+                now = perf_counter()
+                deadlines = {
+                    fut: t0 + timeout * len(job[0])
+                    for fut, (job, _, t0) in futures.items()
+                }
+                slack = max(0.0, min(deadlines.values()) - now)
+                done, _ = wait(set(futures), timeout=slack, return_when=FIRST_COMPLETED)
+                if not done:
+                    now = perf_counter()
+                    expired = [f for f, d in deadlines.items() if now >= d]
+                    for fut in expired:
+                        job, attempt, _ = futures.pop(fut)
+                        fut.cancel()
+                        note = (
+                            f"timeout: no result within "
+                            f"{timeout * len(job[0]):.1f}s of dispatch"
+                        )
+                        handle_errors(
+                            job, attempt, [(i, note) for i in job[1]], submit
+                        )
+                    continue
+            for fut in done:
+                job, attempt, _ = futures.pop(fut)
+                try:
+                    job_out = fut.result()
+                except Exception:
+                    error = traceback.format_exc(limit=10)
+                    handle_errors(
+                        job, attempt, [(i, error) for i in job[1]], submit
+                    )
+                    continue
+                errors = finish(job, attempt, job_out)
+                if errors:
+                    handle_errors(job, attempt, errors, submit)
 
 
 @dataclass
@@ -326,6 +483,7 @@ def run_many(
     base_seed: int = DEFAULT_SEED,
     progress: Optional[Callable[[dict], None]] = None,
     task_fn: Optional[Callable[[ExperimentSpec], NetworkResult]] = None,
+    vectorize: bool = False,
 ) -> BatchResult:
     """Execute a batch of specs; see the module docstring for the contract.
 
@@ -352,13 +510,33 @@ def run_many(
     task_fn:
         Override for the per-spec work -- used by fault-injection
         tests and custom workloads; must be picklable for ``workers > 1``.
+    vectorize:
+        Stack same-shape specs (identical but for their seed) into
+        replica-batched engine runs (:mod:`repro.simulation.batched`),
+        one stacked run per group -- composing with ``workers`` (groups
+        are pool jobs) and the cache (entries stay per-spec, keyed by
+        batch-marked digests; see
+        :func:`~repro.exec.spec.group_for_vectorize`).  Specs with no
+        same-shape partner, or with finite buffers, silently fall back
+        to the serial engine, so ``vectorize=True`` is always safe.
+        Incompatible with ``task_fn`` and ``chunksize``.
     """
     if workers < 1:
         raise ExecutionError(f"workers must be >= 1, got {workers}")
     if retries < 0:
         raise ExecutionError(f"retries must be >= 0, got {retries}")
+    if vectorize and task_fn is not None:
+        raise ExecutionError("vectorize=True cannot run a custom task_fn")
+    if vectorize and chunksize is not None:
+        raise ExecutionError("vectorize=True groups specs itself; drop chunksize")
     started = perf_counter()
     specs = resolve_seeds(specs, base_seed=base_seed)
+    groups = None
+    if vectorize:
+        # grouping sees the FULL batch (before cache lookups), so batch
+        # composition -- and hence every digest and result -- is a pure
+        # function of the spec list, never of cache state
+        specs, groups = group_for_vectorize(specs)
     outcomes: List[Optional[TaskOutcome]] = [None] * len(specs)
 
     pending: List[int] = []
@@ -373,7 +551,13 @@ def run_many(
             pending.append(i)
 
     if pending:
-        if workers == 1 or len(pending) == 1:
+        if vectorize:
+            _run_vectorized(
+                specs, pending, groups, outcomes,
+                workers=workers, retries=retries, timeout=timeout,
+                cache=cache, progress=progress,
+            )
+        elif workers == 1 or len(pending) == 1:
             _run_serial(specs, pending, outcomes, retries, task_fn, cache, progress)
         else:
             LocalPool(workers, retries=retries, timeout=timeout, chunksize=chunksize).run(

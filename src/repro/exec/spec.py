@@ -39,6 +39,7 @@ from repro.simulation.rng import DEFAULT_SEED
 __all__ = [
     "SPEC_SCHEMA_VERSION",
     "ExperimentSpec",
+    "group_for_vectorize",
     "resolve_seeds",
     "spec_from_jsonable",
     "specs_from_file",
@@ -75,14 +76,41 @@ class ExperimentSpec:
     label:
         Presentation-only name for progress output and manifests;
         **not** part of the digest.
+    batch_marker:
+        ``None`` for serial execution (the default -- digests are
+        unchanged from earlier spec versions).  Set by
+        :func:`group_for_vectorize` to ``(n_replicas, replica_index,
+        batch_seeds)`` when the spec will run on the replica-batched
+        engine as part of a multi-replica batch: a replica's sample
+        path then depends on the whole ordered seed list (shared RNG
+        stream), so the marker enters the digest and batched results
+        can never alias serial ones in the cache.  One-replica batches
+        are bit-identical to serial runs and stay unmarked.
     """
 
     config: NetworkConfig
     n_cycles: int
     warmup: Optional[int] = None
     label: str = ""
+    batch_marker: Optional[tuple] = None
 
     def __post_init__(self) -> None:
+        if self.batch_marker is not None:
+            marker = tuple(self.batch_marker)
+            if (
+                len(marker) != 3
+                or not isinstance(marker[0], int)
+                or not isinstance(marker[1], int)
+                or not isinstance(marker[2], tuple)
+                or marker[0] < 2
+                or not 0 <= marker[1] < marker[0]
+                or len(marker[2]) != marker[0]
+            ):
+                raise ExecutionError(
+                    "batch_marker must be (n_replicas, replica_index, "
+                    f"batch_seeds) with n_replicas >= 2, got {self.batch_marker!r}"
+                )
+            object.__setattr__(self, "batch_marker", marker)
         if not isinstance(self.config, NetworkConfig):
             raise ExecutionError(
                 f"spec config must be a NetworkConfig, got {type(self.config).__name__}"
@@ -101,13 +129,27 @@ class ExperimentSpec:
 
     # ------------------------------------------------------------------
     def identity(self) -> dict:
-        """The exact document hashed into :attr:`digest`."""
-        return {
+        """The exact document hashed into :attr:`digest`.
+
+        The ``engine`` key appears *only* for batch-marked specs, so
+        every pre-existing serial digest (and cache entry) is
+        untouched.
+        """
+        doc = {
             "spec_version": SPEC_SCHEMA_VERSION,
             "config": config_to_jsonable(self.config),
             "n_cycles": int(self.n_cycles),
             "warmup": self.warmup,
         }
+        if self.batch_marker is not None:
+            n_replicas, replica, seeds = self.batch_marker
+            doc["engine"] = {
+                "kind": "replica-batched",
+                "n_replicas": n_replicas,
+                "replica": replica,
+                "batch_seeds": list(seeds),
+            }
+        return doc
 
     @property
     def digest(self) -> str:
@@ -151,6 +193,58 @@ def resolve_seeds(
         else:
             resolved.append(spec)
     return resolved
+
+
+def group_for_vectorize(specs: Iterable[ExperimentSpec]):
+    """Partition a seed-resolved batch into replica-batchable groups.
+
+    Two specs share a group iff they differ *only* in their config seed
+    (same network, load, cycle budget, and warm-up) -- exactly the shape
+    the replica-batched engine can stack.  Groups of two or more specs
+    with infinite buffers are *marked*: each member gets a
+    :attr:`ExperimentSpec.batch_marker` recording ``(n_replicas,
+    replica_index, batch_seeds)``, which enters its digest.  Singleton
+    groups and finite-buffer groups stay unmarked (they will run on the
+    serial engine, so their digests must keep matching serial cache
+    entries).
+
+    Returns ``(marked_specs, groups)`` where ``groups`` is a list of
+    ``(indices, batchable)`` covering every spec.  Grouping is a pure
+    function of the ordered spec list -- never of cache state -- so a
+    batch's results are deterministic regardless of what happens to be
+    cached.
+    """
+    specs = list(specs)
+    by_shape: dict = {}
+    for i, spec in enumerate(specs):
+        if spec.batch_marker is not None:
+            raise ExecutionError(
+                f"spec {i} ({spec.label or spec.digest[:12]}) is already "
+                "batch-marked; pass unmarked specs to the runner"
+            )
+        if spec.config.seed is None:
+            raise ExecutionError("group_for_vectorize needs seed-resolved specs")
+        ident = spec.identity()
+        config_doc = dict(ident["config"])
+        config_doc.pop("seed", None)
+        ident["config"] = config_doc
+        by_shape.setdefault(_canonical_json(ident), []).append(i)
+
+    marked = list(specs)
+    groups = []
+    for indices in by_shape.values():
+        batchable = (
+            len(indices) >= 2
+            and specs[indices[0]].config.buffer_capacity is None
+        )
+        if batchable:
+            seeds = tuple(int(specs[i].config.seed) for i in indices)
+            for pos, i in enumerate(indices):
+                marked[i] = dataclasses.replace(
+                    specs[i], batch_marker=(len(indices), pos, seeds)
+                )
+        groups.append((indices, batchable))
+    return marked, groups
 
 
 #: NetworkConfig fields a JSON spec file may set (plain values only;

@@ -21,6 +21,9 @@ Modules
 :mod:`repro.simulation.engine`
     The clocked core: one :meth:`~repro.simulation.engine.ClockedEngine.step`
     per network cycle.
+:mod:`repro.simulation.batched`
+    The replica-batched core: ``R`` independent replicas stacked into
+    one set of arrays, amortising per-cycle kernel-call overhead.
 :mod:`repro.simulation.network`
     The user-facing facade: :class:`~repro.simulation.network.NetworkSimulator`
     built from a :class:`~repro.simulation.network.NetworkConfig`,
@@ -36,6 +39,7 @@ Modules
 
 from __future__ import annotations
 
+from repro.simulation.batched import BatchedClockedEngine, run_batched
 from repro.simulation.network import NetworkConfig, NetworkResult, NetworkSimulator
 from repro.simulation.queue_sim import simulate_first_stage_queue
 from repro.simulation.replication import replicate, replicated_statistic
@@ -50,9 +54,11 @@ from repro.simulation.trace import MessageTracer
 from repro.simulation.warmup import mser5_truncation
 
 __all__ = [
+    "BatchedClockedEngine",
     "NetworkConfig",
     "NetworkResult",
     "NetworkSimulator",
+    "run_batched",
     "simulate_first_stage_queue",
     "OmegaTopology",
     "ButterflyTopology",

@@ -1,0 +1,322 @@
+"""Replica-batched simulation: R independent runs in one set of arrays.
+
+The paper's tables average many independent replications, and for its
+small networks (``k = 2``, width 8--128) a :class:`ClockedEngine` cycle
+is ~20 NumPy kernel calls on tiny arrays -- per-call Python overhead
+dominates, so running replicas one after another multiplies that
+overhead by ``R``.  :class:`BatchedClockedEngine` instead stacks ``R``
+replicas into flat arrays of ``R * n_stages * width`` ports (global
+port = ``replica * n_stages * width + stage * width + line``;
+:class:`~repro.simulation.switch.RingBufferQueues` takes any
+``n_queues``, so the substrate needs no change) and advances all of
+them with the *same* fixed number of kernel calls per cycle.
+
+Randomness
+----------
+One traffic generator draws a single ``(R, width)`` uniform block per
+cycle; replicas consume disjoint slices of one shared stream, which
+keeps them statistically independent.  The stream is seeded from the
+*list* of per-replica seeds (``SeedSequence([s_0, ..., s_{R-1}])``),
+so a batch's results are a pure function of the ordered seed list.
+Because ``SeedSequence([s]) == SeedSequence(s)`` and in-place uniform
+draws consume the stream exactly like allocating ones, a batch of
+**one** replica reproduces the serial engine **bit-for-bit** -- this is
+test-asserted.  For ``R > 1`` each replica's sample path depends on the
+whole batch (still a valid i.i.d. replication design, just a different
+one than ``R`` serial runs), which is why :mod:`repro.exec` marks
+batched specs with a distinct cache digest.
+
+Limitations (by construction)
+-----------------------------
+* Finite buffers are refused: drops are counted globally by the
+  substrate, not per replica.
+* Observers/metrics collectors are not wired: per-cycle metrics on a
+  stacked batch would interleave replicas.  Batched runs are
+  *metrics-off*; run serially when you need instrumentation.
+* ``warmup="auto"`` (MSER-5) is refused: the detector is a per-run
+  pilot; pass an explicit warm-up instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from time import perf_counter
+from typing import List, Literal, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.simulation.engine import build_routing_tables
+from repro.simulation.network import NetworkConfig, NetworkResult
+from repro.simulation.rng import DEFAULT_SEED
+from repro.simulation.stats import BatchedTrackedMessages, StageAccumulator
+from repro.simulation.switch import RingBufferQueues
+from repro.simulation.topology import MultistageTopology
+from repro.simulation.traffic import NetworkTrafficGenerator
+
+__all__ = ["BatchedClockedEngine", "run_batched"]
+
+
+class BatchedClockedEngine:
+    """Cycle-accurate simulator of ``n_replicas`` identical networks.
+
+    The step structure mirrors :class:`~repro.simulation.engine.ClockedEngine`
+    (inject / serve / tick) with every phase operating on the stacked
+    port space; per-replica statistics come from flat ``(replica,
+    stage)`` bins and block-partitioned trackers.
+
+    Parameters mirror the serial engine's; ``traffic`` must have been
+    built with ``n_replicas`` matching (see
+    :meth:`NetworkConfig.build_traffic`).
+    """
+
+    def __init__(
+        self,
+        topology: MultistageTopology,
+        traffic: NetworkTrafficGenerator,
+        n_replicas: int,
+        transfer: Literal["cut_through", "store_forward"] = "cut_through",
+        routing_rng: Optional[np.random.Generator] = None,
+        track_limit: int = 200_000,
+    ) -> None:
+        if traffic.width != topology.width:
+            raise SimulationError(
+                f"traffic width {traffic.width} != topology width {topology.width}"
+            )
+        if traffic.n_replicas != n_replicas:
+            raise SimulationError(
+                f"traffic built for {traffic.n_replicas} replicas, engine "
+                f"stacking {n_replicas}"
+            )
+        if transfer not in ("cut_through", "store_forward"):
+            raise SimulationError(f"unknown transfer mode {transfer!r}")
+        if n_replicas < 1:
+            raise SimulationError(f"need >= 1 replica, got {n_replicas}")
+        self.topology = topology
+        self.traffic = traffic
+        self.transfer = transfer
+        self.routing_rng = routing_rng
+        self.n_replicas = n_replicas
+        self.width = topology.width
+        self.n_stages = topology.n_stages
+        self.ports_per_replica = self.n_stages * self.width
+        n_ports = n_replicas * self.ports_per_replica
+        fields = {
+            "dest": np.int64,
+            "service": np.int64,
+            "arrival": np.int64,
+            "track": np.int64,
+        }
+        self.queues = RingBufferQueues(n_ports, fields, capacity=64)
+        self.busy = np.zeros(n_ports, dtype=np.int64)
+        # flat (replica, stage) bins: bin = replica * n_stages + stage
+        self.stats = StageAccumulator(n_replicas * self.n_stages)
+        self.tracker = BatchedTrackedMessages(n_replicas, track_limit, self.n_stages)
+        self.now = 0
+        self.measure_from = 0
+        self.completed = np.zeros(n_replicas, dtype=np.int64)
+        self.injected = np.zeros(n_replicas, dtype=np.int64)
+        self._perm_stack, self._shifts = build_routing_tables(topology)
+
+    # ------------------------------------------------------------------
+    # simulation loop
+    # ------------------------------------------------------------------
+    def run(self, n_cycles: int, warmup: int = 0) -> None:
+        """Advance ``n_cycles``; discard statistics before ``warmup``."""
+        if n_cycles < 1:
+            raise SimulationError(f"n_cycles must be >= 1, got {n_cycles}")
+        if not 0 <= warmup < n_cycles:
+            raise SimulationError(f"warmup {warmup} outside [0, {n_cycles})")
+        self.measure_from = self.now + warmup
+        end = self.now + n_cycles
+        while self.now < end:
+            self.step()
+
+    def step(self) -> None:
+        """Simulate one clock cycle of every replica."""
+        t = self.now
+        measuring = t >= self.measure_from
+        self._inject(t, measuring)
+        self._serve(t, measuring)
+        np.subtract(self.busy, 1, out=self.busy, where=self.busy > 0)
+        self.now = t + 1
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    def _inject(self, t: int, measuring: bool) -> None:
+        arrivals = self.traffic.generate_batch()
+        n = arrivals.sources.size
+        if n == 0:
+            return
+        reps = arrivals.replicas
+        self.injected += np.bincount(reps, minlength=self.n_replicas)
+        lines = self.topology.entry_queue(
+            arrivals.sources, arrivals.destinations, self.routing_rng
+        )
+        track = (
+            self.tracker.allocate(reps)
+            if measuring
+            else np.full(n, -1, dtype=np.int64)
+        )
+        self.queues.push_batch(
+            reps * self.ports_per_replica + lines,
+            dest=arrivals.destinations,
+            service=arrivals.services,
+            arrival=np.full(n, t, dtype=np.int64),
+            track=track,
+        )
+
+    def _serve(self, t: int, measuring: bool) -> None:
+        candidates = np.flatnonzero((self.busy == 0) & (self.queues.counts > 0))
+        if candidates.size == 0:
+            return
+        head_arrival = self.queues.peek(candidates, "arrival")
+        ready = candidates[head_arrival <= t]
+        if ready.size == 0:
+            return
+        msg = self.queues.pop(ready)
+        waits = (t - msg["arrival"]).astype(np.float64)
+        reps = ready // self.ports_per_replica
+        local = ready - reps * self.ports_per_replica
+        stages = local // self.width
+        if measuring:
+            self.stats.add(reps * self.n_stages + stages, waits)
+            self.tracker.record(msg["track"], stages, waits)
+        self.busy[ready] = msg["service"]
+        self._forward(t, reps, local, stages, msg)
+
+    def _forward(
+        self,
+        t: int,
+        reps: np.ndarray,
+        local: np.ndarray,
+        stages: np.ndarray,
+        msg: dict,
+    ) -> None:
+        moving = stages < self.n_stages - 1
+        done = ~moving
+        if done.any():
+            self.completed += np.bincount(reps[done], minlength=self.n_replicas)
+        if not moving.any():
+            return
+        reps = reps[moving]
+        stages = stages[moving]
+        dest = msg["dest"][moving]
+        lines = local[moving] % self.width
+        in_lines = self._perm_stack[stages + 1, lines]
+        if self._shifts is not None:
+            digits = (dest // self._shifts[stages + 1]) % self.topology.k
+        else:
+            digits = self.routing_rng.integers(0, self.topology.k, size=lines.size)
+        next_lines = (in_lines // self.topology.k) * self.topology.k + digits
+        next_ports = (
+            reps * self.ports_per_replica + (stages + 1) * self.width + next_lines
+        )
+        if self.transfer == "cut_through":
+            arrival = np.full(reps.size, t + 1, dtype=np.int64)
+        else:
+            arrival = t + msg["service"][moving]
+        self.queues.push_batch(
+            next_ports,
+            dest=dest,
+            service=msg["service"][moving],
+            arrival=arrival,
+            track=msg["track"][moving],
+        )
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Messages currently buffered across all replicas."""
+        return self.queues.total_occupancy()
+
+    def __repr__(self) -> str:
+        return (
+            f"BatchedClockedEngine(t={self.now}, replicas={self.n_replicas}, "
+            f"stages={self.n_stages}, width={self.width}, "
+            f"in_flight={self.in_flight})"
+        )
+
+
+def run_batched(
+    config: NetworkConfig,
+    seeds: Sequence[Optional[int]],
+    n_cycles: int,
+    warmup: Optional[int] = None,
+) -> List[NetworkResult]:
+    """Run ``len(seeds)`` replicas of ``config`` in one stacked engine.
+
+    Returns one :class:`NetworkResult` per seed, in order, each carrying
+    ``config`` with its own seed -- the same schema serial runs produce,
+    so downstream analysis and the result cache need no batch awareness.
+    ``elapsed_seconds`` is the batch wall clock divided by ``R`` (the
+    amortised per-replica cost).
+
+    Refuses finite buffers and ``warmup="auto"`` (see module notes).
+    """
+    if config.buffer_capacity is not None:
+        raise SimulationError(
+            "replica batching supports infinite buffers only; run finite-"
+            "buffer scenarios serially"
+        )
+    if warmup == "auto":
+        raise SimulationError(
+            'warmup="auto" is a per-run pilot; give an explicit warm-up '
+            "for batched replicas"
+        )
+    if not seeds:
+        raise SimulationError("need at least one replica seed")
+    if warmup is None:
+        warmup = max(500, n_cycles // 10)
+    warmup = int(warmup)
+    if warmup >= n_cycles:
+        raise SimulationError(f"warmup {warmup} >= n_cycles {n_cycles}")
+
+    n_replicas = len(seeds)
+    entropy = [DEFAULT_SEED if s is None else int(s) for s in seeds]
+    children = np.random.SeedSequence(entropy).spawn(2)
+    traffic_rng, routing_rng = (np.random.default_rng(c) for c in children)
+
+    topology = config.build_topology()
+    traffic = config.build_traffic(traffic_rng, topology, n_replicas=n_replicas)
+    engine = BatchedClockedEngine(
+        topology,
+        traffic,
+        n_replicas,
+        transfer=config.transfer,
+        routing_rng=routing_rng,
+        track_limit=config.track_limit,
+    )
+    started = perf_counter()
+    engine.run(n_cycles, warmup=warmup)
+    elapsed = perf_counter() - started
+
+    S = config.n_stages
+    means = engine.stats.means().reshape(n_replicas, S)
+    variances = engine.stats.variances().reshape(n_replicas, S)
+    counts = engine.stats.count.reshape(n_replicas, S)
+    high_water = engine.queues.high_water().reshape(
+        n_replicas, engine.ports_per_replica
+    )
+    results: List[NetworkResult] = []
+    for i, seed in enumerate(seeds):
+        results.append(
+            NetworkResult(
+                config=replace(config, seed=seed),
+                n_cycles=n_cycles,
+                warmup=warmup,
+                stage_means=means[i].copy(),
+                stage_variances=variances[i].copy(),
+                stage_counts=counts[i].copy(),
+                tracked=engine.tracker.replica_tracker(i),
+                injected=int(engine.injected[i]),
+                completed=int(engine.completed[i]),
+                dropped=0,
+                max_occupancy=int(high_water[i].max()),
+                elapsed_seconds=elapsed / n_replicas,
+            )
+        )
+    return results

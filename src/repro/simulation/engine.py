@@ -35,7 +35,23 @@ from repro.simulation.switch import RingBufferQueues
 from repro.simulation.topology import MultistageTopology
 from repro.simulation.traffic import NetworkTrafficGenerator
 
-__all__ = ["ClockedEngine"]
+__all__ = ["ClockedEngine", "build_routing_tables"]
+
+
+def build_routing_tables(topology: MultistageTopology):
+    """Stacked per-stage wiring permutations and digit divisors.
+
+    Returns ``(perm_stack, shifts)``: ``perm_stack[s]`` is stage ``s``'s
+    input wiring permutation and ``shifts`` the destination-digit
+    divisors (``None`` for topologies routed by coin flips).  Forwarding
+    a mixed-stage batch then needs one gather, no per-stage Python loop;
+    shared by :class:`ClockedEngine` and the replica-batched engine
+    (every replica runs the *same* network, so one table serves all).
+    """
+    perm_stack = np.stack(
+        [topology.input_wiring(s) for s in range(topology.n_stages)]
+    )
+    return perm_stack, topology.routing_shifts()
 
 
 class ClockedEngine:
@@ -115,13 +131,7 @@ class ClockedEngine:
         self.measure_from = 0
         self.completed = 0
         self.injected = 0
-        # fast routing tables: stacked per-stage wiring permutations and
-        # digit divisors, so forwarding a mixed-stage batch needs no
-        # per-stage Python loop
-        self._perm_stack = np.stack(
-            [topology.input_wiring(s) for s in range(self.n_stages)]
-        )
-        self._shifts = topology.routing_shifts()
+        self._perm_stack, self._shifts = build_routing_tables(topology)
         #: when True, per-cycle (sum, count) of last-stage waits are
         #: appended to :attr:`cycle_wait_sums` / :attr:`cycle_wait_counts`
         #: (used by the automated warm-up detector)

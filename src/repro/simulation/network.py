@@ -152,6 +152,31 @@ class NetworkConfig:
             raise ModelError(f"unknown topology {self.topology!r}")
         return cls(self.k, self.n_stages, self.width)
 
+    def build_traffic(
+        self,
+        rng: np.random.Generator,
+        topology: Optional[MultistageTopology] = None,
+        n_replicas: int = 1,
+    ) -> NetworkTrafficGenerator:
+        """Traffic generator for this scenario (shared serial/batched).
+
+        ``n_replicas > 1`` sizes the generator's per-cycle uniform block
+        for the replica-batched engine
+        (:mod:`repro.simulation.batched`); the single-replica serial
+        path is the default.
+        """
+        topology = self.build_topology() if topology is None else topology
+        return NetworkTrafficGenerator(
+            width=topology.width,
+            p=self.p,
+            service=self.service_model(),
+            rng=rng,
+            bulk_size=self.bulk_size,
+            q=self.q,
+            dest_space=topology.destination_space,
+            n_replicas=n_replicas,
+        )
+
     @property
     def traffic_intensity(self) -> float:
         """``rho`` = mean work per output-port cycle."""
@@ -234,15 +259,7 @@ class NetworkSimulator:
         self.config = config
         traffic_rng, routing_rng = spawn_rngs(config.seed, 2)
         self.topology = config.build_topology()
-        self.traffic = NetworkTrafficGenerator(
-            width=self.topology.width,
-            p=config.p,
-            service=config.service_model(),
-            rng=traffic_rng,
-            bulk_size=config.bulk_size,
-            q=config.q,
-            dest_space=self.topology.destination_space,
-        )
+        self.traffic = config.build_traffic(traffic_rng, self.topology)
         self.engine = ClockedEngine(
             self.topology,
             self.traffic,

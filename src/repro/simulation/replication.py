@@ -81,6 +81,7 @@ def replicate(
     warmup=None,
     base_seed: int = 1000,
     workers: Optional[int] = None,
+    vectorize: Optional[bool] = None,
 ) -> List[NetworkResult]:
     """Run ``n_replications`` independent copies of ``config``.
 
@@ -91,7 +92,11 @@ def replicate(
     The batch goes through :func:`repro.exec.run_many`; ``workers``
     overrides the ambient :class:`~repro.exec.context.ExecutionContext`
     (default: serial, no cache -- identical to the historical inline
-    loop).
+    loop).  ``vectorize=True`` stacks the replications onto the
+    replica-batched engine (:mod:`repro.simulation.batched`) -- one
+    stacked run instead of ``R`` serial ones; with infinite buffers the
+    result schema is unchanged and metrics/manifests are off (batched
+    runs are uninstrumented).  ``None`` defers to the ambient context.
     """
     if n_replications < 2:
         raise SimulationError("need at least 2 replications for an interval")
@@ -105,6 +110,7 @@ def replicate(
 
     ctx = current_execution()
     effective_workers = ctx.workers if workers is None else workers
+    effective_vectorize = ctx.vectorize if vectorize is None else vectorize
     specs = [
         ExperimentSpec(
             config=replace(config, seed=base_seed + i),
@@ -120,11 +126,17 @@ def replicate(
         cache=ctx.cache,
         retries=ctx.retries,
         timeout=ctx.timeout,
+        vectorize=effective_vectorize,
     )
     batch.raise_on_failure()
     out = batch.results()
     session = current_session()
-    if session is not None and effective_workers == 1 and batch.n_cached == 0:
+    if (
+        session is not None
+        and effective_workers == 1
+        and batch.n_cached == 0
+        and not effective_vectorize
+    ):
         # tie the per-run manifests together as one reproducible batch
         # (run manifests only exist when the runs happened inline in
         # this process; parallel/cached batches are indexed by the

@@ -26,6 +26,7 @@ from scipy import stats as sps
 from repro.errors import SimulationError
 
 __all__ = [
+    "BatchedTrackedMessages",
     "StageAccumulator",
     "TrackedMessages",
     "batch_means_ci",
@@ -151,6 +152,63 @@ class TrackedMessages:
         if rows.shape[0] < 2:
             raise SimulationError("not enough completed messages for correlations")
         return np.corrcoef(rows, rowvar=False)
+
+
+class BatchedTrackedMessages:
+    """Per-message waiting times for ``n_replicas`` independent cohorts.
+
+    One contiguous ``(n_replicas * limit, n_stages)`` matrix; replica
+    ``r`` owns rows ``[r * limit, (r + 1) * limit)``.  Slot allocation
+    mirrors :class:`TrackedMessages` per replica -- sequential ids, -1
+    once a replica's quota is exhausted -- so a batch of one replica
+    allocates the exact id sequence a serial tracker would.
+    """
+
+    def __init__(self, n_replicas: int, limit: int, n_stages: int) -> None:
+        if n_replicas < 1:
+            raise SimulationError(f"need >= 1 replica, got {n_replicas}")
+        if limit < 1:
+            raise SimulationError(f"tracking limit must be >= 1, got {limit}")
+        self.n_replicas = n_replicas
+        self.limit = limit
+        self.n_stages = n_stages
+        self.waits = np.full((n_replicas * limit, n_stages), -1.0, dtype=np.float32)
+        self._next = np.zeros(n_replicas, dtype=np.int64)
+
+    def allocate(self, replicas: np.ndarray) -> np.ndarray:
+        """Hand out one slot id per entry of ``replicas`` (-1 = untracked).
+
+        ``replicas`` must be sorted ascending (the batched traffic
+        generator emits arrivals replica-major, so this holds for free).
+        """
+        n = replicas.size
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        counts = np.bincount(replicas, minlength=self.n_replicas)
+        group_start = np.cumsum(counts) - counts
+        offsets = np.arange(n) - group_start[replicas]
+        local = self._next[replicas] + offsets
+        ids = np.where(local < self.limit, replicas * self.limit + local, -1)
+        self._next = np.minimum(self._next + counts, self.limit)
+        return ids
+
+    def record(self, track_ids: np.ndarray, stages: np.ndarray, waits: np.ndarray) -> None:
+        """Record waits for the tracked subset (ids ``>= 0``)."""
+        mask = track_ids >= 0
+        if not mask.any():
+            return
+        self.waits[track_ids[mask], stages[mask]] = waits[mask]
+
+    def replica_tracker(self, replica: int) -> TrackedMessages:
+        """A standalone :class:`TrackedMessages` view of one replica.
+
+        Rebuilt from the replica's complete rows, exactly as a cached or
+        worker-shipped serial result is (:meth:`TrackedMessages.from_rows`),
+        so downstream totals/correlations code needs no batch awareness.
+        """
+        block = self.waits[replica * self.limit : replica * self.limit + int(self._next[replica])]
+        done = (block >= 0).all(axis=1)
+        return TrackedMessages.from_rows(block[done], self.n_stages)
 
 
 class BatchMeansResult(NamedTuple):

@@ -26,12 +26,21 @@ import numpy as np
 from repro.errors import ModelError
 from repro.service.base import ServiceProcess
 
-__all__ = ["CycleArrivals", "NetworkTrafficGenerator"]
+__all__ = ["BatchArrivals", "CycleArrivals", "NetworkTrafficGenerator"]
 
 
 class CycleArrivals(NamedTuple):
     """Packets injected at the network inputs in one cycle."""
 
+    sources: np.ndarray
+    destinations: np.ndarray
+    services: np.ndarray
+
+
+class BatchArrivals(NamedTuple):
+    """Packets injected across a replica batch in one cycle."""
+
+    replicas: np.ndarray
     sources: np.ndarray
     destinations: np.ndarray
     services: np.ndarray
@@ -61,6 +70,9 @@ class NetworkTrafficGenerator:
         Favourite bias requires ``dest_space == width``.
     rng:
         Generator for all traffic randomness.
+    n_replicas:
+        Number of stacked replicas served by :meth:`generate_batch`
+        (one shared RNG stream; replicas consume disjoint slices of it).
     """
 
     def __init__(
@@ -73,6 +85,7 @@ class NetworkTrafficGenerator:
         q: float = 0.0,
         favorite: Optional[np.ndarray] = None,
         dest_space: Optional[int] = None,
+        n_replicas: int = 1,
     ) -> None:
         if width < 1:
             raise ModelError(f"width must be >= 1, got {width}")
@@ -101,12 +114,23 @@ class NetworkTrafficGenerator:
         if sorted(favorite.tolist()) != list(range(width)):
             raise ModelError("favorite map must be a permutation of the outputs")
         self.favorite = favorite
+        if n_replicas < 1:
+            raise ModelError(f"n_replicas must be >= 1, got {n_replicas}")
+        self.n_replicas = n_replicas
+        # preallocated per-cycle uniform block, filled in place so a
+        # cycle's coin flips cost no allocation; row 0 doubles as the
+        # single-replica buffer (rng.random(out=view) consumes the
+        # stream exactly like rng.random(width), so this fast path is
+        # bit-identical to the old allocating draw)
+        self._uniform = np.empty((n_replicas, width))
         #: total packets injected so far (offered load bookkeeping)
         self.injected = 0
 
     def generate(self) -> CycleArrivals:
-        """Arrivals for one cycle."""
-        active = np.flatnonzero(self.rng.random(self.width) < self.p)
+        """Arrivals for one cycle (single replica)."""
+        buf = self._uniform[0]
+        self.rng.random(out=buf)
+        active = np.flatnonzero(buf < self.p)
         n = active.size
         if n == 0:
             empty = np.empty(0, dtype=np.int64)
@@ -120,7 +144,40 @@ class NetworkTrafficGenerator:
             dests = np.repeat(dests, self.bulk_size)
         services = self.service.sample(self.rng, active.size)
         self.injected += active.size
-        return CycleArrivals(active, dests, services.astype(np.int64))
+        return CycleArrivals(active, dests, np.asarray(services, dtype=np.int64))
+
+    def generate_batch(self) -> BatchArrivals:
+        """Arrivals for one cycle across all ``n_replicas`` replicas.
+
+        One ``(n_replicas, width)`` uniform block decides every
+        replica's injections, then destination/favourite/service draws
+        run over the concatenated active set -- the per-cycle kernel
+        count stays flat in ``n_replicas``.  At ``n_replicas == 1`` the
+        stream consumption is identical to :meth:`generate`, so a
+        batched run of one replica reproduces a serial run bit-for-bit.
+        """
+        buf = self._uniform
+        self.rng.random(out=buf)
+        flat = np.flatnonzero(buf.ravel() < self.p)
+        n = flat.size
+        if n == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return BatchArrivals(empty, empty, empty, empty)
+        replicas = flat // self.width
+        active = flat - replicas * self.width
+        dests = self.rng.integers(0, self.dest_space, size=n)
+        if self.q > 0:
+            use_fav = self.rng.random(n) < self.q
+            dests = np.where(use_fav, self.favorite[active], dests)
+        if self.bulk_size > 1:
+            replicas = np.repeat(replicas, self.bulk_size)
+            active = np.repeat(active, self.bulk_size)
+            dests = np.repeat(dests, self.bulk_size)
+        services = self.service.sample(self.rng, active.size)
+        self.injected += active.size
+        return BatchArrivals(
+            replicas, active, dests, np.asarray(services, dtype=np.int64)
+        )
 
     @property
     def offered_load(self) -> float:

@@ -1,0 +1,211 @@
+"""Vectorized (replica-batched) execution through run_many.
+
+Contract under test:
+
+* grouping is by shape (identical specs up to the config seed), a pure
+  function of the spec list, with singletons and finite-buffer specs
+  left on the serial path;
+* marked specs get distinct digests (no cache aliasing between batched
+  and serial results of the same scenario), while unmarked specs keep
+  their historical digests;
+* ``vectorize=True`` composes with workers and the cache: pool runs are
+  bit-identical to in-process runs, repeats are fully cache-served;
+* a failing stacked group fails atomically without sinking the batch.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.cache import ResultCache
+from repro.exec.runner import run_many
+from repro.exec.spec import ExperimentSpec, group_for_vectorize, resolve_seeds
+from repro.simulation.network import NetworkConfig
+from repro.simulation.replication import replicate
+
+
+def base_config(**kwargs):
+    defaults = dict(k=2, n_stages=3, p=0.5, topology="random", width=16)
+    defaults.update(kwargs)
+    return NetworkConfig(**defaults)
+
+
+def spec_batch(n=4, n_cycles=1_200, **kwargs):
+    return [
+        ExperimentSpec(
+            config=base_config(seed=100 + i, **kwargs),
+            n_cycles=n_cycles,
+            label=f"r{i}",
+        )
+        for i in range(n)
+    ]
+
+
+class TestGrouping:
+    def test_same_shape_specs_marked_as_one_group(self):
+        specs = spec_batch(3)
+        marked, groups = group_for_vectorize(specs)
+        assert groups == [([0, 1, 2], True)]
+        seeds = (100, 101, 102)
+        for pos, spec in enumerate(marked):
+            assert spec.batch_marker == (3, pos, seeds)
+
+    def test_mixed_shapes_split_and_singletons_unmarked(self):
+        specs = spec_batch(2) + [
+            ExperimentSpec(config=base_config(p=0.3, seed=7), n_cycles=1_200)
+        ]
+        marked, groups = group_for_vectorize(specs)
+        assert ([0, 1], True) in groups and ([2], False) in groups
+        assert marked[2].batch_marker is None
+        assert marked[2].digest == specs[2].digest
+
+    def test_finite_buffer_groups_stay_serial(self):
+        specs = [
+            ExperimentSpec(
+                config=NetworkConfig(
+                    k=2, n_stages=3, p=0.5, buffer_capacity=4, seed=s
+                ),
+                n_cycles=1_200,
+            )
+            for s in (1, 2)
+        ]
+        marked, groups = group_for_vectorize(specs)
+        assert groups == [([0, 1], False)]
+        assert all(s.batch_marker is None for s in marked)
+
+    def test_needs_resolved_seeds_and_unmarked_input(self):
+        unseeded = ExperimentSpec(config=base_config(), n_cycles=1_200)
+        with pytest.raises(ExecutionError, match="seed-resolved"):
+            group_for_vectorize([unseeded])
+        marked, _ = group_for_vectorize(resolve_seeds(spec_batch(2)))
+        with pytest.raises(ExecutionError, match="already"):
+            group_for_vectorize(marked)
+
+    def test_grouping_ignores_labels(self):
+        specs = spec_batch(2)
+        relabelled = [replace(specs[0], label="x"), replace(specs[1], label="y")]
+        _, g1 = group_for_vectorize(specs)
+        _, g2 = group_for_vectorize(relabelled)
+        assert g1 == g2
+
+
+class TestDigests:
+    def test_marker_changes_digest(self):
+        [spec] = spec_batch(1)
+        marked = replace(spec, batch_marker=(2, 0, (100, 101)))
+        assert marked.digest != spec.digest
+        assert "engine" in marked.identity()
+        assert "engine" not in spec.identity()
+
+    def test_marker_position_and_seed_list_enter_digest(self):
+        [spec] = spec_batch(1)
+        a = replace(spec, batch_marker=(2, 0, (100, 101)))
+        b = replace(spec, batch_marker=(2, 1, (100, 101)))
+        c = replace(spec, batch_marker=(2, 0, (100, 999)))
+        assert len({a.digest, b.digest, c.digest}) == 3
+
+    def test_invalid_markers_rejected(self):
+        [spec] = spec_batch(1)
+        for bad in [(1, 0, (100,)), (2, 2, (100, 101)), (2, 0, (100,)), ("x",)]:
+            with pytest.raises(ExecutionError):
+                replace(spec, batch_marker=bad)
+
+
+class TestRunMany:
+    def test_vectorized_matches_itself_across_workers(self):
+        specs = spec_batch(5)
+        inproc = run_many(specs, vectorize=True).raise_on_failure()
+        pooled = run_many(specs, vectorize=True, workers=2).raise_on_failure()
+        for a, b in zip(inproc.outcomes, pooled.outcomes):
+            assert np.array_equal(a.result.stage_means, b.result.stage_means)
+            assert np.array_equal(a.result.stage_counts, b.result.stage_counts)
+            assert a.spec.digest == b.spec.digest
+
+    def test_cache_round_trip_per_spec(self, tmp_path):
+        specs = spec_batch(4)
+        cache = ResultCache(tmp_path / "cache")
+        first = run_many(specs, vectorize=True, cache=cache).raise_on_failure()
+        assert first.n_simulated == 4
+        again = run_many(specs, vectorize=True, cache=cache).raise_on_failure()
+        assert again.n_cached == 4
+        for a, b in zip(first.outcomes, again.outcomes):
+            assert np.array_equal(a.result.stage_means, b.result.stage_means)
+            assert np.array_equal(
+                a.result.tracked.complete_rows(), b.result.tracked.complete_rows()
+            )
+
+    def test_no_aliasing_with_serial_cache_entries(self, tmp_path):
+        specs = spec_batch(3)
+        cache = ResultCache(tmp_path / "cache")
+        run_many(specs, vectorize=True, cache=cache).raise_on_failure()
+        serial = run_many(specs, cache=cache).raise_on_failure()
+        # marked digests differ, so the serial batch cannot be served
+        # from the batched entries
+        assert serial.n_simulated == 3 and serial.n_cached == 0
+
+    def test_partial_cache_reruns_whole_group_consistently(self, tmp_path):
+        specs = spec_batch(4)
+        cache = ResultCache(tmp_path / "cache")
+        full = run_many(specs, vectorize=True, cache=cache).raise_on_failure()
+        # evict one member; the group re-runs but every result must
+        # reproduce (stacked runs are pure functions of the seed list)
+        marked, _ = group_for_vectorize(resolve_seeds(specs))
+        for path in cache._entry_paths(marked[2].digest):
+            path.unlink()
+        partial = run_many(specs, vectorize=True, cache=cache).raise_on_failure()
+        assert partial.n_cached == 3 and partial.n_simulated == 1
+        for a, b in zip(full.outcomes, partial.outcomes):
+            assert np.array_equal(a.result.stage_means, b.result.stage_means)
+
+    def test_single_replica_batch_matches_serial_digest_and_result(self):
+        """A 1-spec 'group' runs serial and shares the serial digest."""
+        specs = spec_batch(1)
+        vec = run_many(specs, vectorize=True).raise_on_failure()
+        ser = run_many(specs).raise_on_failure()
+        assert vec.outcomes[0].spec.digest == ser.outcomes[0].spec.digest
+        assert np.array_equal(
+            vec.outcomes[0].result.stage_means, ser.outcomes[0].result.stage_means
+        )
+
+    def test_atomic_group_failure(self, monkeypatch):
+        import repro.simulation.batched as batched_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injected batched failure")
+
+        monkeypatch.setattr(batched_mod, "run_batched", boom)
+        specs = spec_batch(3) + [
+            ExperimentSpec(config=base_config(p=0.3, seed=9), n_cycles=1_200)
+        ]
+        batch = run_many(specs, vectorize=True, retries=1)
+        assert batch.n_failed == 3
+        assert batch.n_simulated == 1  # the singleton ran serially
+        for o in batch.failures():
+            assert o.attempts == 2
+            assert "injected batched failure" in o.error
+
+    def test_vectorize_rejects_task_fn_and_chunksize(self):
+        specs = spec_batch(2)
+        with pytest.raises(ExecutionError, match="task_fn"):
+            run_many(specs, vectorize=True, task_fn=lambda s: None)
+        with pytest.raises(ExecutionError, match="chunksize"):
+            run_many(specs, vectorize=True, chunksize=2)
+
+
+class TestReplicate:
+    def test_replicate_vectorized_returns_per_replica_results(self):
+        config = base_config()
+        results = replicate(config, 6, 1_500, vectorize=True)
+        assert len(results) == 6
+        assert [r.config.seed for r in results] == [1000 + i for i in range(6)]
+        means = {float(r.stage_means[0]) for r in results}
+        assert len(means) == 6
+
+    def test_replicate_vectorized_is_deterministic(self):
+        config = base_config()
+        a = replicate(config, 4, 1_500, vectorize=True)
+        b = replicate(config, 4, 1_500, vectorize=True)
+        for ra, rb in zip(a, b):
+            assert np.array_equal(ra.stage_means, rb.stage_means)

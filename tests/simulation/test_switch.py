@@ -134,3 +134,66 @@ class TestPropertyBased:
                 expect = [model[qq].pop(0) for qq in ready]
                 assert out["v"].tolist() == expect
         assert q.total_occupancy() == sum(len(v) for v in model.values())
+
+
+class TestPopValidation:
+    def test_pop_empty_leaves_state_intact(self):
+        """A bad pop must raise *before* mutating head/count (regression:
+        the old code decremented first, corrupting the queues)."""
+        q = make()
+        q.push_batch(np.array([0, 0]), val=np.array([1, 2]))
+        before = q.counts.copy()
+        with pytest.raises(SimulationError):
+            q.pop(np.array([0, 3]))  # queue 3 is empty
+        assert q.counts.tolist() == before.tolist()
+        # the untouched queue still pops in FIFO order
+        assert q.pop(np.array([0]))["val"][0] == 1
+        assert q.pop(np.array([0]))["val"][0] == 2
+
+
+class TestAppearanceRanks:
+    def test_high_multiplicity_fifo(self):
+        """Many same-cycle messages to one queue keep appearance order
+        through the peel-loop rank path."""
+        q = make(n=2, cap=2)
+        queues = np.array([0, 1, 0, 0, 1, 0, 0])
+        q.push_batch(queues, val=np.arange(7))
+        assert q.pop(np.array([0]))["val"][0] == 0
+        assert q.pop(np.array([0]))["val"][0] == 2
+        assert q.pop(np.array([0]))["val"][0] == 3
+        assert q.pop(np.array([1]))["val"][0] == 1
+
+    def test_rank_matches_argsort_reference(self):
+        rng = np.random.default_rng(3)
+        q = make(n=8, cap=64)
+        for _ in range(25):
+            n = int(rng.integers(1, 30))
+            queues = rng.integers(0, 8, size=n)
+            # reference: stable-argsort grouped cumcount
+            order = np.argsort(queues, kind="stable")
+            sorted_q = queues[order]
+            first = np.concatenate(([True], sorted_q[1:] != sorted_q[:-1]))
+            start = np.maximum.accumulate(np.where(first, np.arange(n), 0))
+            expected = np.empty(n, dtype=np.int64)
+            expected[order] = np.arange(n) - start
+            binc = np.bincount(queues, minlength=8)
+            got = q._appearance_ranks(queues, binc)
+            assert np.array_equal(got, expected)
+
+
+class TestHighWater:
+    def test_high_water_survives_pops(self):
+        q = make()
+        q.push_batch(np.array([1, 1, 1]), val=np.array([1, 2, 3]))
+        q.pop(np.array([1]))
+        q.pop(np.array([1]))
+        assert q.max_occupancy == 3
+        assert q.high_water().tolist() == [0, 3, 0, 0]
+
+    def test_high_water_per_queue(self):
+        q = make()
+        q.push_batch(np.array([0, 0, 2]), val=np.array([1, 2, 3]))
+        q.pop(np.array([0]))
+        q.push_batch(np.array([2, 2]), val=np.array([4, 5]))
+        assert q.high_water().tolist() == [2, 0, 3, 0]
+        assert q.max_occupancy == 3
