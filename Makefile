@@ -4,7 +4,7 @@ PYTHON ?= python
 WORKERS ?= 4
 CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full coverage tables tables-parallel figures report calibrate clean
+.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report calibrate clean
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -32,6 +32,11 @@ tables-parallel:
 	for t in I II III IV V VI VII VIII IX X XI XII; do \
 		$(PYTHON) -m repro table $$t --workers $(WORKERS) --cache $(CACHE); echo; \
 	done
+
+# The load sweep with scenario stacking: every load point rides one
+# fused engine run (see docs/execution.md, "Parameter stacking").
+sweeps-fast:
+	$(PYTHON) -m repro sweep load --cycles 8000 --vectorize-replicas
 
 figures:
 	for f in 3 4 5 6 7 8; do \

@@ -1,0 +1,117 @@
+"""Parameter-stacking benchmarks: the >= 3x fused-sweep speedup claim.
+
+The paper's tables are load grids -- 9 loads x several seeds per cell.
+Before scenario stacking, a vectorized sweep still paid one batched
+engine run *per load* (the replica axis only absorbed seeds); with the
+scenario axis (:func:`~repro.simulation.batched.run_stacked`) the whole
+9-load x 8-seed grid is one engine run, paying the per-cycle NumPy
+kernel overhead once for all 72 cells.  ``docs/execution.md`` claims
+the fused grid beats the per-load batched runs by at least 3x; the
+measurement is emitted as ``BENCH_sweep.json`` so CI keeps a
+comparable artifact trail next to ``BENCH_replicas.json``.
+
+CPU-gated like the other benchmarks: on a starved box the baseline is
+noise-dominated and the ratio meaningless.
+"""
+
+import json
+import os
+from dataclasses import replace
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.simulation.batched import run_batched, run_stacked
+from repro.simulation.network import NetworkConfig
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+LOADS = tuple(round(0.1 * i, 1) for i in range(1, 10))  # 0.1 .. 0.9
+N_SEEDS = 8
+
+
+def bench_config() -> NetworkConfig:
+    """The ISSUE scenario: k=2, 6 stages, narrow width.
+
+    Width 4 keeps each per-load baseline run in the small-array regime
+    the claim is about (per-kernel Python overhead comparable to the
+    array work -- the regime every paper table lives in).
+    ``track_limit`` is shrunk from the 200k default: the stacked
+    tracker allocates ``R * track_limit`` rows up front for R = 72
+    replicas, and the speedup claim is about kernel-call overhead, not
+    tracking memory.
+    """
+    return NetworkConfig(
+        k=2, n_stages=6, p=0.5, topology="random", width=4, track_limit=10_000
+    )
+
+
+@pytest.mark.skipif(
+    _usable_cpus() < 4,
+    reason=f"speedup benchmark needs >= 4 usable CPUs, have {_usable_cpus()}",
+)
+def test_stacked_sweep_speedup(benchmark, cycles):
+    """One fused loads x seeds run must beat per-load batched runs >= 3x."""
+    base = bench_config()
+    n_cycles = max(cycles, 2_000)
+    grids = {
+        p: [replace(base, p=p, seed=1000 * i + j) for j in range(N_SEEDS)]
+        for i, p in enumerate(LOADS)
+    }
+    stacked_configs = [cfg for grid in grids.values() for cfg in grid]
+
+    # warm both paths once so neither pays first-call import costs
+    run_batched(base, [1, 2], 1_000)
+    run_stacked(stacked_configs[:2], 1_000)
+
+    t0 = perf_counter()
+    per_load = []
+    for p, grid in grids.items():
+        per_load.extend(
+            run_batched(grid[0], [c.seed for c in grid], n_cycles)
+        )
+    t_per_load = perf_counter() - t0
+
+    t0 = perf_counter()
+    fused = run_stacked(stacked_configs, n_cycles)
+    t_fused = perf_counter() - t0
+
+    assert len(per_load) == len(fused) == len(LOADS) * N_SEEDS
+    for r in fused:  # same schema, per-scenario statistics present
+        assert r.stage_means.shape == (base.n_stages,)
+        assert r.stage_counts.sum() > 0
+        assert np.isfinite(r.stage_means).all()
+    # injections scale with each cell's own load
+    lightest = sum(r.injected for r in fused[:N_SEEDS])
+    heaviest = sum(r.injected for r in fused[-N_SEEDS:])
+    assert heaviest > 5 * lightest
+
+    speedup = t_per_load / t_fused
+    artifact = {
+        "scenario": "k=2 n_stages=6 width=4, loads 0.1..0.9 x 8 seeds",
+        "n_loads": len(LOADS),
+        "n_seeds": N_SEEDS,
+        "n_cycles": n_cycles,
+        "per_load_batched_seconds": round(t_per_load, 4),
+        "stacked_seconds": round(t_fused, 4),
+        "speedup": round(speedup, 2),
+        "usable_cpus": _usable_cpus(),
+    }
+    Path("BENCH_sweep.json").write_text(json.dumps(artifact, indent=2))
+
+    def report():
+        return t_fused
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    assert speedup >= 3.0, (
+        f"expected >= 3x fused-sweep speedup: per-load batched "
+        f"{t_per_load:.2f}s, stacked {t_fused:.2f}s ({speedup:.2f}x)"
+    )

@@ -74,9 +74,10 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument(
         "--vectorize-replicas",
         action="store_true",
-        help="stack same-shape scenarios (identical but for the seed) "
-        "onto the replica-batched engine; composes with --workers "
-        "(metrics are off for stacked runs)",
+        help="stack same-shape scenarios (which may differ in seed, load, "
+        "bulk size, bias, and service model) onto the batched engine, "
+        "fusing replications and whole sweeps into single runs; composes "
+        "with --workers (metrics are off for stacked runs)",
     )
 
     parser = argparse.ArgumentParser(

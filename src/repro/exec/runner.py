@@ -92,18 +92,20 @@ def _run_chunk(specs: List[ExperimentSpec], task_fn) -> List[tuple]:
 def _run_batched_group(specs: List[ExperimentSpec]) -> List[tuple]:
     """Worker-side batched executor: one stacked run, one payload per spec.
 
-    The specs must share everything but their config seed (guaranteed by
-    :func:`~repro.exec.spec.group_for_vectorize`).  Failure is atomic --
+    The specs must share everything that fixes the engine's array
+    shapes (guaranteed by :func:`~repro.exec.spec.group_for_vectorize`);
+    stackable parameters -- seed, load, bulk, bias, service model -- may
+    differ per spec and ride the scenario axis of
+    :func:`~repro.simulation.batched.run_stacked`.  Failure is atomic --
     a stacked run cannot partially succeed -- so an exception reports
     every spec of the group as one failed attempt.
     """
     started = perf_counter()
     try:
-        from repro.simulation.batched import run_batched
+        from repro.simulation.batched import run_stacked
 
-        seeds = [s.config.seed for s in specs]
-        results = run_batched(
-            specs[0].config, seeds, specs[0].n_cycles, warmup=specs[0].warmup
+        results = run_stacked(
+            [s.config for s in specs], specs[0].n_cycles, warmup=specs[0].warmup
         )
         elapsed = perf_counter() - started
         out = []
@@ -130,7 +132,7 @@ def _run_vectorized(
 
     Jobs are whole groups: if *any* member of a batchable group is
     uncached, the entire group re-runs (a stacked run is a pure function
-    of the ordered seed list, so the cached members are simply
+    of the ordered scenario list, so the cached members are simply
     reproduced and only the pending ones are finished).  Unbatchable
     specs (singletons, finite buffers) become one-spec serial jobs on
     the proven :func:`_run_chunk` path.  Retries and timeouts apply per
@@ -511,12 +513,16 @@ def run_many(
         Override for the per-spec work -- used by fault-injection
         tests and custom workloads; must be picklable for ``workers > 1``.
     vectorize:
-        Stack same-shape specs (identical but for their seed) into
-        replica-batched engine runs (:mod:`repro.simulation.batched`),
-        one stacked run per group -- composing with ``workers`` (groups
-        are pool jobs) and the cache (entries stay per-spec, keyed by
-        batch-marked digests; see
-        :func:`~repro.exec.spec.group_for_vectorize`).  Specs with no
+        Stack same-shape specs into replica-batched engine runs
+        (:mod:`repro.simulation.batched`), one stacked run per group --
+        composing with ``workers`` (groups are pool jobs) and the cache
+        (entries stay per-spec, keyed by batch-marked digests; see
+        :func:`~repro.exec.spec.group_for_vectorize`).  Group members
+        may differ in seed, load ``p``, bulk size, favourite bias
+        ``q``, and service model -- a whole sweep becomes one
+        scenario-stacked kernel pass -- as long as the shape-fixing
+        fields (topology, ``k``, stages, width, transfer, buffers,
+        track limit, cycle budget, warm-up) agree.  Specs with no
         same-shape partner, or with finite buffers, silently fall back
         to the serial engine, so ``vectorize=True`` is always safe.
         Incompatible with ``task_fn`` and ``chunksize``.

@@ -38,6 +38,7 @@ from repro.simulation.rng import DEFAULT_SEED
 
 __all__ = [
     "SPEC_SCHEMA_VERSION",
+    "STACKABLE_CONFIG_FIELDS",
     "ExperimentSpec",
     "group_for_vectorize",
     "resolve_seeds",
@@ -80,12 +81,19 @@ class ExperimentSpec:
         ``None`` for serial execution (the default -- digests are
         unchanged from earlier spec versions).  Set by
         :func:`group_for_vectorize` to ``(n_replicas, replica_index,
-        batch_seeds)`` when the spec will run on the replica-batched
+        batch_rows)`` when the spec will run on the replica-batched
         engine as part of a multi-replica batch: a replica's sample
-        path then depends on the whole ordered seed list (shared RNG
-        stream), so the marker enters the digest and batched results
-        can never alias serial ones in the cache.  One-replica batches
-        are bit-identical to serial runs and stay unmarked.
+        path then depends on the whole ordered batch composition
+        (shared RNG stream), so the marker enters the digest and
+        batched results can never alias serial ones in the cache.
+        ``batch_rows`` is a tuple of ints (the per-replica seeds) for a
+        *homogeneous* batch -- replicas identical but for the seed,
+        digest format unchanged from earlier spec versions -- or a
+        tuple of canonical-JSON strings (one per replica, seed plus
+        every stackable parameter) for a *heterogeneous*
+        scenario-stacked batch, so the two batch kinds can never alias
+        each other either.  One-replica batches are bit-identical to
+        serial runs and stay unmarked.
     """
 
     config: NetworkConfig
@@ -105,10 +113,16 @@ class ExperimentSpec:
                 or marker[0] < 2
                 or not 0 <= marker[1] < marker[0]
                 or len(marker[2]) != marker[0]
+                or not (
+                    all(isinstance(r, int) for r in marker[2])
+                    or all(isinstance(r, str) for r in marker[2])
+                )
             ):
                 raise ExecutionError(
                     "batch_marker must be (n_replicas, replica_index, "
-                    f"batch_seeds) with n_replicas >= 2, got {self.batch_marker!r}"
+                    "batch_rows) with n_replicas >= 2 and rows all ints "
+                    f"(seeds) or all strings (scenario rows), got "
+                    f"{self.batch_marker!r}"
                 )
             object.__setattr__(self, "batch_marker", marker)
         if not isinstance(self.config, NetworkConfig):
@@ -142,13 +156,24 @@ class ExperimentSpec:
             "warmup": self.warmup,
         }
         if self.batch_marker is not None:
-            n_replicas, replica, seeds = self.batch_marker
-            doc["engine"] = {
-                "kind": "replica-batched",
-                "n_replicas": n_replicas,
-                "replica": replica,
-                "batch_seeds": list(seeds),
-            }
+            n_replicas, replica, rows = self.batch_marker
+            if rows and isinstance(rows[0], str):
+                # heterogeneous scenario stack: a distinct kind + key so
+                # these digests can never collide with homogeneous
+                # "replica-batched" entries of the same seed list
+                doc["engine"] = {
+                    "kind": "scenario-batched",
+                    "n_replicas": n_replicas,
+                    "replica": replica,
+                    "batch_rows": list(rows),
+                }
+            else:
+                doc["engine"] = {
+                    "kind": "replica-batched",
+                    "n_replicas": n_replicas,
+                    "replica": replica,
+                    "batch_seeds": list(rows),
+                }
         return doc
 
     @property
@@ -195,18 +220,44 @@ def resolve_seeds(
     return resolved
 
 
+#: NetworkConfig fields the stacked engine lets vary *within* one batch
+#: (see ``repro.simulation.batched.STACK_SHAPE_FIELDS`` for the fields
+#: that must agree).  The seed is handled separately.
+STACKABLE_CONFIG_FIELDS = (
+    "p",
+    "message_size",
+    "sizes",
+    "probabilities",
+    "service",
+    "bulk_size",
+    "q",
+)
+
+
 def group_for_vectorize(specs: Iterable[ExperimentSpec]):
     """Partition a seed-resolved batch into replica-batchable groups.
 
-    Two specs share a group iff they differ *only* in their config seed
-    (same network, load, cycle budget, and warm-up) -- exactly the shape
-    the replica-batched engine can stack.  Groups of two or more specs
-    with infinite buffers are *marked*: each member gets a
-    :attr:`ExperimentSpec.batch_marker` recording ``(n_replicas,
-    replica_index, batch_seeds)``, which enters its digest.  Singleton
-    groups and finite-buffer groups stay unmarked (they will run on the
-    serial engine, so their digests must keep matching serial cache
-    entries).
+    Two specs share a group iff they agree on everything that fixes the
+    stacked engine's array shapes: topology, ``k``, stages, width,
+    transfer mode, buffers, track limit, cycle budget, and warm-up.
+    The *stackable* parameters -- seed plus
+    :data:`STACKABLE_CONFIG_FIELDS` (``p``, ``message_size``,
+    ``sizes``/``probabilities``, ``service``, ``bulk_size``, ``q``) --
+    may differ within a group: a whole load or traffic sweep becomes
+    one scenario-stacked engine run.
+
+    Groups of two or more specs with infinite buffers are *marked*:
+    each member gets a :attr:`ExperimentSpec.batch_marker` recording
+    ``(n_replicas, replica_index, batch_rows)``, which enters its
+    digest.  A group whose rows are identical except for the seed keeps
+    the homogeneous marker format (``batch_rows`` = the int seed
+    tuple, digests unchanged from earlier spec versions, so existing
+    cache entries stay valid); a heterogeneous group records one
+    canonical-JSON row per replica (seed + stackable parameters), so
+    serial, homogeneous-batched, and scenario-stacked results occupy
+    disjoint cache keys.  Singleton groups and finite-buffer groups
+    stay unmarked (they will run on the serial engine, so their digests
+    must keep matching serial cache entries).
 
     Returns ``(marked_specs, groups)`` where ``groups`` is a list of
     ``(indices, batchable)`` covering every spec.  Grouping is a pure
@@ -216,6 +267,7 @@ def group_for_vectorize(specs: Iterable[ExperimentSpec]):
     """
     specs = list(specs)
     by_shape: dict = {}
+    rows: List[dict] = []
     for i, spec in enumerate(specs):
         if spec.batch_marker is not None:
             raise ExecutionError(
@@ -226,8 +278,11 @@ def group_for_vectorize(specs: Iterable[ExperimentSpec]):
             raise ExecutionError("group_for_vectorize needs seed-resolved specs")
         ident = spec.identity()
         config_doc = dict(ident["config"])
-        config_doc.pop("seed", None)
+        row = {"seed": config_doc.pop("seed", None)}
+        for name in STACKABLE_CONFIG_FIELDS:
+            row[name] = config_doc.pop(name, None)
         ident["config"] = config_doc
+        rows.append(row)
         by_shape.setdefault(_canonical_json(ident), []).append(i)
 
     marked = list(specs)
@@ -238,10 +293,19 @@ def group_for_vectorize(specs: Iterable[ExperimentSpec]):
             and specs[indices[0]].config.buffer_capacity is None
         )
         if batchable:
-            seeds = tuple(int(specs[i].config.seed) for i in indices)
+            group_rows = [rows[i] for i in indices]
+            scenario0 = {k: v for k, v in group_rows[0].items() if k != "seed"}
+            homogeneous = all(
+                {k: v for k, v in r.items() if k != "seed"} == scenario0
+                for r in group_rows[1:]
+            )
+            if homogeneous:
+                marker_rows = tuple(int(specs[i].config.seed) for i in indices)
+            else:
+                marker_rows = tuple(_canonical_json(r) for r in group_rows)
             for pos, i in enumerate(indices):
                 marked[i] = dataclasses.replace(
-                    specs[i], batch_marker=(len(indices), pos, seeds)
+                    specs[i], batch_marker=(len(indices), pos, marker_rows)
                 )
         groups.append((indices, batchable))
     return marked, groups

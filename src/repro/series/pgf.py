@@ -63,7 +63,7 @@ class PGF:
     Fraction(1, 2)
     """
 
-    __slots__ = ("_transform", "_reduced_cache")
+    __slots__ = ("_transform", "_reduced_cache", "_series_cache")
 
     def __init__(
         self,
@@ -249,19 +249,35 @@ class PGF:
         """
         if n_terms <= 0:
             raise SeriesError("n_terms must be positive")
-        transform = self._transform if exact else self._reduced_transform().to_float()
-        coeffs = transform.series(n_terms - 1)
         if exact:
+            coeffs = self._transform.series(n_terms - 1)
             bad = [c for c in coeffs if c < 0]
             if bad:
                 raise NotAProbabilityError(f"pmf has negative mass {min(bad)}")
             return list(coeffs)
-        arr = np.asarray([float(c) for c in coeffs])
+        arr = self._float_series(n_terms)
         if (arr < -1e-9).any():
             raise NotAProbabilityError(
                 f"pmf has negative mass (min {arr.min():.3g}); transform is not a PGF"
             )
         return np.clip(arr, 0.0, None)
+
+    def _float_series(self, n_terms: int) -> np.ndarray:
+        """The first ``n_terms`` float coefficients, memoized per instance.
+
+        The series recurrence has no state beyond its output, so the
+        longest expansion ever computed is kept and shorter requests
+        are served as slices -- :meth:`quantile`'s geometric doubling
+        then extends one shared expansion instead of re-deriving every
+        prefix from scratch.  Validation and clipping stay in the
+        callers: the cache holds the raw coefficients.
+        """
+        cached = getattr(self, "_series_cache", None)
+        if cached is None or cached.size < n_terms:
+            coeffs = self._reduced_transform().to_float().series(n_terms - 1)
+            cached = np.asarray([float(c) for c in coeffs])
+            object.__setattr__(self, "_series_cache", cached)
+        return cached[:n_terms]
 
     def _reduced_transform(self) -> RationalFunction:
         """The transform with common ``(z - 1)`` factors cancelled.
@@ -302,11 +318,20 @@ class PGF:
 
         Grows the expansion geometrically until the quantile is
         bracketed; raises :class:`SeriesError` if ``max_terms`` is hit
-        (e.g. for an unstable queue passed through unvalidated).
+        (e.g. for an unstable queue passed through unvalidated).  Each
+        doubling extends the instance's memoized float expansion (see
+        :meth:`_float_series`) rather than recomputing the series, and
+        an expansion already long enough from earlier calls is reused
+        outright.
         """
         if not 0 <= q < 1:
             raise SeriesError("quantile level must be in [0, 1)")
+        cached = getattr(self, "_series_cache", None)
         n = 64
+        if cached is not None:
+            # resume from the memoized expansion; cdf prefixes are
+            # identical, so starting longer never changes the answer
+            n = max(n, min(int(cached.size), max_terms))
         while n <= max_terms:
             cdf = self.cdf(n)
             idx = np.searchsorted(cdf, q, side="left")

@@ -39,7 +39,7 @@ Modules
 
 from __future__ import annotations
 
-from repro.simulation.batched import BatchedClockedEngine, run_batched
+from repro.simulation.batched import BatchedClockedEngine, run_batched, run_stacked
 from repro.simulation.network import NetworkConfig, NetworkResult, NetworkSimulator
 from repro.simulation.queue_sim import simulate_first_stage_queue
 from repro.simulation.replication import replicate, replicated_statistic
@@ -59,6 +59,7 @@ __all__ = [
     "NetworkResult",
     "NetworkSimulator",
     "run_batched",
+    "run_stacked",
     "simulate_first_stage_queue",
     "OmegaTopology",
     "ButterflyTopology",

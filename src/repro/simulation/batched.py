@@ -54,7 +54,19 @@ from repro.simulation.switch import RingBufferQueues
 from repro.simulation.topology import MultistageTopology
 from repro.simulation.traffic import NetworkTrafficGenerator
 
-__all__ = ["BatchedClockedEngine", "run_batched"]
+__all__ = ["BatchedClockedEngine", "run_batched", "run_stacked"]
+
+#: config fields that fix the stacked engine's array shapes -- scenarios
+#: in one batch must agree on all of these (everything else may vary)
+STACK_SHAPE_FIELDS = (
+    "k",
+    "n_stages",
+    "topology",
+    "width",
+    "transfer",
+    "buffer_capacity",
+    "track_limit",
+)
 
 
 class BatchedClockedEngine:
@@ -241,23 +253,48 @@ class BatchedClockedEngine:
         )
 
 
-def run_batched(
-    config: NetworkConfig,
-    seeds: Sequence[Optional[int]],
+def run_stacked(
+    configs: Sequence[NetworkConfig],
     n_cycles: int,
     warmup: Optional[int] = None,
 ) -> List[NetworkResult]:
-    """Run ``len(seeds)`` replicas of ``config`` in one stacked engine.
+    """Run ``len(configs)`` *scenarios* in one stacked engine.
 
-    Returns one :class:`NetworkResult` per seed, in order, each carrying
-    ``config`` with its own seed -- the same schema serial runs produce,
-    so downstream analysis and the result cache need no batch awareness.
+    The scenario generalisation of :func:`run_batched`: each replica of
+    the batch simulates its own :class:`NetworkConfig`, which may differ
+    in arrival rate ``p``, bulk size, favourite bias ``q``, service
+    model (``message_size`` / ``sizes`` / explicit ``service``), and
+    seed -- anything that does not change the engine's array shapes.
+    The shape-fixing fields (:data:`STACK_SHAPE_FIELDS`: ``k``,
+    ``n_stages``, ``topology``, ``width``, ``transfer``,
+    ``buffer_capacity``, ``track_limit``) must agree across the batch.
+
+    Returns one :class:`NetworkResult` per config, in order, each
+    carrying its own config -- the same schema serial runs produce, so
+    downstream analysis and the result cache need no batch awareness.
     ``elapsed_seconds`` is the batch wall clock divided by ``R`` (the
     amortised per-replica cost).
 
+    A stack whose rows are identical except for the seed consumes the
+    RNG stream exactly like the homogeneous batched engine (see
+    :mod:`repro.simulation.traffic`), so :func:`run_batched` is this
+    function applied to ``[replace(config, seed=s) for s in seeds]``
+    and the R=1 serial bit-identity anchor carries over unchanged.
+
     Refuses finite buffers and ``warmup="auto"`` (see module notes).
     """
-    if config.buffer_capacity is not None:
+    configs = list(configs)
+    if not configs:
+        raise SimulationError("need at least one scenario config")
+    first = configs[0]
+    for other in configs[1:]:
+        for name in STACK_SHAPE_FIELDS:
+            if getattr(other, name) != getattr(first, name):
+                raise SimulationError(
+                    "scenario stacking needs identical array shapes: "
+                    f"{name}={getattr(other, name)!r} != {getattr(first, name)!r}"
+                )
+    if first.buffer_capacity is not None:
         raise SimulationError(
             "replica batching supports infinite buffers only; run finite-"
             "buffer scenarios serially"
@@ -267,34 +304,41 @@ def run_batched(
             'warmup="auto" is a per-run pilot; give an explicit warm-up '
             "for batched replicas"
         )
-    if not seeds:
-        raise SimulationError("need at least one replica seed")
     if warmup is None:
         warmup = max(500, n_cycles // 10)
     warmup = int(warmup)
     if warmup >= n_cycles:
         raise SimulationError(f"warmup {warmup} >= n_cycles {n_cycles}")
 
-    n_replicas = len(seeds)
-    entropy = [DEFAULT_SEED if s is None else int(s) for s in seeds]
+    n_replicas = len(configs)
+    entropy = [DEFAULT_SEED if c.seed is None else int(c.seed) for c in configs]
     children = np.random.SeedSequence(entropy).spawn(2)
     traffic_rng, routing_rng = (np.random.default_rng(c) for c in children)
 
-    topology = config.build_topology()
-    traffic = config.build_traffic(traffic_rng, topology, n_replicas=n_replicas)
+    topology = first.build_topology()
+    traffic = NetworkTrafficGenerator(
+        width=topology.width,
+        p=[c.p for c in configs],
+        service=[c.service_model() for c in configs],
+        rng=traffic_rng,
+        bulk_size=[c.bulk_size for c in configs],
+        q=[c.q for c in configs],
+        dest_space=topology.destination_space,
+        n_replicas=n_replicas,
+    )
     engine = BatchedClockedEngine(
         topology,
         traffic,
         n_replicas,
-        transfer=config.transfer,
+        transfer=first.transfer,
         routing_rng=routing_rng,
-        track_limit=config.track_limit,
+        track_limit=first.track_limit,
     )
     started = perf_counter()
     engine.run(n_cycles, warmup=warmup)
     elapsed = perf_counter() - started
 
-    S = config.n_stages
+    S = first.n_stages
     means = engine.stats.means().reshape(n_replicas, S)
     variances = engine.stats.variances().reshape(n_replicas, S)
     counts = engine.stats.count.reshape(n_replicas, S)
@@ -302,10 +346,10 @@ def run_batched(
         n_replicas, engine.ports_per_replica
     )
     results: List[NetworkResult] = []
-    for i, seed in enumerate(seeds):
+    for i, config in enumerate(configs):
         results.append(
             NetworkResult(
-                config=replace(config, seed=seed),
+                config=config,
                 n_cycles=n_cycles,
                 warmup=warmup,
                 stage_means=means[i].copy(),
@@ -320,3 +364,30 @@ def run_batched(
             )
         )
     return results
+
+
+def run_batched(
+    config: NetworkConfig,
+    seeds: Sequence[Optional[int]],
+    n_cycles: int,
+    warmup: Optional[int] = None,
+) -> List[NetworkResult]:
+    """Run ``len(seeds)`` replicas of ``config`` in one stacked engine.
+
+    The homogeneous special case of :func:`run_stacked`: every replica
+    simulates the same scenario under its own seed.  Returns one
+    :class:`NetworkResult` per seed, in order, each carrying ``config``
+    with its own seed.
+
+    Refuses finite buffers and ``warmup="auto"`` (see module notes).
+    """
+    if config.buffer_capacity is not None:
+        raise SimulationError(
+            "replica batching supports infinite buffers only; run finite-"
+            "buffer scenarios serially"
+        )
+    if not seeds:
+        raise SimulationError("need at least one replica seed")
+    return run_stacked(
+        [replace(config, seed=seed) for seed in seeds], n_cycles, warmup=warmup
+    )

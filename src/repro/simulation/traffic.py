@@ -15,11 +15,28 @@ some input's private memory), otherwise uniform.
 The generator works in the engine's flat representation: it returns,
 for one cycle, parallel arrays (source, destination, service) of the
 injected packets.
+
+Parameter stacking
+------------------
+For the scenario-stacked engine (:mod:`repro.simulation.batched`),
+``p``, ``q``, ``bulk_size``, and ``service`` each accept *per-replica*
+values -- a length-``n_replicas`` sequence instead of a scalar.  The
+per-cycle kernel structure is unchanged: the injection coin flips
+compare the one shared ``(n_replicas, width)`` uniform block against an
+``(n_replicas, 1)`` probability column (a broadcast, zero extra RNG
+draws), the favourite gate compares one uniform vector against the
+per-packet ``q`` column, and bulk expansion repeats by a per-packet
+count vector.  Service times are drawn per *distinct* service model in
+first-appearance order, so a stack whose replicas share one model makes
+exactly the homogeneous path's single ``sample`` call.  Consequently a
+stacked generator whose per-replica parameters happen to be equal
+consumes the RNG stream bit-for-bit like the scalar-parameter
+generator -- the equivalence anchor the batched-engine tests assert.
 """
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from typing import NamedTuple, Optional, Sequence, Union
 
 import numpy as np
 
@@ -46,6 +63,29 @@ class BatchArrivals(NamedTuple):
     services: np.ndarray
 
 
+def _per_replica(value, n_replicas: int, name: str, dtype) -> np.ndarray:
+    """A scalar or length-``n_replicas`` sequence as an ``(R,)`` array."""
+    arr = np.asarray(value, dtype=dtype)
+    if arr.ndim == 0:
+        return np.full(n_replicas, arr[()], dtype=dtype)
+    if arr.shape != (n_replicas,):
+        raise ModelError(
+            f"{name} must be a scalar or a length-{n_replicas} sequence, "
+            f"got shape {arr.shape}"
+        )
+    return arr.copy()
+
+
+def _models_equal(a: ServiceProcess, b: ServiceProcess) -> bool:
+    """Value equality, tolerating models whose fields don't compare."""
+    if a is b:
+        return True
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
 class NetworkTrafficGenerator:
     """Vectorised per-cycle message source.
 
@@ -54,16 +94,20 @@ class NetworkTrafficGenerator:
     width:
         Number of network inputs (= outputs).
     p:
-        Per-input message probability per cycle.
+        Per-input message probability per cycle.  Scalar, or one value
+        per replica for a parameter-stacked batch.
     service:
-        Service-time model for individual packets/messages.
+        Service-time model for individual packets/messages.  One
+        :class:`~repro.service.base.ServiceProcess`, or a sequence of
+        ``n_replicas`` models for a parameter-stacked batch.
     bulk_size:
-        Packets per message batch (each serviced separately).
+        Packets per message batch (each serviced separately).  Scalar
+        or per-replica.
     q:
-        Favourite-output bias.
+        Favourite-output bias.  Scalar or per-replica.
     favorite:
         Favourite permutation (default: identity -- input ``i``'s
-        private memory is output ``i``).
+        private memory is output ``i``).  Shared by all replicas.
     dest_space:
         Number of destination values (defaults to ``width``; the
         width-decoupled topology uses its virtual digit space instead).
@@ -73,38 +117,101 @@ class NetworkTrafficGenerator:
     n_replicas:
         Number of stacked replicas served by :meth:`generate_batch`
         (one shared RNG stream; replicas consume disjoint slices of it).
+
+    With any per-replica parameter actually varying, the generator is
+    *heterogeneous*: the scalar convenience attributes ``p`` / ``q`` /
+    ``bulk_size`` / ``service`` are ``None`` (the per-replica truth
+    lives in ``p_per_replica`` and friends) and the single-replica
+    :meth:`generate` path refuses to run.
     """
 
     def __init__(
         self,
         width: int,
-        p: float,
-        service: ServiceProcess,
+        p: Union[float, Sequence[float]],
+        service: Union[ServiceProcess, Sequence[ServiceProcess]],
         rng: np.random.Generator,
-        bulk_size: int = 1,
-        q: float = 0.0,
+        bulk_size: Union[int, Sequence[int]] = 1,
+        q: Union[float, Sequence[float]] = 0.0,
         favorite: Optional[np.ndarray] = None,
         dest_space: Optional[int] = None,
         n_replicas: int = 1,
     ) -> None:
         if width < 1:
             raise ModelError(f"width must be >= 1, got {width}")
-        if not 0 <= p <= 1:
-            raise ModelError(f"input load p={p} outside [0, 1]")
-        if not 0 <= q <= 1:
-            raise ModelError(f"favourite bias q={q} outside [0, 1]")
-        if bulk_size < 1:
-            raise ModelError(f"bulk size must be >= 1, got {bulk_size}")
+        if n_replicas < 1:
+            raise ModelError(f"n_replicas must be >= 1, got {n_replicas}")
         self.width = width
-        self.p = float(p)
-        self.q = float(q)
-        self.bulk_size = bulk_size
-        self.service = service
+        self.n_replicas = n_replicas
         self.rng = rng
+
+        p_arr = _per_replica(p, n_replicas, "p", np.float64)
+        if ((p_arr < 0) | (p_arr > 1)).any():
+            raise ModelError(f"input load p={p} outside [0, 1]")
+        q_arr = _per_replica(q, n_replicas, "q", np.float64)
+        if ((q_arr < 0) | (q_arr > 1)).any():
+            raise ModelError(f"favourite bias q={q} outside [0, 1]")
+        bulk_arr = _per_replica(bulk_size, n_replicas, "bulk_size", np.int64)
+        if (bulk_arr < 1).any():
+            raise ModelError(f"bulk size must be >= 1, got {bulk_size}")
+
+        if isinstance(service, ServiceProcess):
+            services = (service,) * n_replicas
+        else:
+            services = tuple(service)
+            if len(services) != n_replicas:
+                raise ModelError(
+                    f"need one service model per replica: got {len(services)} "
+                    f"for n_replicas={n_replicas}"
+                )
+            for s in services:
+                if not isinstance(s, ServiceProcess):
+                    raise ModelError(
+                        f"service models must be ServiceProcess instances, "
+                        f"got {type(s).__name__}"
+                    )
+        # distinct models in first-appearance order; replica -> group id.
+        # Heterogeneous service draws happen per group in this order, so
+        # one distinct model degenerates to the homogeneous single call.
+        models = []
+        group = np.empty(n_replicas, dtype=np.int64)
+        for r, s in enumerate(services):
+            for gid, m in enumerate(models):
+                if _models_equal(m, s):
+                    group[r] = gid
+                    break
+            else:
+                group[r] = len(models)
+                models.append(s)
+
+        #: per-replica parameter columns (the stacked-engine truth)
+        self.p_per_replica = p_arr
+        self.q_per_replica = q_arr
+        self.bulk_per_replica = bulk_arr
+        self.services = services
+        self._p_col = p_arr[:, None]
+        self._q_max = float(q_arr.max())
+        self._bulk_max = int(bulk_arr.max())
+        self._service_models = models
+        self._service_group = group
+
+        #: True when any parameter actually varies across replicas
+        self.heterogeneous = bool(
+            (p_arr != p_arr[0]).any()
+            or (q_arr != q_arr[0]).any()
+            or (bulk_arr != bulk_arr[0]).any()
+            or len(models) > 1
+        )
+        # scalar convenience attributes (None when heterogeneous)
+        self.p = None if self.heterogeneous else float(p_arr[0])
+        self.q = None if self.heterogeneous else float(q_arr[0])
+        self.bulk_size = None if self.heterogeneous else int(bulk_arr[0])
+        self.service = None if self.heterogeneous else services[0]
+
         self.dest_space = width if dest_space is None else int(dest_space)
         if self.dest_space < 1:
             raise ModelError(f"dest_space must be >= 1, got {self.dest_space}")
-        if q > 0 and self.dest_space != width:
+        if self._q_max > 0 and self.dest_space != width:
             raise ModelError(
                 "favourite bias requires real destinations (dest_space == width)"
             )
@@ -114,9 +221,6 @@ class NetworkTrafficGenerator:
         if sorted(favorite.tolist()) != list(range(width)):
             raise ModelError("favorite map must be a permutation of the outputs")
         self.favorite = favorite
-        if n_replicas < 1:
-            raise ModelError(f"n_replicas must be >= 1, got {n_replicas}")
-        self.n_replicas = n_replicas
         # preallocated per-cycle uniform block, filled in place so a
         # cycle's coin flips cost no allocation; row 0 doubles as the
         # single-replica buffer (rng.random(out=view) consumes the
@@ -128,6 +232,11 @@ class NetworkTrafficGenerator:
 
     def generate(self) -> CycleArrivals:
         """Arrivals for one cycle (single replica)."""
+        if self.heterogeneous:
+            raise ModelError(
+                "per-replica parameters vary; there is no single-replica "
+                "stream -- use generate_batch()"
+            )
         buf = self._uniform[0]
         self.rng.random(out=buf)
         active = np.flatnonzero(buf < self.p)
@@ -152,13 +261,16 @@ class NetworkTrafficGenerator:
         One ``(n_replicas, width)`` uniform block decides every
         replica's injections, then destination/favourite/service draws
         run over the concatenated active set -- the per-cycle kernel
-        count stays flat in ``n_replicas``.  At ``n_replicas == 1`` the
-        stream consumption is identical to :meth:`generate`, so a
-        batched run of one replica reproduces a serial run bit-for-bit.
+        count stays flat in ``n_replicas`` whether or not the replicas
+        share parameters.  At ``n_replicas == 1`` the stream consumption
+        is identical to :meth:`generate`, so a batched run of one
+        replica reproduces a serial run bit-for-bit; equal per-replica
+        parameter columns reproduce the scalar-parameter generator
+        bit-for-bit (see the module notes).
         """
         buf = self._uniform
         self.rng.random(out=buf)
-        flat = np.flatnonzero(buf.ravel() < self.p)
+        flat = np.flatnonzero((buf < self._p_col).ravel())
         n = flat.size
         if n == 0:
             empty = np.empty(0, dtype=np.int64)
@@ -166,20 +278,42 @@ class NetworkTrafficGenerator:
         replicas = flat // self.width
         active = flat - replicas * self.width
         dests = self.rng.integers(0, self.dest_space, size=n)
-        if self.q > 0:
-            use_fav = self.rng.random(n) < self.q
+        if self._q_max > 0:
+            use_fav = self.rng.random(n) < self.q_per_replica[replicas]
             dests = np.where(use_fav, self.favorite[active], dests)
-        if self.bulk_size > 1:
-            replicas = np.repeat(replicas, self.bulk_size)
-            active = np.repeat(active, self.bulk_size)
-            dests = np.repeat(dests, self.bulk_size)
-        services = self.service.sample(self.rng, active.size)
+        if self._bulk_max > 1:
+            counts = self.bulk_per_replica[replicas]
+            replicas = np.repeat(replicas, counts)
+            active = np.repeat(active, counts)
+            dests = np.repeat(dests, counts)
+        services = self._sample_services(replicas)
         self.injected += active.size
         return BatchArrivals(
             replicas, active, dests, np.asarray(services, dtype=np.int64)
         )
 
+    def _sample_services(self, replicas: np.ndarray) -> np.ndarray:
+        """Service times for one cycle's packets (replica-major order).
+
+        One distinct model: a single vectorised ``sample`` call, exactly
+        the homogeneous kernel.  Several: one call per distinct model in
+        first-appearance order over its packet subset -- the draw order
+        is a pure function of the cycle's batch composition, keeping
+        stacked runs deterministic.
+        """
+        if len(self._service_models) == 1:
+            return self._service_models[0].sample(self.rng, replicas.size)
+        out = np.empty(replicas.size, dtype=np.int64)
+        groups = self._service_group[replicas]
+        for gid, model in enumerate(self._service_models):
+            mask = groups == gid
+            count = int(mask.sum())
+            if count:
+                out[mask] = model.sample(self.rng, count)
+        return out
+
     @property
     def offered_load(self) -> float:
-        """Mean packets injected per input per cycle (``p * bulk_size``)."""
-        return self.p * self.bulk_size
+        """Mean packets injected per input per cycle (``p * bulk_size``),
+        averaged over replicas when parameters vary."""
+        return float(np.mean(self.p_per_replica * self.bulk_per_replica))

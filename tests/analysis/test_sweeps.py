@@ -63,6 +63,32 @@ class TestExecutionRouting:
             assert a.total_mean == b.total_mean
             assert a.first_stage_ci == b.first_stage_ci
 
+    def test_load_sweep_fuses_under_vectorized_context(self, tmp_path):
+        """With vectorize on, a whole load sweep is one scenario-stacked
+        engine run; the fused results still bracket the predictions and
+        occupy cache keys disjoint from serial ones."""
+        from repro.exec import ExecutionContext, ResultCache, use_execution
+
+        cache = ResultCache(tmp_path / "cache")
+        grid = dict(loads=(0.3, 0.5, 0.7), n_stages=4, n_cycles=4_000)
+        with use_execution(ExecutionContext(cache=cache, vectorize=True)):
+            rows = load_sweep(**grid)
+            assert (cache.hits, cache.misses) == (0, 3)
+            again = load_sweep(**grid)
+            assert (cache.hits, cache.misses) == (3, 3)
+        for a, b in zip(rows, again):
+            assert a.first_stage_mean == b.first_stage_mean
+        for r in rows:
+            assert (
+                abs(r.first_stage_mean - r.predicted_first_mean)
+                < max(3 * r.first_stage_ci, 0.02)
+            )
+        # stacked entries are scenario-batched: the same grid run
+        # serially cannot be served from them (no cache aliasing)
+        with use_execution(ExecutionContext(cache=cache)):
+            load_sweep(**grid)
+        assert cache.misses == 6
+
     def test_first_stage_ci_brackets_cohort_mean(self):
         # the CI is batch means over the tracked cohort's first-stage
         # column, so it must bracket that cohort's own mean

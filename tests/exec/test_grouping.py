@@ -1,0 +1,158 @@
+"""group_for_vectorize regression suite: shape keys and marker digests.
+
+The grouping rules carry the cache-correctness burden of the stacked
+path: serial, homogeneous-batched, and heterogeneous scenario-stacked
+executions of the *same* scenario must live under pairwise-disjoint
+digests (they are three different sample paths), while everything that
+should stay on the serial engine -- singletons, finite buffers --
+must keep its historical digest untouched.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.exec.spec import (
+    STACKABLE_CONFIG_FIELDS,
+    ExperimentSpec,
+    group_for_vectorize,
+)
+from repro.simulation.batched import STACK_SHAPE_FIELDS
+from repro.simulation.network import NetworkConfig
+
+
+def spec(n_cycles=1_200, **kwargs):
+    defaults = dict(k=2, n_stages=3, p=0.5, topology="random", width=16)
+    defaults.update(kwargs)
+    return ExperimentSpec(config=NetworkConfig(**defaults), n_cycles=n_cycles)
+
+
+class TestShapeKeys:
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            dict(p=0.3),
+            dict(message_size=3),
+            dict(sizes=(1, 3), probabilities=(0.5, 0.5)),
+            dict(bulk_size=2),
+            dict(q=0.2, topology="omega", width=None),
+        ],
+        ids=["p", "message-size", "sizes", "bulk", "q"],
+    )
+    def test_stackable_fields_share_a_group(self, variant):
+        base = {}
+        if "topology" in variant:
+            # q>0 needs destination routing; move both specs onto the
+            # same banyan so only the stackable field differs
+            base = dict(topology="omega", width=None)
+            variant = {k: v for k, v in variant.items() if k not in ("topology", "width")}
+        specs = [spec(seed=1, **base), spec(seed=2, **{**base, **variant})]
+        _, groups = group_for_vectorize(specs)
+        assert groups == [([0, 1], True)]
+
+    @pytest.mark.parametrize(
+        "variant",
+        [
+            dict(n_stages=4),
+            dict(k=4, width=None, topology="omega"),
+            dict(width=8),
+            dict(transfer="store_forward"),
+            dict(track_limit=50_000),
+            dict(n_cycles=2_400),
+        ],
+        ids=["stages", "k", "width", "transfer", "track-limit", "cycles"],
+    )
+    def test_shape_fields_split_groups(self, variant):
+        if "k" in variant:
+            a = spec(seed=1, topology="omega", width=None)
+        else:
+            a = spec(seed=1)
+        b = spec(seed=2, **variant)
+        _, groups = group_for_vectorize([a, b])
+        assert sorted(groups) == [([0], False), ([1], False)]
+
+    def test_shape_field_lists_are_consistent(self):
+        """Every config field is either stackable or shape-fixing
+        (plus the seed); the two modules must agree."""
+        import dataclasses
+
+        config_fields = {f.name for f in dataclasses.fields(NetworkConfig)}
+        covered = set(STACKABLE_CONFIG_FIELDS) | set(STACK_SHAPE_FIELDS) | {"seed"}
+        assert covered == config_fields
+
+
+class TestGroupStructure:
+    def test_singletons_interleaved_with_stackable_groups(self):
+        specs = [
+            spec(seed=1),                 # group A
+            spec(seed=2, n_stages=4),     # singleton (shape)
+            spec(seed=3, p=0.8),          # group A (stackable diff)
+            spec(seed=4, n_cycles=9_99),  # singleton (cycle budget)
+            spec(seed=5),                 # group A
+        ]
+        marked, groups = group_for_vectorize(specs)
+        assert ([0, 2, 4], True) in groups
+        assert ([1], False) in groups and ([3], False) in groups
+        for i in (1, 3):
+            assert marked[i].batch_marker is None
+            assert marked[i].digest == specs[i].digest
+
+    def test_finite_buffer_groups_never_stack(self):
+        specs = [
+            spec(seed=s, p=p, buffer_capacity=4)
+            for s, p in [(1, 0.3), (2, 0.6)]
+        ]
+        marked, groups = group_for_vectorize(specs)
+        assert groups == [([0, 1], False)]
+        assert all(s.batch_marker is None for s in marked)
+        assert [s.digest for s in marked] == [s.digest for s in specs]
+
+    def test_homogeneous_groups_keep_int_seed_markers(self):
+        specs = [spec(seed=s) for s in (10, 11, 12)]
+        marked, _ = group_for_vectorize(specs)
+        for pos, m in enumerate(marked):
+            assert m.batch_marker == (3, pos, (10, 11, 12))
+            assert m.identity()["engine"]["kind"] == "replica-batched"
+
+    def test_heterogeneous_groups_carry_scenario_rows(self):
+        specs = [spec(seed=10), spec(seed=11, p=0.9)]
+        marked, _ = group_for_vectorize(specs)
+        for m in marked:
+            n, _, rows = m.batch_marker
+            assert n == 2 and all(isinstance(r, str) for r in rows)
+            engine = m.identity()["engine"]
+            assert engine["kind"] == "scenario-batched"
+            assert engine["batch_rows"] == list(rows)
+        # the rows record seed + every stackable field, canonically
+        assert '"p":0.9' in marked[1].batch_marker[2][1]
+        assert '"seed":11' in marked[1].batch_marker[2][1]
+
+
+class TestDigestDisjointness:
+    def test_serial_homogeneous_heterogeneous_never_alias(self):
+        """The same (scenario, seed) under the three execution kinds
+        must produce three distinct cache keys."""
+        target = spec(seed=101)
+        serial_digest = target.digest
+
+        homo, _ = group_for_vectorize([spec(seed=100), target, spec(seed=102)])
+        homo_digest = homo[1].digest
+
+        het, _ = group_for_vectorize(
+            [spec(seed=100), target, spec(seed=102, p=0.9)]
+        )
+        het_digest = het[1].digest
+
+        assert len({serial_digest, homo_digest, het_digest}) == 3
+
+    def test_batch_composition_enters_heterogeneous_digest(self):
+        target = spec(seed=101)
+        a, _ = group_for_vectorize([target, spec(seed=102, p=0.9)])
+        b, _ = group_for_vectorize([target, spec(seed=102, p=0.8)])
+        c, _ = group_for_vectorize([spec(seed=102, p=0.9), target])
+        assert len({a[0].digest, b[0].digest, c[1].digest}) == 3
+
+    def test_marker_row_type_mixing_rejected(self):
+        with pytest.raises(ExecutionError, match="rows all ints"):
+            replace(spec(seed=1), batch_marker=(2, 0, (100, "x")))

@@ -2,9 +2,9 @@
 
 Contract under test:
 
-* grouping is by shape (identical specs up to the config seed), a pure
-  function of the spec list, with singletons and finite-buffer specs
-  left on the serial path;
+* grouping is by shape (identical specs up to the config seed and the
+  stackable traffic parameters), a pure function of the spec list, with
+  singletons and finite-buffer specs left on the serial path;
 * marked specs get distinct digests (no cache aliasing between batched
   and serial results of the same scenario), while unmarked specs keep
   their historical digests;
@@ -53,13 +53,27 @@ class TestGrouping:
             assert spec.batch_marker == (3, pos, seeds)
 
     def test_mixed_shapes_split_and_singletons_unmarked(self):
+        # n_stages changes the engine's array shapes, so the odd spec
+        # cannot join the stack (a mere load difference now could)
         specs = spec_batch(2) + [
-            ExperimentSpec(config=base_config(p=0.3, seed=7), n_cycles=1_200)
+            ExperimentSpec(config=base_config(n_stages=4, seed=7), n_cycles=1_200)
         ]
         marked, groups = group_for_vectorize(specs)
         assert ([0, 1], True) in groups and ([2], False) in groups
         assert marked[2].batch_marker is None
         assert marked[2].digest == specs[2].digest
+
+    def test_load_sweep_specs_stack_heterogeneously(self):
+        specs = [
+            ExperimentSpec(config=base_config(p=p, seed=7 + i), n_cycles=1_200)
+            for i, p in enumerate([0.2, 0.5, 0.8])
+        ]
+        marked, groups = group_for_vectorize(specs)
+        assert groups == [([0, 1, 2], True)]
+        for pos, spec in enumerate(marked):
+            n, where, rows = spec.batch_marker
+            assert (n, where) == (3, pos)
+            assert all(isinstance(r, str) for r in rows)
 
     def test_finite_buffer_groups_stay_serial(self):
         specs = [
@@ -175,9 +189,9 @@ class TestRunMany:
         def boom(*args, **kwargs):
             raise RuntimeError("injected batched failure")
 
-        monkeypatch.setattr(batched_mod, "run_batched", boom)
+        monkeypatch.setattr(batched_mod, "run_stacked", boom)
         specs = spec_batch(3) + [
-            ExperimentSpec(config=base_config(p=0.3, seed=9), n_cycles=1_200)
+            ExperimentSpec(config=base_config(n_stages=4, seed=9), n_cycles=1_200)
         ]
         batch = run_many(specs, vectorize=True, retries=1)
         assert batch.n_failed == 3
@@ -192,6 +206,44 @@ class TestRunMany:
             run_many(specs, vectorize=True, task_fn=lambda s: None)
         with pytest.raises(ExecutionError, match="chunksize"):
             run_many(specs, vectorize=True, chunksize=2)
+
+
+class TestStatisticalEquivalence:
+    def test_stacked_heterogeneous_sweep_agrees_with_serial_runs(self):
+        """A vectorized loads x seeds sweep (one scenario-stacked group)
+        and the same specs run serially are different sample paths of
+        the same system: per-load cross-replication t-intervals must
+        overlap at every load."""
+        from repro.simulation.replication import replicated_statistic
+
+        loads = [0.3, 0.6]
+        seeds = range(300, 308)
+        specs = [
+            ExperimentSpec(
+                config=base_config(p=p, seed=s, n_stages=4),
+                n_cycles=6_000,
+                label=f"p={p}/s={s}",
+            )
+            for p in loads
+            for s in seeds
+        ]
+        # sanity: the whole sweep really is one stacked group
+        _, groups = group_for_vectorize(resolve_seeds(specs))
+        assert groups == [(list(range(len(specs))), True)]
+
+        vec = run_many(specs, vectorize=True).raise_on_failure()
+        ser = run_many(specs).raise_on_failure()
+        n_seeds = len(list(seeds))
+        for j, p in enumerate(loads):
+            rows = slice(j * n_seeds, (j + 1) * n_seeds)
+            stat = lambda r: float(r.stage_means[0])
+            a = replicated_statistic([o.result for o in vec.outcomes[rows]], stat)
+            b = replicated_statistic([o.result for o in ser.outcomes[rows]], stat)
+            lo_a, hi_a = a.interval()
+            lo_b, hi_b = b.interval()
+            assert max(lo_a, lo_b) <= min(hi_a, hi_b), (
+                f"p={p}: stacked {a.interval()} vs serial {b.interval()}"
+            )
 
 
 class TestReplicate:

@@ -225,3 +225,67 @@ class TestProperties:
         total = summand.compound(count)
         expected = count.mean() * summand.variance() + count.variance() * summand.mean() ** 2
         assert total.variance() == expected
+
+
+class TestFloatSeriesMemoization:
+    """pmf/cdf/quantile share one per-instance float expansion."""
+
+    def test_float_pmf_prefixes_are_slices_of_one_expansion(self):
+        g = PGF.geometric(Fraction(1, 10))
+        long = g.pmf(200)
+        short = g.pmf(80)
+        assert np.array_equal(short, long[:80])
+        fresh = PGF.geometric(Fraction(1, 10)).pmf(200)
+        assert np.array_equal(long, fresh)
+
+    def test_warm_calls_do_not_recompute_the_series(self, monkeypatch):
+        g = PGF.geometric(Fraction(1, 10))
+        g.pmf(256)
+        calls = []
+        original = RationalFunction.series
+
+        def counting(self, order):
+            calls.append(order)
+            return original(self, order)
+
+        monkeypatch.setattr(RationalFunction, "series", counting)
+        g.pmf(256)
+        g.pmf(100)
+        g.cdf(200)
+        assert calls == []
+        g.pmf(300)  # longer than the cache: exactly one recompute
+        assert calls == [299]
+
+    def test_quantile_resumes_from_memoized_expansion(self, monkeypatch):
+        g = PGF.geometric(Fraction(1, 10))
+        expected = PGF.geometric(Fraction(1, 10)).quantile(0.999)
+        g.pmf(256)  # long enough to bracket the 99.9% quantile
+        calls = []
+        original = RationalFunction.series
+
+        def counting(self, order):
+            calls.append(order)
+            return original(self, order)
+
+        monkeypatch.setattr(RationalFunction, "series", counting)
+        assert g.quantile(0.999) == expected
+        assert calls == []
+
+    def test_quantile_agrees_with_cold_instance_after_any_history(self):
+        warm = PGF.geometric(Fraction(1, 3))
+        warm.pmf(10)
+        warm.quantile(0.5)
+        for q in (0.1, 0.9, 0.99):
+            assert warm.quantile(q) == PGF.geometric(Fraction(1, 3)).quantile(q)
+
+    def test_exact_mode_is_unmemoized_and_unchanged(self):
+        g = PGF.from_pmf([Fraction(1, 4), Fraction(1, 2), Fraction(1, 4)])
+        exact = g.pmf(3, exact=True)
+        assert exact == [Fraction(1, 4), Fraction(1, 2), Fraction(1, 4)]
+        assert isinstance(g.pmf(3), np.ndarray)
+
+    def test_max_terms_below_start_still_raises(self):
+        g = PGF.geometric(Fraction(1, 10))
+        g.pmf(256)
+        with pytest.raises(SeriesError, match="not reached"):
+            g.quantile(0.999999999999, max_terms=32)

@@ -20,7 +20,7 @@ from repro.arrivals.bernoulli import UniformTraffic
 from repro.core.first_stage import FirstStageQueue
 from repro.errors import SimulationError
 from repro.service.deterministic import DeterministicService
-from repro.simulation.batched import BatchedClockedEngine, run_batched
+from repro.simulation.batched import BatchedClockedEngine, run_batched, run_stacked
 from repro.simulation.network import NetworkConfig, NetworkSimulator
 from repro.simulation.replication import replicated_statistic
 from repro.simulation.stats import BatchedTrackedMessages, TrackedMessages
@@ -107,6 +107,85 @@ def test_r32_interval_covers_theorem_1(p, n_cycles, warmup):
     assert stat.covers(exact), (
         f"p={p}: interval {stat.interval()} misses exact E[w]={exact:.4f}"
     )
+
+
+# ----------------------------------------------------------------------
+# scenario stacking (run_stacked): heterogeneous parameter batches
+# ----------------------------------------------------------------------
+def test_stacked_identical_rows_bit_identical_to_run_batched():
+    """Anchor 1: a 'heterogeneous' batch whose rows happen to be
+    identical must reproduce the homogeneous batched engine exactly."""
+    from dataclasses import replace
+
+    config = NetworkConfig(
+        k=2, n_stages=4, p=0.6, topology="random", width=16, bulk_size=2
+    )
+    seeds = [11, 12, 13, 14]
+    stacked = run_stacked([replace(config, seed=s) for s in seeds], 3_000)
+    batched = run_batched(config, seeds, 3_000)
+    for a, b in zip(stacked, batched):
+        assert_results_identical(a, b)
+        assert a.config == b.config
+
+
+def test_stacked_single_scenario_bit_identical_to_serial():
+    """Anchor 2: an R=1 stack reproduces ClockedEngine bit-for-bit."""
+    config = NetworkConfig(
+        k=2, n_stages=3, p=0.5, topology="omega", q=0.3, seed=42
+    )
+    serial = NetworkSimulator(config).run(n_cycles=2_000)
+    [stacked] = run_stacked([config], 2_000)
+    assert_results_identical(serial, stacked)
+
+
+def test_stacked_load_sweep_intervals_cover_theorem_1():
+    """Anchor 3: one stacked grid over loads x seeds; each load's
+    cross-replication t-interval must cover Theorem 1's exact E[w]."""
+    from dataclasses import replace
+
+    base = NetworkConfig(k=2, n_stages=4, p=0.5, topology="random", width=16)
+    loads = [0.3, 0.6]
+    seeds = range(700, 716)
+    configs = [
+        replace(base, p=p, seed=s) for p in loads for s in seeds
+    ]
+    results = run_stacked(configs, 8_000)
+    n_seeds = len(list(seeds))
+    for j, p in enumerate(loads):
+        per_load = results[j * n_seeds : (j + 1) * n_seeds]
+        assert all(r.config.p == p for r in per_load)
+        exact = float(
+            FirstStageQueue(
+                UniformTraffic(2, p), DeterministicService(1)
+            ).waiting_mean()
+        )
+        stat = replicated_statistic(per_load, lambda r: float(r.stage_means[0]))
+        assert stat.covers(exact), (
+            f"p={p}: interval {stat.interval()} misses exact E[w]={exact:.4f}"
+        )
+
+
+def test_stacked_results_track_their_own_scenario():
+    """Per-replica statistics respond to that replica's parameters."""
+    from dataclasses import replace
+
+    base = NetworkConfig(k=2, n_stages=3, p=0.2, topology="random", width=16)
+    configs = [replace(base, p=p, seed=9) for p in (0.2, 0.9)]
+    light, heavy = run_stacked(configs, 4_000)
+    assert heavy.injected > 2 * light.injected
+    assert heavy.stage_means[0] > light.stage_means[0]
+
+
+def test_stacked_rejects_shape_mismatches():
+    from dataclasses import replace
+
+    base = NetworkConfig(k=2, n_stages=3, p=0.5, topology="random", width=16)
+    with pytest.raises(SimulationError, match="n_stages"):
+        run_stacked([base, replace(base, n_stages=4)], 1_000)
+    with pytest.raises(SimulationError, match="width"):
+        run_stacked([base, replace(base, width=8)], 1_000)
+    with pytest.raises(SimulationError, match="at least one"):
+        run_stacked([], 1_000)
 
 
 def test_rejects_finite_buffers_and_auto_warmup():

@@ -75,3 +75,83 @@ def test_load_statistics_per_replica():
 def test_rejects_bad_replica_count():
     with pytest.raises(ModelError):
         make(n_replicas=0)
+
+
+# ----------------------------------------------------------------------
+# parameter stacking: per-replica p / q / bulk / service columns
+# ----------------------------------------------------------------------
+def test_equal_parameter_columns_match_scalar_generator():
+    """A stack whose per-replica parameters are all equal consumes the
+    RNG stream bit-for-bit like the scalar-parameter generator."""
+    scalar = make(n_replicas=3, seed=17, p=0.5, bulk_size=2)
+    stacked = make(
+        n_replicas=3, seed=17, p=[0.5, 0.5, 0.5], bulk_size=[2, 2, 2],
+        q=[0.0, 0.0, 0.0],
+        service=[DeterministicService(1)] * 3,
+    )
+    assert not stacked.heterogeneous
+    assert stacked.p == 0.5 and stacked.bulk_size == 2
+    for _ in range(100):
+        a = scalar.generate_batch()
+        b = stacked.generate_batch()
+        assert np.array_equal(a.replicas, b.replicas)
+        assert np.array_equal(a.sources, b.sources)
+        assert np.array_equal(a.destinations, b.destinations)
+        assert np.array_equal(a.services, b.services)
+
+
+def test_per_replica_loads_inject_at_their_own_rate():
+    loads = np.array([0.2, 0.5, 0.8])
+    width, cycles = 32, 2_000
+    gen = make(n_replicas=3, width=width, p=loads, seed=23)
+    assert gen.heterogeneous and gen.p is None
+    counts = np.zeros(3)
+    for _ in range(cycles):
+        counts += np.bincount(gen.generate_batch().replicas, minlength=3)
+    rates = counts / (cycles * width)
+    assert np.all(np.abs(rates - loads) < 0.02), rates
+
+
+def test_per_replica_bulk_and_service_models():
+    gen = make(
+        n_replicas=2, seed=5, p=0.9,
+        bulk_size=[1, 3],
+        service=[DeterministicService(1), DeterministicService(1)],
+    )
+    arrivals = gen.generate_batch()
+    # replica 0 packets are singletons; replica 1 arrives in triples
+    r1 = arrivals.replicas == 1
+    assert r1.sum() % 3 == 0
+    trip = arrivals.destinations[r1].reshape(-1, 3)
+    assert np.array_equal(trip[:, 0], trip[:, 1])
+
+    mixed = make(
+        n_replicas=2, seed=5, p=1.0,
+        service=[DeterministicService(1), DeterministicService(4)],
+    )
+    assert mixed.heterogeneous and mixed.service is None
+    out = mixed.generate_batch()
+    assert np.all(out.services[out.replicas == 0] == 1)
+    assert np.all(out.services[out.replicas == 1] == 4)
+
+
+def test_heterogeneous_generator_refuses_serial_path():
+    gen = make(n_replicas=2, p=[0.3, 0.6])
+    with pytest.raises(ModelError, match="generate_batch"):
+        gen.generate()
+
+
+def test_offered_load_averages_over_replicas():
+    gen = make(n_replicas=2, p=[0.2, 0.6], bulk_size=[1, 2])
+    assert gen.offered_load == pytest.approx((0.2 * 1 + 0.6 * 2) / 2)
+
+
+def test_rejects_bad_parameter_columns():
+    with pytest.raises(ModelError, match="length-3"):
+        make(n_replicas=3, p=[0.1, 0.2])
+    with pytest.raises(ModelError, match="outside"):
+        make(n_replicas=2, p=[0.5, 1.5])
+    with pytest.raises(ModelError, match="bulk"):
+        make(n_replicas=2, bulk_size=[1, 0])
+    with pytest.raises(ModelError, match="one service model per replica"):
+        make(n_replicas=3, service=[DeterministicService(1)] * 2)
