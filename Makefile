@@ -4,10 +4,19 @@ PYTHON ?= python
 WORKERS ?= 4
 CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report calibrate clean
+.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report calibrate clean lint typecheck
 
 install:
 	$(PYTHON) -m pip install -e .[test]
+
+# Domain invariants (determinism, digest hygiene, failure hygiene);
+# pure stdlib -- see docs/static-analysis.md.
+lint:
+	$(PYTHON) -m repro lint src/repro
+
+# Strict typing gate (requires mypy; pinned and enforced in CI).
+typecheck:
+	$(PYTHON) -m mypy src/repro
 
 test:
 	$(PYTHON) -m pytest tests/

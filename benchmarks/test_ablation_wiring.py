@@ -37,5 +37,5 @@ def test_wirings_statistically_equivalent(run_once, cycles):
         assert gap < 0.03
     # totals agree too
     ref_total = results["omega"].total_waiting_mean()
-    for name, r in results.items():
+    for r in results.values():
         assert abs(r.total_waiting_mean() - ref_total) / ref_total < 0.08

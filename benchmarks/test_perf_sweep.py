@@ -74,7 +74,7 @@ def test_stacked_sweep_speedup(benchmark, cycles):
 
     t0 = perf_counter()
     per_load = []
-    for p, grid in grids.items():
+    for grid in grids.values():
         per_load.extend(
             run_batched(grid[0], [c.seed for c in grid], n_cycles)
         )

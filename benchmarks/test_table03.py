@@ -16,7 +16,7 @@ def test_table_III(run_once, cycles):
     result = run_once(table_III, n_cycles=cycles, sizes=sizes)
     print("\n" + result.to_text())
     deep_means, deep_vars = [], []
-    for col, m in zip(result.columns, sizes):
+    for col, _m in zip(result.columns, sizes, strict=True):
         assert abs(col.stage_means[0] - col.analysis_mean) / col.analysis_mean < 0.10
         deep = float(np.mean(col.stage_means[-3:]))
         deep_v = float(np.mean(col.stage_variances[-3:]))

@@ -25,4 +25,4 @@ def test_table_V(run_once, cycles):
         assert abs(deep - col.estimate_mean) / col.estimate_mean < 0.10
         assert abs(deep_v - col.estimate_variance) / col.estimate_variance < 0.15
         deep_means.append(deep)
-    assert all(a > b for a, b in zip(deep_means, deep_means[1:]))
+    assert all(a > b for a, b in zip(deep_means, deep_means[1:], strict=False))

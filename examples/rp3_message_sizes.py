@@ -45,7 +45,7 @@ def main() -> None:
 
     # --- RP3-flavoured mixed traffic ----------------------------------
     sizes, probs = (1, 8), (Fraction(3, 4), Fraction(1, 4))  # requests vs replies
-    mbar = sum(s * g for s, g in zip(sizes, probs))
+    mbar = sum(s * g for s, g in zip(sizes, probs, strict=True))
     p = Fraction(str(RHO)) / mbar
     model = LaterStageModel(k=2, p=p, sizes=sizes, probabilities=probs)
     net = NetworkDelayModel(stages=STAGES, model=model)

@@ -105,6 +105,6 @@ def render_metrics_summary(result, collector: Optional[object] = None) -> str:
 def render_lag_profile(simulated: np.ndarray, model: np.ndarray) -> str:
     """Side-by-side lag-correlation profile (Table VI companion)."""
     lines = [f"{'lag':>4} {'simulated':>10} {'model':>10}"]
-    for lag, (s, m) in enumerate(zip(simulated, model), start=1):
+    for lag, (s, m) in enumerate(zip(simulated, model, strict=False), start=1):
         lines.append(f"{lag:4d} {s:10.4f} {m:10.4f}")
     return "\n".join(lines)

@@ -82,11 +82,11 @@ def sweep(
         raise AnalysisError("configs, labels and models must align")
     specs = [
         ExperimentSpec(config=config, n_cycles=n_cycles, label=f"sweep:{label}")
-        for config, label in zip(configs, labels)
+        for config, label in zip(configs, labels, strict=True)
     ]
     batch = run_batch(specs).raise_on_failure()
     out: List[SweepPoint] = []
-    for result, label, model in zip(batch.results(), labels, models):
+    for result, label, model in zip(batch.results(), labels, models, strict=True):
         config = result.config
         rows = result.tracked.complete_rows()
         if rows.shape[0] < 2 * n_batches:

@@ -172,7 +172,7 @@ def _stage_columns(
             estimate_mean=float(model.limit_mean()),
             estimate_variance=float(model.limit_variance()),
         )
-        for (label, _, model), result in zip(items, batch.results())
+        for (label, _, model), result in zip(items, batch.results(), strict=True)
     ]
 
 
@@ -267,7 +267,7 @@ def table_IV(
         p = Fraction(str(rho)) / mbar
         # drop zero-probability components (MultiSizeService requires
         # strictly positive mixing weights for listed sizes)
-        use_sizes = [mi for mi, gi in zip(sizes, (g1f, g2f)) if gi > 0]
+        use_sizes = [mi for mi, gi in zip(sizes, (g1f, g2f), strict=True) if gi > 0]
         use_probs = [gi for gi in (g1f, g2f) if gi > 0]
         if len(use_sizes) == 1:
             cfg = NetworkConfig(
@@ -474,7 +474,7 @@ def table_totals(
         for i, n in enumerate(depths)
     ]
     batch = run_batch(specs).raise_on_failure()
-    for n, sim in zip(depths, batch.results()):
+    for n, sim in zip(depths, batch.results(), strict=True):
         totals = sim.total_waits()
         net = NetworkDelayModel(stages=n, model=model)
         out.rows.append(

@@ -68,7 +68,7 @@ class BulkUniformTraffic(ArrivalProcess):
     def pgf(self) -> PGF:
         a = self.p / self.s
         # (1 - a + a z^b)^k
-        base = Polynomial([1 - a] + [0] * (self.b - 1) + [a])
+        base = Polynomial([1 - a, *([0] * (self.b - 1)), a])
         return PGF(RationalFunction(base ** self.k), validate=False)
 
     def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:

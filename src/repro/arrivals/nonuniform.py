@@ -98,8 +98,8 @@ class FavoriteOutputTraffic(ArrivalProcess):
     def pgf(self) -> PGF:
         a = self.normal_hit_probability
         f = self.favored_hit_probability
-        normal = Polynomial([1 - a] + [0] * (self.b - 1) + [a]) ** (self.k - 1)
-        favored = Polynomial([1 - f] + [0] * (self.b - 1) + [f])
+        normal = Polynomial([1 - a, *([0] * (self.b - 1)), a]) ** (self.k - 1)
+        favored = Polynomial([1 - f, *([0] * (self.b - 1)), f])
         return PGF(RationalFunction(normal * favored), validate=False)
 
     def sample_counts(self, rng: np.random.Generator, size: int) -> np.ndarray:

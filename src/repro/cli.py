@@ -87,7 +87,7 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     t = sub.add_parser("table", parents=[common], help="regenerate one table (I..XII)")
-    t.add_argument("id", choices=_STAGE_TABLES + ("VI",) + _TOTALS_TABLES)
+    t.add_argument("id", choices=(*_STAGE_TABLES, "VI", *_TOTALS_TABLES))
 
     f = sub.add_parser("figure", parents=[common], help="regenerate one figure panel (3..8)")
     f.add_argument("id", type=int, choices=[3, 4, 5, 6, 7, 8])
@@ -143,6 +143,38 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", parents=[common], help="result-cache maintenance"
     )
     c.add_argument("action", choices=["stats", "clear"])
+
+    lint = sub.add_parser(
+        "lint",
+        help="check the repro invariants (determinism, digest hygiene, "
+        "failure hygiene) with the built-in AST linter",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=None,
+        help="files/directories to check (default: the installed repro package)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=["text", "json"],
+        default="text",
+        help="report format (default text)",
+    )
+    lint.add_argument(
+        "--select",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="only run these rule codes (repeatable / comma-separated)",
+    )
+    lint.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="RULES",
+        help="skip these rule codes (repeatable / comma-separated)",
+    )
 
     m = sub.add_parser(
         "metrics", parents=[common],
@@ -312,6 +344,36 @@ def _run_cache(args) -> int:
     return 0
 
 
+def _run_lint(args) -> int:
+    from pathlib import Path
+
+    import repro
+    from repro.errors import LintError
+    from repro.lint import (
+        PARSE_ERROR_CODE,
+        RULE_CODES,
+        UNUSED_SUPPRESSION_CODE,
+        LintConfig,
+        lint_paths,
+        render_json,
+        render_text,
+    )
+
+    paths = args.paths or [Path(repro.__file__).parent]
+    known = (*RULE_CODES, PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE)
+    try:
+        config = LintConfig.from_options(
+            select=args.select, ignore=args.ignore, known=known
+        )
+        result = lint_paths(paths, config)
+    except LintError as exc:
+        print(f"lint: {exc}", file=sys.stderr)
+        return 2
+    render = render_json if args.format == "json" else render_text
+    print(render(result))
+    return 0 if result.ok else 1
+
+
 def _run_metrics(args) -> str:
     from repro.analysis.report import render_metrics_summary
     from repro.obs.metrics import MetricsCollector
@@ -367,7 +429,7 @@ def _dispatch(args) -> int:
     elif args.command == "all":
         from repro.analysis.figures import FIGURE_CONFIGS
 
-        for table_id in _STAGE_TABLES + ("VI",) + _TOTALS_TABLES:
+        for table_id in (*_STAGE_TABLES, "VI", *_TOTALS_TABLES):
             print(_run_table(table_id, args.cycles, args.seed))
             print()
         for figure_id in sorted(FIGURE_CONFIGS):
@@ -380,6 +442,10 @@ def _dispatch(args) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    if args.command == "lint":
+        # lint is pure static analysis: no simulation context, no
+        # metrics session, no timing chatter polluting JSON output
+        return _run_lint(args)
     started = time.time()
 
     def dispatch_in_context() -> int:

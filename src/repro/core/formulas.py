@@ -266,9 +266,9 @@ def _multisize_moments(sizes: Sequence[int], probabilities: Sequence) -> tuple:
         raise ModelError("need one probability per size")
     if sum(probs) != 1:
         raise ModelError(f"probabilities sum to {sum(probs)}, expected 1")
-    m = sum(mi * gi for mi, gi in zip(sizes, probs))
-    u2 = sum(mi * (mi - 1) * gi for mi, gi in zip(sizes, probs))
-    u3 = sum(mi * (mi - 1) * (mi - 2) * gi for mi, gi in zip(sizes, probs))
+    m = sum(mi * gi for mi, gi in zip(sizes, probs, strict=True))
+    u2 = sum(mi * (mi - 1) * gi for mi, gi in zip(sizes, probs, strict=True))
+    u3 = sum(mi * (mi - 1) * (mi - 2) * gi for mi, gi in zip(sizes, probs, strict=True))
     return m, u2, u3
 
 

@@ -21,6 +21,7 @@ __all__ = [
     "TopologyError",
     "CalibrationError",
     "ExecutionError",
+    "LintError",
 ]
 
 
@@ -94,4 +95,12 @@ class ExecutionError(ReproError):
     Raised for malformed experiment specs, unreproducible content
     digests, and batches whose failures the caller asked to be fatal
     (:meth:`~repro.exec.runner.BatchResult.raise_on_failure`).
+    """
+
+
+class LintError(ReproError):
+    """The static-analysis layer (:mod:`repro.lint`) was misused.
+
+    Raised for unknown rule codes and unreadable lint targets; rule
+    *violations* are reported as findings, never as exceptions.
     """

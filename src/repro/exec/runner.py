@@ -152,7 +152,7 @@ def _run_vectorized(
     def finish(job, attempt, job_out) -> List[tuple]:
         """Finish a job's pending members; return member-level errors."""
         indices, need, _ = job
-        by_index = dict(zip(indices, job_out))
+        by_index = dict(zip(indices, job_out, strict=True))
         errors = []
         for i in need:
             kind, value = by_index[i]
@@ -331,7 +331,8 @@ def _emit(progress, outcome: TaskOutcome) -> None:
                 ),
             }
         )
-    except Exception:  # a broken progress sink must not kill the batch
+    # repro: lint-ok RPR003 -- a broken progress sink must not kill the batch
+    except Exception:
         pass
 
 
@@ -465,7 +466,7 @@ class LocalPool:
                         for i in idx_list:
                             handle_error(i, attempt, error)
                         continue
-                    for i, (kind, value) in zip(idx_list, chunk_out):
+                    for i, (kind, value) in zip(idx_list, chunk_out, strict=True):
                         if kind == "ok":
                             _finish_ok(
                                 outcomes, specs, i, value, attempt, cache, progress

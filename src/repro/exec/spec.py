@@ -210,7 +210,7 @@ def resolve_seeds(
     specs = list(specs)
     children = np.random.SeedSequence(base_seed).spawn(len(specs))
     resolved = []
-    for spec, child in zip(specs, children):
+    for spec, child in zip(specs, children, strict=True):
         if spec.config.seed is None:
             seed = int(child.generate_state(1, dtype=np.uint64)[0])
             config = dataclasses.replace(spec.config, seed=seed)

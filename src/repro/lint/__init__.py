@@ -1,0 +1,63 @@
+"""Static invariant checking for the ``repro`` codebase.
+
+The reproduction rests on contracts no runtime test can watch all the
+time: bit-exact determinism (seeded replay, parallel == serial, R=1
+batched == serial) and cache-digest hygiene (the stacking field lists
+must exactly partition ``NetworkConfig``).  This package machine-checks
+those contracts -- plus a few failure-hygiene rules -- on every commit,
+from the AST, with no third-party dependencies:
+
+========  ===================  =====================================
+code      name                 invariant
+========  ===================  =====================================
+RPR001    determinism          no global RNG anywhere; no wall-clock
+                               imports in the pure kernels
+RPR002    digest-hygiene       STACKABLE_CONFIG_FIELDS +
+                               STACK_SHAPE_FIELDS + seed partition
+                               NetworkConfig exactly
+RPR003    silent-failure       broad excepts must re-raise or report
+RPR004    library-purity       print/sys.exit only in cli.py
+RPR005    mutable-default      no mutable default arguments
+========  ===================  =====================================
+
+Run it as ``python -m repro lint [paths]`` (see
+``docs/static-analysis.md``), or programmatically::
+
+    from repro.lint import lint_paths
+    result = lint_paths(["src/repro"])
+    assert result.ok, result.findings
+
+Deliberate exceptions are waived inline with a *reasoned* comment::
+
+    from time import perf_counter  # repro: lint-ok RPR001 -- profiling only
+
+Suppressions without a reason, and suppressions that no longer match
+any finding, are themselves findings (RPR009) -- waivers cannot go
+stale silently.  Files that fail to parse are findings too (RPR000).
+"""
+
+from __future__ import annotations
+
+from repro.lint.config import KERNEL_DIRS, LintConfig, PathScope
+from repro.lint.engine import LintResult, iter_python_files, lint_paths
+from repro.lint.findings import PARSE_ERROR_CODE, Finding
+from repro.lint.reporters import REPORT_SCHEMA_VERSION, render_json, render_text
+from repro.lint.rules import RULE_CODES, all_rules
+from repro.lint.suppressions import UNUSED_SUPPRESSION_CODE
+
+__all__ = [
+    "KERNEL_DIRS",
+    "PARSE_ERROR_CODE",
+    "REPORT_SCHEMA_VERSION",
+    "RULE_CODES",
+    "UNUSED_SUPPRESSION_CODE",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "PathScope",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "render_json",
+    "render_text",
+]

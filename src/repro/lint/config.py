@@ -1,0 +1,104 @@
+"""Path-scoped rule configuration for :mod:`repro.lint`.
+
+Every rule carries a default :class:`PathScope` describing *where* its
+invariant holds -- e.g. wall-clock reads are forbidden only inside the
+pure simulation kernels, while the global-RNG ban applies everywhere.
+:class:`LintConfig` combines those scopes with the user's
+``--select``/``--ignore`` choices and optional per-rule scope
+overrides.
+
+Scopes are expressed structurally (directory components and file
+names), not as absolute paths, so the same configuration applies to
+``src/repro`` and to a fixture tree in a test's ``tmp_path``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Mapping, Optional
+
+from repro.errors import LintError
+
+__all__ = ["KERNEL_DIRS", "LintConfig", "PathScope"]
+
+#: Directory names holding the pure deterministic kernels: code here
+#: may not read the wall clock (``repro.exec`` and ``repro.obs`` are
+#: the sanctioned timing layers).
+KERNEL_DIRS = frozenset({"simulation", "core", "series", "arrivals", "service"})
+
+
+@dataclass(frozen=True)
+class PathScope:
+    """Structural description of the files a rule applies to.
+
+    ``dirs``: if given, the file must have at least one directory
+    component in the set.  ``exclude_files``: file names exempt from
+    the rule wherever they live.
+    """
+
+    dirs: Optional[frozenset[str]] = None
+    exclude_files: frozenset[str] = frozenset()
+
+    def matches(self, path: Path) -> bool:
+        """Whether a file at ``path`` is inside this scope."""
+        if path.name in self.exclude_files:
+            return False
+        if self.dirs is None:
+            return True
+        return any(part in self.dirs for part in path.parts[:-1])
+
+
+def _normalize_codes(codes: Iterable[str], known: frozenset[str]) -> frozenset[str]:
+    out = set()
+    for raw in codes:
+        for code in raw.replace(",", " ").split():
+            code = code.strip().upper()
+            if not code:
+                continue
+            if code not in known:
+                raise LintError(
+                    f"unknown lint rule {code!r}; known rules: {', '.join(sorted(known))}"
+                )
+            out.add(code)
+    return frozenset(out)
+
+
+@dataclass
+class LintConfig:
+    """Which rules run, and where.
+
+    ``select``: only these rule codes run (``None`` = all registered).
+    ``ignore``: these rule codes never run (applied after ``select``).
+    ``scopes``: per-rule :class:`PathScope` overrides replacing the
+    rule's default scope.
+    """
+
+    select: Optional[frozenset[str]] = None
+    ignore: frozenset[str] = frozenset()
+    scopes: Mapping[str, PathScope] = field(default_factory=dict)
+
+    @classmethod
+    def from_options(
+        cls,
+        select: Iterable[str] = (),
+        ignore: Iterable[str] = (),
+        known: Iterable[str] = (),
+    ) -> "LintConfig":
+        """Build a config from CLI-style repeated/comma-joined options."""
+        known_set = frozenset(known)
+        selected = _normalize_codes(select, known_set)
+        return cls(
+            select=selected or None,
+            ignore=_normalize_codes(ignore, known_set),
+        )
+
+    def rule_enabled(self, code: str) -> bool:
+        """Whether a rule participates in this run at all."""
+        if code in self.ignore:
+            return False
+        return self.select is None or code in self.select
+
+    def scope_for(self, code: str, default: PathScope) -> PathScope:
+        """The effective scope for a rule (override or its default)."""
+        return self.scopes.get(code, default)

@@ -1,0 +1,185 @@
+"""The :mod:`repro.lint` rule engine.
+
+:func:`lint_paths` walks the given files/directories, parses every
+Python file once, runs the registered rules (file-level rules per
+file, project-level rules over the whole in-scope set), applies
+``# repro: lint-ok`` suppressions, and returns a :class:`LintResult`.
+
+Invariants of the engine itself:
+
+* a file that fails to parse yields an :data:`~repro.lint.findings.PARSE_ERROR_CODE`
+  finding instead of crashing the run (an unparseable file cannot be
+  proven clean);
+* a suppression comment whose rule codes never matched a finding is
+  reported as :data:`~repro.lint.suppressions.UNUSED_SUPPRESSION_CODE`
+  so stale waivers cannot accumulate;
+* findings are sorted by ``(path, line, col, rule)`` -- output order is
+  a pure function of the file set, never of directory iteration order.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.errors import LintError
+from repro.lint.config import LintConfig
+from repro.lint.findings import PARSE_ERROR_CODE, Finding
+from repro.lint.rules import all_rules
+from repro.lint.rules.base import FileContext, FileRule, ProjectRule, Rule
+from repro.lint.suppressions import (
+    UNUSED_SUPPRESSION_CODE,
+    Suppression,
+    collect_suppressions,
+)
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths"]
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    #: findings waived by reasoned suppression comments
+    suppressed: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts(self) -> dict[str, int]:
+        """``{rule code: finding count}`` for the reporters."""
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.rule] = out.get(f.rule, 0) + 1
+        return out
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> list[Path]:
+    """Every ``.py`` file under ``paths``, sorted, caches skipped."""
+    files: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_file():
+            if path.suffix == ".py":
+                files.add(path)
+        elif path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not any(part in _SKIP_DIRS for part in sub.parts):
+                    files.add(sub)
+        else:
+            raise LintError(f"lint target does not exist: {path}")
+    return sorted(files)
+
+
+def _display_path(path: Path) -> str:
+    """Path as findings show it: relative to CWD when possible."""
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _suppress(
+    findings: Iterable[Finding],
+    suppressions_by_path: dict[str, list[Suppression]],
+    result: LintResult,
+) -> None:
+    """Route findings into ``result``, honouring suppression comments."""
+    for finding in findings:
+        waived = False
+        for sup in suppressions_by_path.get(finding.path, ()):
+            if sup.covers(finding.line, finding.rule):
+                sup.used.add(finding.rule)
+                waived = True
+                break
+        if waived:
+            result.suppressed += 1
+        else:
+            result.findings.append(finding)
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    config: Optional[LintConfig] = None,
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintResult:
+    """Lint ``paths`` and return the sorted findings.
+
+    ``config`` defaults to "all registered rules, default scopes";
+    ``rules`` overrides the registry (used by the test-suite to run
+    rules in isolation or with custom scopes).
+    """
+    config = config if config is not None else LintConfig()
+    active = [r for r in (rules if rules is not None else all_rules())
+              if config.rule_enabled(r.code)]
+    file_rules = [r for r in active if isinstance(r, FileRule)]
+    project_rules = [r for r in active if isinstance(r, ProjectRule)]
+
+    result = LintResult()
+    contexts: list[FileContext] = []
+    suppressions_by_path: dict[str, list[Suppression]] = {}
+    for path in iter_python_files(paths):
+        display = _display_path(path)
+        result.files_checked += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            raise LintError(f"cannot read {display}: {exc}") from exc
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            if config.rule_enabled(PARSE_ERROR_CODE):
+                result.findings.append(
+                    Finding(
+                        path=display,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1),
+                        rule=PARSE_ERROR_CODE,
+                        message=f"file does not parse ({exc.msg}); "
+                        "an unparseable file cannot be proven clean",
+                    )
+                )
+            continue
+        ctx = FileContext(path=path, display_path=display, tree=tree, source=source)
+        contexts.append(ctx)
+        suppressions_by_path[display] = collect_suppressions(source)
+        for rule in file_rules:
+            if config.scope_for(rule.code, rule.default_scope).matches(path):
+                _suppress(rule.check_file(ctx), suppressions_by_path, result)
+
+    for project_rule in project_rules:
+        scope = config.scope_for(project_rule.code, project_rule.default_scope)
+        in_scope = [c for c in contexts if scope.matches(c.path)]
+        _suppress(project_rule.check_project(in_scope), suppressions_by_path, result)
+
+    if config.rule_enabled(UNUSED_SUPPRESSION_CODE):
+        for display, sups in suppressions_by_path.items():
+            for sup in sups:
+                if not sup.used and any(config.rule_enabled(c) for c in sup.codes):
+                    result.findings.append(
+                        Finding(
+                            path=display,
+                            line=sup.line,
+                            col=1,
+                            rule=UNUSED_SUPPRESSION_CODE,
+                            message=(
+                                "suppression comment matched no finding "
+                                f"(codes: {', '.join(sup.codes)}); remove "
+                                "the stale waiver"
+                                if sup.reason
+                                else "suppression comment has no reason text; "
+                                "a waiver must say why "
+                                "(# repro: lint-ok RPRxxx -- reason)"
+                            ),
+                        )
+                    )
+
+    result.findings.sort()
+    return result

@@ -1,0 +1,49 @@
+"""Finding records produced by :mod:`repro.lint` rules.
+
+A :class:`Finding` is one rule violation at one source location.  The
+record is deliberately flat and JSON-ready: the reporters
+(:mod:`repro.lint.reporters`) serialise it without any further lookup,
+and the test-suite pins the schema.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PARSE_ERROR_CODE", "Finding"]
+
+#: Pseudo-rule code attached to files the engine cannot parse.  A file
+#: that does not parse cannot be proven invariant-clean, so a syntax
+#: error is itself a finding rather than a crash.
+PARSE_ERROR_CODE = "RPR000"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    ``path`` is the file as given to the engine (made relative to the
+    current directory when possible), ``line`` is 1-based and ``col``
+    is 1-based (AST column offsets are shifted by one so the text
+    reporter matches editor conventions).
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def to_jsonable(self) -> dict[str, object]:
+        """JSON-ready record (one object in the reporter's list)."""
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` (the text-reporter line)."""
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"

@@ -1,0 +1,50 @@
+"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON.
+
+Both reporters return strings -- printing is the CLI layer's job
+(which is exactly what rule RPR004 enforces).  The JSON schema is
+versioned and pinned by the test-suite, so tooling can consume it.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text"]
+
+#: Bumped when the JSON report layout changes shape.
+REPORT_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [f.render() for f in result.findings]
+    if result.findings:
+        counts = ", ".join(
+            f"{code}: {n}" for code, n in sorted(result.counts().items())
+        )
+        lines.append(
+            f"{len(result.findings)} finding(s) in {result.files_checked} "
+            f"file(s) ({counts}); {result.suppressed} suppressed"
+        )
+    else:
+        lines.append(
+            f"clean: {result.files_checked} file(s), 0 findings, "
+            f"{result.suppressed} suppressed"
+        )
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report (schema pinned by the test-suite)."""
+    doc = {
+        "schema_version": REPORT_SCHEMA_VERSION,
+        "tool": "repro.lint",
+        "files_checked": result.files_checked,
+        "findings": [f.to_jsonable() for f in result.findings],
+        "counts": result.counts(),
+        "suppressed": result.suppressed,
+        "ok": result.ok,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)

@@ -1,0 +1,77 @@
+"""RPR005: mutable default arguments.
+
+A ``def f(x, acc=[])`` default is created once at function definition
+and shared across *every* call -- state leaks between calls, and in
+this codebase between *experiments*, which is a reproducibility bug of
+the quietest kind (the second run of a sweep sees the first run's
+accumulator).  Flagged default expressions:
+
+* list / dict / set literals and comprehensions,
+* calls to the ``list`` / ``dict`` / ``set`` / ``bytearray``
+  constructors,
+* ``collections``-style constructors (``defaultdict``, ``deque``,
+  ``Counter``, ``OrderedDict``).
+
+The fix is the standard ``None`` sentinel (``x: Optional[list] = None``
+then ``x = [] if x is None else x``), or a frozen/immutable default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import PathScope
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, FileRule, dotted_name
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.DictComp,
+    ast.SetComp,
+)
+_MUTABLE_CALLS = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+def _is_mutable(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func)
+        if name is not None and name.rsplit(".", 1)[-1] in _MUTABLE_CALLS:
+            return True
+    return False
+
+
+class MutableDefaultRule(FileRule):
+    code = "RPR005"
+    name = "mutable-default"
+    why = (
+        "a mutable default is shared across calls -- state leaks "
+        "between experiments"
+    )
+    default_scope = PathScope()
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            args = node.args
+            for default in list(args.defaults) + [
+                d for d in args.kw_defaults if d is not None
+            ]:
+                if _is_mutable(default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        default,
+                        self.code,
+                        f"mutable default argument in {label}(); use a "
+                        "None sentinel (the default object is shared "
+                        "across all calls)",
+                    )

@@ -1,0 +1,190 @@
+"""RPR001: determinism -- no global RNG, no wall clock in kernels.
+
+The whole reproduction rests on bit-exact replay: ``R=1`` batched runs
+must equal serial runs, parallel batches must equal serial batches, and
+the Theorem 1 anchors must come out identical for identical seeds.  Two
+things silently break that contract:
+
+* **Global randomness** -- the stdlib ``random`` module, the legacy
+  ``np.random.*`` module-level samplers (which share one hidden global
+  state across the whole process), and ``np.random.default_rng()``
+  *without* a seed (an OS-entropy stream).  All randomness must flow
+  through explicitly seeded :class:`numpy.random.Generator` objects
+  (see :mod:`repro.simulation.rng`).  Enforced everywhere.
+* **Wall-clock reads inside the pure kernels** -- ``time.time``,
+  ``perf_counter``, ``datetime.now`` and friends inside
+  ``simulation/``, ``core/``, ``series/``, ``arrivals/`` or
+  ``service/`` are either dead weight or, worse, feeding time into
+  results.  ``repro.exec`` and ``repro.obs`` are the sanctioned timing
+  layers.  The rule flags the *import* (every in-file read needs one);
+  a deliberately observability-only import is waived with a reasoned
+  ``# repro: lint-ok RPR001 -- ...`` comment, which also covers the
+  calls it enables.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.lint.config import KERNEL_DIRS, PathScope
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, FileRule, dotted_name
+
+__all__ = ["DeterminismRule"]
+
+#: numpy.random attributes that construct *explicit* generators/streams
+#: (everything else at module level is the legacy global-state API).
+_ALLOWED_NP_RANDOM = frozenset(
+    {
+        "default_rng",
+        "SeedSequence",
+        "Generator",
+        "BitGenerator",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+    }
+)
+
+_TIME_NAMES = frozenset(
+    {
+        "time",
+        "time_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "monotonic",
+        "monotonic_ns",
+        "process_time",
+        "process_time_ns",
+    }
+)
+_DATETIME_NAMES = frozenset({"datetime", "date"})
+
+
+class DeterminismRule(FileRule):
+    code = "RPR001"
+    name = "determinism"
+    why = (
+        "seeded runs must replay bit-for-bit: no process-global RNG "
+        "anywhere, no wall clock inside the pure kernels"
+    )
+    default_scope = PathScope()  # the RNG ban applies everywhere
+
+    def __init__(self, clock_scope: Optional[PathScope] = None) -> None:
+        #: where the wall-clock sub-check applies (the pure kernels)
+        self.clock_scope = clock_scope if clock_scope is not None else PathScope(dirs=KERNEL_DIRS)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        clocked = self.clock_scope.matches(ctx.path)
+        # names bound to numpy (or numpy.random / its members) by imports
+        numpy_alias: dict[str, str] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                yield from self._check_import(ctx, node, clocked, numpy_alias)
+            elif isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(ctx, node, clocked, numpy_alias)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node, numpy_alias)
+
+    # -- imports --------------------------------------------------------
+    def _check_import(
+        self,
+        ctx: FileContext,
+        node: ast.Import,
+        clocked: bool,
+        numpy_alias: dict[str, str],
+    ) -> Iterator[Finding]:
+        for alias in node.names:
+            root = alias.name.split(".")[0]
+            bound = alias.asname or root
+            if root == "numpy":
+                numpy_alias[bound] = "numpy" if alias.asname else root
+            if root == "random":
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "import of the stdlib `random` module (process-global "
+                    "RNG); use an explicitly seeded numpy Generator "
+                    "(repro.simulation.rng)",
+                )
+            elif clocked and root in ("time", "datetime"):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"wall-clock import `{alias.name}` in deterministic "
+                    "kernel code; timing belongs to repro.obs / repro.exec "
+                    "(suppress with a reason if observability-only)",
+                )
+
+    def _check_import_from(
+        self,
+        ctx: FileContext,
+        node: ast.ImportFrom,
+        clocked: bool,
+        numpy_alias: dict[str, str],
+    ) -> Iterator[Finding]:
+        module = node.module or ""
+        if module == "random" and node.level == 0:
+            yield ctx.finding(
+                node,
+                self.code,
+                "import from the stdlib `random` module (process-global "
+                "RNG); use an explicitly seeded numpy Generator "
+                "(repro.simulation.rng)",
+            )
+            return
+        if module == "numpy":
+            for alias in node.names:
+                if alias.name == "random":
+                    numpy_alias[alias.asname or alias.name] = "numpy.random"
+        elif module == "numpy.random":
+            for alias in node.names:
+                numpy_alias[alias.asname or alias.name] = f"numpy.random.{alias.name}"
+        elif clocked and node.level == 0 and module in ("time", "datetime"):
+            names = _TIME_NAMES if module == "time" else _DATETIME_NAMES
+            timing = [a.name for a in node.names if a.name in names or a.name == "*"]
+            if timing:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"wall-clock import `from {module} import "
+                    f"{', '.join(timing)}` in deterministic kernel code; "
+                    "timing belongs to repro.obs / repro.exec (suppress "
+                    "with a reason if observability-only)",
+                )
+
+    # -- calls ----------------------------------------------------------
+    def _check_call(
+        self, ctx: FileContext, node: ast.Call, numpy_alias: dict[str, str]
+    ) -> Iterator[Finding]:
+        full = dotted_name(node.func)
+        if full is None:
+            return
+        head, _, rest = full.partition(".")
+        resolved = numpy_alias.get(head)
+        if resolved is None:
+            return
+        full = resolved + ("." + rest if rest else "")
+        prefix = "numpy.random."
+        if not full.startswith(prefix):
+            return
+        attr = full[len(prefix):]
+        if attr == "default_rng":
+            if not node.args and not node.keywords:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "np.random.default_rng() without a seed draws from OS "
+                    "entropy; pass an explicit seed "
+                    "(repro.simulation.rng.make_rng)",
+                )
+        elif "." not in attr and attr not in _ALLOWED_NP_RANDOM:
+            yield ctx.finding(
+                node,
+                self.code,
+                f"np.random.{attr}() uses the process-global legacy RNG; "
+                "take an explicitly seeded np.random.Generator instead",
+            )

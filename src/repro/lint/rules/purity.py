@@ -1,0 +1,82 @@
+"""RPR004: library purity -- no ``print`` / ``sys.exit`` outside the CLI.
+
+``repro`` is a library first: tables, sweeps and batches are *returned*
+(or routed through :mod:`repro.obs` sessions and manifests), and only
+the CLI layer (``cli.py``) decides what lands on stdout and what the
+process exit code is.  A stray ``print`` deep in the simulator corrupts
+captured output (and is invisible in manifests); a ``sys.exit`` in
+library code kills embedding applications.  Flagged:
+
+* calls to the ``print`` builtin (unless the name was locally rebound),
+* calls to ``sys.exit`` / the ``exit`` / ``quit`` site builtins.
+
+``raise SystemExit(...)`` in a ``__main__`` guard is fine -- it is an
+exception, visible to any embedder.  Files named ``cli.py`` are out of
+scope by default.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import PathScope
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, FileRule, dotted_name
+
+__all__ = ["PurityRule"]
+
+
+def _rebound_names(tree: ast.Module) -> set[str]:
+    """Names assigned or bound as parameters at any scope in the file.
+
+    Used to avoid flagging a locally defined ``print``/``exit`` (e.g. a
+    callback parameter named ``print``); crude but safe -- rebinding
+    only ever *removes* findings.
+    """
+    bound: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Store, ast.Del)):
+            bound.add(node.id)
+        elif isinstance(node, ast.arg):
+            bound.add(node.arg)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            bound.add(node.name)
+    return bound
+
+
+class PurityRule(FileRule):
+    code = "RPR004"
+    name = "library-purity"
+    why = (
+        "output and process control belong to the CLI layer; library "
+        "code reports through return values and repro.obs"
+    )
+    default_scope = PathScope(exclude_files=frozenset({"cli.py"}))
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        rebound = _rebound_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            full = dotted_name(node.func)
+            if full is None:
+                continue
+            if full == "print" and "print" not in rebound:
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    "print() in library code; return the text, or route "
+                    "diagnostics through repro.obs (only cli.py talks to "
+                    "stdout)",
+                )
+            elif full == "sys.exit" or (
+                full in ("exit", "quit") and full not in rebound
+            ):
+                yield ctx.finding(
+                    node,
+                    self.code,
+                    f"{full}() in library code kills embedding processes; "
+                    "raise a repro error (or SystemExit from a __main__ "
+                    "guard) instead",
+                )

@@ -1,0 +1,104 @@
+"""RPR003: silent failure -- broad excepts must re-raise or report.
+
+A ``try`` around a simulation or cache step that swallows every
+exception turns corruption into silence: a failed digest write, a
+mis-shaped result payload, or a broken invariant check simply
+disappears.  This rule flags ``except Exception`` / ``except
+BaseException`` / bare ``except`` handlers that neither
+
+* re-``raise`` (anywhere in the handler body), nor
+* *use* the bound exception object (``except ... as exc`` with ``exc``
+  referenced -- at minimum the error was examined/recorded), nor
+* call a recognised reporting facility (``traceback.format_exc`` /
+  ``print_exc``, ``warnings.warn``, or a ``logging``-style
+  ``.exception()`` / ``.error()`` / ``.warning()`` method).
+
+Handlers catching *narrow* exception types are fine: naming the
+exceptions you expect is exactly the fix this rule wants.  A deliberate
+swallow (e.g. "a broken progress sink must not kill the batch") is
+waived with a reasoned ``# repro: lint-ok RPR003 -- ...`` comment on
+the ``except`` line.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.config import PathScope
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, FileRule, dotted_name
+
+__all__ = ["SilentExceptRule"]
+
+_BROAD = frozenset({"Exception", "BaseException"})
+_REPORTING_CALLS = frozenset(
+    {
+        "traceback.format_exc",
+        "traceback.print_exc",
+        "traceback.format_exception",
+        "warnings.warn",
+    }
+)
+_REPORTING_METHODS = frozenset({"exception", "error", "warning", "critical"})
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    """Bare ``except`` or a type (tuple) including Exception/BaseException."""
+    node = handler.type
+    if node is None:
+        return True
+    types = node.elts if isinstance(node, ast.Tuple) else [node]
+    for t in types:
+        name = dotted_name(t)
+        if name is not None and name.rsplit(".", 1)[-1] in _BROAD:
+            return True
+    return False
+
+
+def _handles_failure(handler: ast.ExceptHandler) -> bool:
+    """Whether the handler body re-raises, reports, or uses the error."""
+    bound = handler.name
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Raise):
+                return True
+            if bound is not None and isinstance(node, ast.Name) and node.id == bound:
+                return True
+            if isinstance(node, ast.Call):
+                full = dotted_name(node.func)
+                if full is None:
+                    continue
+                if full in _REPORTING_CALLS:
+                    return True
+                if full.rsplit(".", 1)[-1] in _REPORTING_METHODS and "." in full:
+                    return True
+    return False
+
+
+class SilentExceptRule(FileRule):
+    code = "RPR003"
+    name = "silent-failure"
+    why = (
+        "a swallowed broad exception turns corrupted results into "
+        "silence; catch narrow types, or re-raise/report"
+    )
+    default_scope = PathScope()
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node) or _handles_failure(node):
+                continue
+            caught = "bare except" if node.type is None else (
+                f"except {ast.unparse(node.type)}"
+            )
+            yield ctx.finding(
+                node,
+                self.code,
+                f"{caught} swallows the error without re-raising, "
+                "reporting, or examining it; catch the narrow exception "
+                "types you expect, or justify the swallow with "
+                "`# repro: lint-ok RPR003 -- reason`",
+            )

@@ -1,0 +1,82 @@
+"""Inline suppression comments for :mod:`repro.lint`.
+
+Syntax (one comment, same line as the finding or the line directly
+above it)::
+
+    risky_call()  # repro: lint-ok RPR001 -- profiling only, never enters results
+    # repro: lint-ok RPR003, RPR004 -- deliberate swallow: broken sink must not kill the batch
+    risky_block()
+
+The reason text after the dash is **mandatory**: a suppression that
+does not say *why* the invariant may be ignored does not suppress
+anything (the original finding stands).  Both ASCII ``--``/``-`` and
+the em dash are accepted as the separator.
+
+Suppressions are collected from the token stream (so a matching string
+literal never counts) and matched per rule code; a suppression comment
+whose codes were never needed is reported by the engine as an unused
+suppression (:data:`UNUSED_SUPPRESSION_CODE`), keeping stale waivers
+from accumulating.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+__all__ = ["UNUSED_SUPPRESSION_CODE", "Suppression", "collect_suppressions"]
+
+#: Pseudo-rule code for suppression comments that matched no finding.
+UNUSED_SUPPRESSION_CODE = "RPR009"
+
+_PATTERN = re.compile(
+    r"#\s*repro:\s*lint-ok\s+"
+    r"(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+    r"(?:\s*(?:--|-|–|—)\s*(?P<reason>\S.*))?"
+)
+
+
+@dataclass
+class Suppression:
+    """One parsed ``repro: lint-ok`` comment."""
+
+    line: int
+    codes: tuple[str, ...]
+    reason: str
+    #: rule codes that actually suppressed a finding (engine bookkeeping)
+    used: set[str] = field(default_factory=set)
+
+    def covers(self, line: int, rule: str) -> bool:
+        """Whether this comment waives ``rule`` findings on ``line``.
+
+        A comment covers its own line and the line directly below it
+        (the standalone-comment-above form); an empty reason covers
+        nothing.
+        """
+        return bool(self.reason) and rule in self.codes and line in (self.line, self.line + 1)
+
+
+def collect_suppressions(source: str) -> list[Suppression]:
+    """All ``repro: lint-ok`` comments in ``source``, by token stream.
+
+    Tokenisation errors are ignored (the caller has already parsed the
+    file, so the only way to get here with bad tokens is an encoding
+    edge case -- no comments is the safe answer).
+    """
+    out: list[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):
+        return out
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(tok.string)
+        if match is None:
+            continue
+        codes = tuple(c.strip() for c in match.group("codes").split(","))
+        reason = (match.group("reason") or "").strip()
+        out.append(Suppression(line=tok.start[0], codes=codes, reason=reason))
+    return out

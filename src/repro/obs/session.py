@@ -113,6 +113,7 @@ class ObservationSession:
         def _mean(result):
             try:
                 value = float(result.total_waiting_mean())
+            # repro: lint-ok RPR003 -- a sick result is recorded as null, not fatal
             except Exception:
                 return None
             return value if math.isfinite(value) else None

@@ -160,7 +160,7 @@ class PGF:
         if not _is_one(sum(ws)):
             raise NotAProbabilityError(f"mixture weights sum to {sum(ws)}, expected 1")
         total = RationalFunction.constant(0)
-        for g, w in zip(components, ws):
+        for g, w in zip(components, ws, strict=True):
             total = total + g.transform * RationalFunction.constant(w)
         return cls(total, validate=False)
 

@@ -121,7 +121,7 @@ class Polynomial:
         """The monomial ``coefficient * x**degree``."""
         if degree < 0:
             raise SeriesError("monomial degree must be non-negative")
-        return cls((0,) * degree + (coefficient,))
+        return cls((*((0,) * degree), coefficient))
 
     def map_coefficients(self, fn: Callable[[Scalar], Scalar]) -> "Polynomial":
         """Return a polynomial with ``fn`` applied to every coefficient."""

@@ -125,7 +125,7 @@ def series_pow(base: Sequence, n: int, order: int) -> List:
     """``base**n`` as a truncated series (binary powering)."""
     if n < 0:
         raise SeriesError("negative series powers not supported here")
-    result: List = [1] + [0] * order
+    result: List = [1, *([0] * order)]
     b = list(base[: order + 1]) + [0] * max(0, order + 1 - len(base))
     while n:
         if n & 1:

@@ -76,5 +76,5 @@ class MultiSizeService(ServiceProcess):
         return self._sampler.sample(rng, size)
 
     def __str__(self) -> str:
-        pairs = ", ".join(f"{m}:{g}" for m, g in zip(self.sizes, self.probabilities))
+        pairs = ", ".join(f"{m}:{g}" for m, g in zip(self.sizes, self.probabilities, strict=True))
         return f"MultiSizeService({pairs})"

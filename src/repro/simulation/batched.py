@@ -40,6 +40,8 @@ Limitations (by construction)
 from __future__ import annotations
 
 from dataclasses import replace
+
+# repro: lint-ok RPR001 -- elapsed_seconds bookkeeping; never enters results
 from time import perf_counter
 from typing import List, Literal, Optional, Sequence
 

@@ -22,6 +22,7 @@ tractable in pure Python.
 
 from __future__ import annotations
 
+# repro: lint-ok RPR001 -- phase profiling only; timings never enter simulation state
 from time import perf_counter
 from typing import Literal, Optional
 

@@ -238,7 +238,7 @@ class NetworkResult:
             "stage   mean wait   variance     samples",
         ]
         for i, (mu, var, n) in enumerate(
-            zip(self.stage_means, self.stage_variances, self.stage_counts), start=1
+            zip(self.stage_means, self.stage_variances, self.stage_counts, strict=True), start=1
         ):
             lines.append(f"{i:5d}   {mu:9.4f}   {var:8.4f}   {n:9d}")
         return "\n".join(lines)
@@ -297,6 +297,7 @@ class NetworkSimulator:
             warmup = max(500, n_cycles // 10)
         if warmup >= n_cycles:
             raise SimulationError(f"warmup {warmup} >= n_cycles {n_cycles}")
+        # repro: lint-ok RPR001 -- elapsed_seconds bookkeeping; never enters results
         from time import perf_counter
 
         started = perf_counter()

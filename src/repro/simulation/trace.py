@@ -107,7 +107,7 @@ class MessageTracer(EngineObserver):
         """Record injections of traced (tracked, within-limit) messages."""
         if self._done:
             return
-        for src, line, tid in zip(sources, entry_lines, track_ids):
+        for src, line, tid in zip(sources, entry_lines, track_ids, strict=True):
             tid = int(tid)
             if 0 <= tid < self.limit:
                 self._journeys[tid] = MessageJourney(
@@ -121,7 +121,7 @@ class MessageTracer(EngineObserver):
         """Record service starts of traced messages."""
         if self._done:
             return
-        for port, stage, wait, tid in zip(ports, stages, waits, track_ids):
+        for port, stage, wait, tid in zip(ports, stages, waits, track_ids, strict=True):
             tid = int(tid)
             journey = self._journeys.get(tid)
             if journey is not None:

@@ -77,12 +77,20 @@ def _per_replica(value, n_replicas: int, name: str, dtype) -> np.ndarray:
 
 
 def _models_equal(a: ServiceProcess, b: ServiceProcess) -> bool:
-    """Value equality, tolerating models whose fields don't compare."""
+    """Value equality, tolerating models whose fields don't compare.
+
+    Two failure modes count as "not equal": array-valued fields whose
+    ``==`` is elementwise (``bool`` of the result raises ``ValueError``)
+    and exotic fields that refuse comparison outright (``TypeError``).
+    Anything else propagates -- treating, say, a ``RecursionError`` as
+    inequality would silently split one service group into two and
+    change the RNG draw order.
+    """
     if a is b:
         return True
     try:
         return bool(a == b)
-    except Exception:
+    except (TypeError, ValueError):
         return False
 
 

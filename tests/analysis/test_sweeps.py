@@ -59,7 +59,7 @@ class TestExecutionRouting:
             assert (cache.hits, cache.misses) == (0, 2)
             second = load_sweep(loads=(0.3, 0.5), n_stages=4, n_cycles=3_000)
         assert (cache.hits, cache.misses) == (2, 2)  # repeat: zero new simulations
-        for a, b in zip(first, second):
+        for a, b in zip(first, second, strict=True):
             assert a.total_mean == b.total_mean
             assert a.first_stage_ci == b.first_stage_ci
 
@@ -76,7 +76,7 @@ class TestExecutionRouting:
             assert (cache.hits, cache.misses) == (0, 3)
             again = load_sweep(**grid)
             assert (cache.hits, cache.misses) == (3, 3)
-        for a, b in zip(rows, again):
+        for a, b in zip(rows, again, strict=True):
             assert a.first_stage_mean == b.first_stage_mean
         for r in rows:
             assert (

@@ -78,7 +78,7 @@ class TestConvolutionModel:
     def test_tail_monotone(self):
         conv = ConvolutionTotalModel(stages=3, model=model())
         tails = [conv.tail(x) for x in range(10)]
-        assert all(a >= b for a, b in zip(tails, tails[1:]))
+        assert all(a >= b for a, b in zip(tails, tails[1:], strict=False))
         assert conv.tail(-1) == 1.0
         assert conv.tail(10 ** 6) == 0.0
 

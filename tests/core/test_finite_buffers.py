@@ -65,7 +65,7 @@ class TestCapacitySizing:
         caps = [
             suggested_capacity(queue(p=Fraction(p, 10)), 1e-6) for p in (3, 5, 8, 9)
         ]
-        assert all(a <= b for a, b in zip(caps, caps[1:]))
+        assert all(a <= b for a, b in zip(caps, caps[1:], strict=False))
         assert caps[-1] > caps[0]
 
     def test_deep_target_uses_extrapolation(self):

@@ -96,7 +96,7 @@ class TestNonuniform:
         one message either way."""
         p = Fraction(1, 2)
         waits = [formulas.nonuniform_mean(2, p, Fraction(j, 4)) for j in range(5)]
-        assert all(a > b for a, b in zip(waits, waits[1:]))
+        assert all(a > b for a, b in zip(waits, waits[1:], strict=False))
         assert waits[2] == p * (1 - Fraction(1, 4)) / (4 * (1 - p))
 
 

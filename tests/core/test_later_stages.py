@@ -61,15 +61,15 @@ class TestStageInterpolation:
         w = [model.stage_mean(i) for i in range(1, 8)]
         w_inf = model.limit_mean()
         gaps = [w_inf - wi for wi in w]
-        assert all(a > b > 0 for a, b in zip(gaps, gaps[1:]))
-        for a, b in zip(gaps, gaps[1:]):
+        assert all(a > b > 0 for a, b in zip(gaps, gaps[1:], strict=False))
+        for a, b in zip(gaps, gaps[1:], strict=False):
             assert b / a == PAPER_CONSTANTS.alpha
 
     def test_variance_same_structure(self):
         model = LaterStageModel(k=2, p=Fraction(1, 2))
         v = [model.stage_variance(i) for i in range(1, 6)]
         v_inf = model.limit_variance()
-        assert all(a < b for a, b in zip(v, v[1:]))
+        assert all(a < b for a, b in zip(v, v[1:], strict=False))
         assert v[-1] < v_inf
 
     def test_k_dependence(self):

@@ -38,7 +38,7 @@ class TestLoadMonotonicity:
             ).waiting_variance()
             for p in range(1, 10)
         ]
-        assert all(a < b for a, b in zip(variances, variances[1:]))
+        assert all(a < b for a, b in zip(variances, variances[1:], strict=False))
 
 
 class TestSizeMonotonicity:
@@ -71,7 +71,7 @@ class TestSwitchSizeMonotonicity:
             ).waiting_mean()
             for k in (2, 4, 8, 16)
         ]
-        assert all(a < b for a, b in zip(means, means[1:]))
+        assert all(a < b for a, b in zip(means, means[1:], strict=False))
         # bounded by the k -> infinity value lambda/(2(1-lambda)) = 1/2
         assert means[-1] < Fraction(1, 2)
 

@@ -70,7 +70,7 @@ def make_specs(n=6, n_cycles=600, seeded=True):
 
 def assert_batches_identical(a, b):
     assert a.n_tasks == b.n_tasks
-    for oa, ob in zip(a.outcomes, b.outcomes):
+    for oa, ob in zip(a.outcomes, b.outcomes, strict=True):
         assert oa.spec.digest == ob.spec.digest
         assert np.array_equal(oa.result.stage_means, ob.result.stage_means)
         assert np.array_equal(oa.result.stage_variances, ob.result.stage_variances)

@@ -55,8 +55,9 @@ class TestGrouping:
     def test_mixed_shapes_split_and_singletons_unmarked(self):
         # n_stages changes the engine's array shapes, so the odd spec
         # cannot join the stack (a mere load difference now could)
-        specs = spec_batch(2) + [
-            ExperimentSpec(config=base_config(n_stages=4, seed=7), n_cycles=1_200)
+        specs = [
+            *spec_batch(2),
+            ExperimentSpec(config=base_config(n_stages=4, seed=7), n_cycles=1_200),
         ]
         marked, groups = group_for_vectorize(specs)
         assert ([0, 1], True) in groups and ([2], False) in groups
@@ -132,7 +133,7 @@ class TestRunMany:
         specs = spec_batch(5)
         inproc = run_many(specs, vectorize=True).raise_on_failure()
         pooled = run_many(specs, vectorize=True, workers=2).raise_on_failure()
-        for a, b in zip(inproc.outcomes, pooled.outcomes):
+        for a, b in zip(inproc.outcomes, pooled.outcomes, strict=True):
             assert np.array_equal(a.result.stage_means, b.result.stage_means)
             assert np.array_equal(a.result.stage_counts, b.result.stage_counts)
             assert a.spec.digest == b.spec.digest
@@ -144,7 +145,7 @@ class TestRunMany:
         assert first.n_simulated == 4
         again = run_many(specs, vectorize=True, cache=cache).raise_on_failure()
         assert again.n_cached == 4
-        for a, b in zip(first.outcomes, again.outcomes):
+        for a, b in zip(first.outcomes, again.outcomes, strict=True):
             assert np.array_equal(a.result.stage_means, b.result.stage_means)
             assert np.array_equal(
                 a.result.tracked.complete_rows(), b.result.tracked.complete_rows()
@@ -170,7 +171,7 @@ class TestRunMany:
             path.unlink()
         partial = run_many(specs, vectorize=True, cache=cache).raise_on_failure()
         assert partial.n_cached == 3 and partial.n_simulated == 1
-        for a, b in zip(full.outcomes, partial.outcomes):
+        for a, b in zip(full.outcomes, partial.outcomes, strict=True):
             assert np.array_equal(a.result.stage_means, b.result.stage_means)
 
     def test_single_replica_batch_matches_serial_digest_and_result(self):
@@ -190,8 +191,9 @@ class TestRunMany:
             raise RuntimeError("injected batched failure")
 
         monkeypatch.setattr(batched_mod, "run_stacked", boom)
-        specs = spec_batch(3) + [
-            ExperimentSpec(config=base_config(n_stages=4, seed=9), n_cycles=1_200)
+        specs = [
+            *spec_batch(3),
+            ExperimentSpec(config=base_config(n_stages=4, seed=9), n_cycles=1_200),
         ]
         batch = run_many(specs, vectorize=True, retries=1)
         assert batch.n_failed == 3
@@ -259,5 +261,5 @@ class TestReplicate:
         config = base_config()
         a = replicate(config, 4, 1_500, vectorize=True)
         b = replicate(config, 4, 1_500, vectorize=True)
-        for ra, rb in zip(a, b):
+        for ra, rb in zip(a, b, strict=True):
             assert np.array_equal(ra.stage_means, rb.stage_means)

@@ -1,0 +1,30 @@
+"""Shared fixtures for the :mod:`repro.lint` self-tests.
+
+Every test builds a throwaway fixture tree in ``tmp_path`` from inline
+source strings -- no committed fixture ``.py`` files, so the repo's own
+lint/ruff gates never see deliberately-broken code.
+"""
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_paths
+
+
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Write ``{relative_path: source}`` into ``tmp_path`` and lint it.
+
+    Returns the :class:`~repro.lint.LintResult`; keyword arguments are
+    forwarded to :func:`~repro.lint.lint_paths`.
+    """
+
+    def _lint(files, **kwargs):
+        for rel, source in files.items():
+            path = tmp_path / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(textwrap.dedent(source))
+        return lint_paths([tmp_path], **kwargs)
+
+    return _lint

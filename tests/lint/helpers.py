@@ -1,0 +1,6 @@
+"""Small assertion helpers shared by the lint self-tests."""
+
+
+def codes(result):
+    """The rule codes of a result's findings, in report order."""
+    return [f.rule for f in result.findings]

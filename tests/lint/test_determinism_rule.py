@@ -1,0 +1,109 @@
+"""RPR001: global-RNG ban (everywhere) + wall-clock ban (kernels only)."""
+
+from tests.lint.helpers import codes
+
+
+class TestGlobalRng:
+    def test_stdlib_random_import_fires(self, lint_tree):
+        result = lint_tree({"mod.py": "import random\n"})
+        assert codes(result) == ["RPR001"]
+        assert "process-global" in result.findings[0].message
+
+    def test_stdlib_random_from_import_fires(self, lint_tree):
+        result = lint_tree({"mod.py": "from random import shuffle\n"})
+        assert codes(result) == ["RPR001"]
+
+    def test_np_random_module_call_fires(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "import numpy as np\nx = np.random.rand(4)\n"}
+        )
+        assert codes(result) == ["RPR001"]
+        assert "legacy" in result.findings[0].message
+
+    def test_np_random_seed_fires(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "import numpy\nnumpy.random.seed(0)\n"}
+        )
+        assert codes(result) == ["RPR001"]
+
+    def test_from_numpy_import_random_alias_tracked(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "from numpy import random as npr\nx = npr.normal()\n"}
+        )
+        assert codes(result) == ["RPR001"]
+
+    def test_argless_default_rng_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                from numpy.random import default_rng
+                rng = default_rng()
+                """
+            }
+        )
+        assert codes(result) == ["RPR001"]
+        assert "OS" in result.findings[0].message
+
+    def test_seeded_default_rng_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                import numpy as np
+                rng = np.random.default_rng(19880101)
+                seq = np.random.SeedSequence(7)
+                x = rng.normal(size=3)
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+    def test_local_random_package_is_quiet(self, lint_tree):
+        """A *relative* ``random`` module is not the stdlib one."""
+        result = lint_tree(
+            {"pkg/mod.py": "from .random import helper\n"}
+        )
+        assert result.ok, result.findings
+
+
+class TestWallClock:
+    KERNEL = "simulation/kernel_mod.py"
+    LAYER = "exec/runner_mod.py"
+
+    def test_time_import_in_kernel_fires(self, lint_tree):
+        result = lint_tree({self.KERNEL: "import time\n"})
+        assert codes(result) == ["RPR001"]
+        assert "wall-clock" in result.findings[0].message
+
+    def test_perf_counter_from_import_in_kernel_fires(self, lint_tree):
+        result = lint_tree(
+            {self.KERNEL: "from time import perf_counter\n"}
+        )
+        assert codes(result) == ["RPR001"]
+
+    def test_datetime_now_import_in_kernel_fires(self, lint_tree):
+        result = lint_tree(
+            {self.KERNEL: "from datetime import datetime\n"}
+        )
+        assert codes(result) == ["RPR001"]
+
+    def test_time_outside_kernel_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {self.LAYER: "from time import perf_counter\n"}
+        )
+        assert result.ok, result.findings
+
+    def test_non_timing_from_time_is_quiet(self, lint_tree):
+        result = lint_tree({self.KERNEL: "from time import sleep\n"})
+        assert result.ok, result.findings
+
+    def test_reasoned_suppression_waives_kernel_import(self, lint_tree):
+        result = lint_tree(
+            {
+                self.KERNEL: """\
+                # repro: lint-ok RPR001 -- profiling only; never enters results
+                from time import perf_counter
+                """
+            }
+        )
+        assert result.ok, result.findings
+        assert result.suppressed == 1

@@ -1,0 +1,99 @@
+"""RPR002: the stacking field lists must partition ``NetworkConfig``.
+
+The fixtures model the real anchor layout (``NetworkConfig`` dataclass
+in one module, ``STACKABLE_CONFIG_FIELDS`` and ``STACK_SHAPE_FIELDS``
+in two others) so the mutation tests prove exactly the failure the
+rule exists for: adding a config field without classifying it.
+"""
+
+from tests.lint.helpers import codes
+
+NETWORK = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    k: int = 2
+    n_stages: int = 6
+    p: float = 0.5
+    message_size: int = 1
+    seed: int = 19880101
+"""
+
+SPEC = 'STACKABLE_CONFIG_FIELDS = ("p", "message_size")\n'
+
+BATCHED = 'STACK_SHAPE_FIELDS = ("k", "n_stages")\n'
+
+
+def tree(network=NETWORK, spec=SPEC, batched=BATCHED):
+    return {
+        "simulation/network.py": network,
+        "exec/spec.py": spec,
+        "simulation/batched.py": batched,
+    }
+
+
+class TestPartition:
+    def test_exact_partition_is_quiet(self, lint_tree):
+        result = lint_tree(tree())
+        assert result.ok, result.findings
+
+    def test_new_config_field_without_classification_fires(self, lint_tree):
+        """THE invariant: add a field, forget the lists, lint fails."""
+        mutated = NETWORK.replace(
+            "seed: int = 19880101",
+            "seed: int = 19880101\n    bulk_size: int = 1",
+        )
+        result = lint_tree(tree(network=mutated))
+        assert codes(result) == ["RPR002"]
+        assert "bulk_size" in result.findings[0].message
+        assert "neither" in result.findings[0].message
+
+    def test_field_in_both_lists_fires(self, lint_tree):
+        result = lint_tree(
+            tree(batched='STACK_SHAPE_FIELDS = ("k", "n_stages", "p")\n')
+        )
+        assert codes(result) == ["RPR002"]
+        assert "both" in result.findings[0].message
+
+    def test_seed_in_a_list_fires(self, lint_tree):
+        result = lint_tree(
+            tree(spec='STACKABLE_CONFIG_FIELDS = ("p", "message_size", "seed")\n')
+        )
+        assert codes(result) == ["RPR002"]
+        assert "seed" in result.findings[0].message
+
+    def test_stale_name_fires(self, lint_tree):
+        result = lint_tree(
+            tree(spec='STACKABLE_CONFIG_FIELDS = ("p", "message_size", "msg_len")\n')
+        )
+        assert codes(result) == ["RPR002"]
+        assert "msg_len" in result.findings[0].message
+
+    def test_computed_list_fires(self, lint_tree):
+        """A non-literal field list cannot be verified statically."""
+        result = lint_tree(
+            tree(spec='STACKABLE_CONFIG_FIELDS = tuple(sorted(["p"]))\n')
+        )
+        assert codes(result) == ["RPR002"]
+        assert "literal tuple" in result.findings[0].message
+
+    def test_partial_tree_without_anchors_is_quiet(self, lint_tree):
+        """Linting a subtree missing an anchor must not fire."""
+        result = lint_tree({"simulation/network.py": NETWORK})
+        assert result.ok, result.findings
+
+    def test_real_codebase_partition_holds(self):
+        """The shipped sources satisfy the partition (anchored check)."""
+        from pathlib import Path
+
+        import repro
+        from repro.lint import LintConfig, lint_paths
+
+        pkg = Path(repro.__file__).parent
+        result = lint_paths(
+            [pkg / "simulation", pkg / "exec"],
+            config=LintConfig(select=frozenset({"RPR002"})),
+        )
+        assert result.ok, result.findings

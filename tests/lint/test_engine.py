@@ -1,0 +1,163 @@
+"""Engine invariants: suppressions, pseudo-codes, ordering, config."""
+
+import pytest
+
+from repro.errors import LintError
+from repro.lint import (
+    PARSE_ERROR_CODE,
+    RULE_CODES,
+    UNUSED_SUPPRESSION_CODE,
+    LintConfig,
+    iter_python_files,
+    lint_paths,
+)
+from tests.lint.helpers import codes
+
+
+class TestSuppressions:
+    def test_same_line_comment_suppresses(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "import random  # repro: lint-ok RPR001 -- fixture only\n"}
+        )
+        assert result.ok, result.findings
+        assert result.suppressed == 1
+
+    def test_line_above_comment_suppresses(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "# repro: lint-ok RPR001 -- fixture only\n"
+                    "import random\n"
+                )
+            }
+        )
+        assert result.ok, result.findings
+        assert result.suppressed == 1
+
+    def test_two_lines_above_does_not_cover(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "# repro: lint-ok RPR001 -- fixture only\n"
+                    "x = 1\n"
+                    "import random\n"
+                )
+            }
+        )
+        # sorted by line: the stale comment (line 1) precedes the import
+        assert codes(result) == [UNUSED_SUPPRESSION_CODE, "RPR001"]
+
+    def test_wrong_code_does_not_cover(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "import random  # repro: lint-ok RPR003 -- wrong code\n"}
+        )
+        assert codes(result) == ["RPR001", UNUSED_SUPPRESSION_CODE]
+
+    def test_reasonless_suppression_covers_nothing_and_is_flagged(self, lint_tree):
+        """A waiver must say why; without a reason the finding stands."""
+        result = lint_tree(
+            {"mod.py": "import random  # repro: lint-ok RPR001\n"}
+        )
+        assert codes(result) == ["RPR001", UNUSED_SUPPRESSION_CODE]
+        flagged = result.findings[1]
+        assert "reason" in flagged.message
+
+    def test_unused_suppression_is_flagged(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "x = 1  # repro: lint-ok RPR001 -- nothing here anymore\n"}
+        )
+        assert codes(result) == [UNUSED_SUPPRESSION_CODE]
+        assert "stale" in result.findings[0].message
+
+    def test_multi_code_comment_covers_both_rules(self, lint_tree):
+        result = lint_tree(
+            {
+                "analysis/mod.py": (
+                    "import sys\n"
+                    "# repro: lint-ok RPR003, RPR004 -- fixture: deliberate swallow + exit\n"
+                    "sys.exit(1)\n"
+                )
+            }
+        )
+        # the comment covers the sys.exit on the next line (RPR004);
+        # RPR003 never fires, but the comment is "used", so no RPR009
+        assert result.ok, result.findings
+        assert result.suppressed == 1
+
+    def test_suppression_inside_string_literal_is_inert(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": (
+                    's = "# repro: lint-ok RPR001 -- not a comment"\n'
+                    "import random\n"
+                )
+            }
+        )
+        assert codes(result) == ["RPR001"]
+
+    def test_unused_suppression_quiet_when_its_rule_is_disabled(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "x = 1  # repro: lint-ok RPR001 -- waived\n"},
+            config=LintConfig(select=frozenset({"RPR004"})),
+        )
+        assert result.ok, result.findings
+
+
+class TestEngine:
+    def test_syntax_error_is_a_finding_not_a_crash(self, lint_tree):
+        result = lint_tree(
+            {"broken.py": "def f(:\n", "ok.py": "import random\n"}
+        )
+        assert sorted(codes(result)) == [PARSE_ERROR_CODE, "RPR001"]
+
+    def test_findings_are_sorted_by_location(self, lint_tree):
+        result = lint_tree(
+            {
+                "b.py": "import random\n",
+                "a.py": "print(1)\nimport random\n",
+            }
+        )
+        keys = [(f.path, f.line, f.col, f.rule) for f in result.findings]
+        assert keys == sorted(keys)
+        assert len(keys) == 3
+
+    def test_files_checked_counts_every_python_file(self, lint_tree):
+        result = lint_tree({"a.py": "x = 1\n", "sub/b.py": "y = 2\n"})
+        assert result.files_checked == 2
+        assert result.ok
+
+    def test_missing_target_raises_lint_error(self, tmp_path):
+        with pytest.raises(LintError, match="does not exist"):
+            lint_paths([tmp_path / "nowhere"])
+
+    def test_pycache_is_skipped(self, tmp_path):
+        (tmp_path / "__pycache__").mkdir()
+        (tmp_path / "__pycache__" / "junk.py").write_text("import random\n")
+        (tmp_path / "mod.py").write_text("x = 1\n")
+        assert iter_python_files([tmp_path]) == [tmp_path / "mod.py"]
+
+
+class TestConfig:
+    def test_unknown_rule_code_raises(self):
+        with pytest.raises(LintError, match="RPR999"):
+            LintConfig.from_options(select=["RPR999"], known=RULE_CODES)
+
+    def test_select_restricts_rules(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "import random\nprint(1)\n"},
+            config=LintConfig(select=frozenset({"RPR004"})),
+        )
+        assert codes(result) == ["RPR004"]
+
+    def test_ignore_drops_rules(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "import random\nprint(1)\n"},
+            config=LintConfig(ignore=frozenset({"RPR004"})),
+        )
+        assert codes(result) == ["RPR001"]
+
+    def test_comma_joined_options_parse(self):
+        config = LintConfig.from_options(
+            select=["RPR001,RPR004"], known=RULE_CODES
+        )
+        assert config.select == frozenset({"RPR001", "RPR004"})

@@ -1,0 +1,188 @@
+"""RPR003 (silent failure), RPR004 (library purity), RPR005 (mutable
+defaults): fire and quiet cases for the file-local hygiene rules."""
+
+from tests.lint.helpers import codes
+
+
+class TestSilentExcept:
+    def test_swallowed_broad_except_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        pass
+                """
+            }
+        )
+        assert codes(result) == ["RPR003"]
+
+    def test_bare_except_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f():
+                    try:
+                        risky()
+                    except:
+                        result = None
+                """
+            }
+        )
+        assert codes(result) == ["RPR003"]
+
+    def test_broad_except_in_tuple_fires(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f():
+                    try:
+                        risky()
+                    except (ValueError, BaseException):
+                        pass
+                """
+            }
+        )
+        assert codes(result) == ["RPR003"]
+
+    def test_reraise_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f():
+                    try:
+                        risky()
+                    except Exception:
+                        cleanup()
+                        raise
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+    def test_using_bound_name_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f(log):
+                    try:
+                        risky()
+                    except Exception as exc:
+                        log.append(str(exc))
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+    def test_traceback_report_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                import traceback
+
+
+                def f(sink):
+                    try:
+                        risky()
+                    except Exception:
+                        sink.write(traceback.format_exc())
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+    def test_logger_exception_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f(logger):
+                    try:
+                        risky()
+                    except Exception:
+                        logger.exception("boom")
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+    def test_narrow_except_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f():
+                    try:
+                        risky()
+                    except (TypeError, ValueError):
+                        pass
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+
+class TestLibraryPurity:
+    def test_print_fires(self, lint_tree):
+        result = lint_tree({"analysis/mod.py": 'print("hi")\n'})
+        assert codes(result) == ["RPR004"]
+
+    def test_sys_exit_fires(self, lint_tree):
+        result = lint_tree(
+            {"analysis/mod.py": "import sys\nsys.exit(1)\n"}
+        )
+        assert codes(result) == ["RPR004"]
+
+    def test_cli_module_is_exempt(self, lint_tree):
+        result = lint_tree(
+            {"cli.py": 'import sys\nprint("hi")\nsys.exit(0)\n'}
+        )
+        assert result.ok, result.findings
+
+    def test_locally_rebound_print_is_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f(rows, print):
+                    print(rows)
+                """
+            }
+        )
+        assert result.ok, result.findings
+
+
+class TestMutableDefaults:
+    def test_list_default_fires(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "def f(items=[]):\n    return items\n"}
+        )
+        assert codes(result) == ["RPR005"]
+
+    def test_dict_call_default_fires(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "def f(opts=dict()):\n    return opts\n"}
+        )
+        assert codes(result) == ["RPR005"]
+
+    def test_kwonly_set_default_fires(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "def f(*, seen={1}):\n    return seen\n"}
+        )
+        assert codes(result) == ["RPR005"]
+
+    def test_lambda_default_fires(self, lint_tree):
+        result = lint_tree(
+            {"mod.py": "g = lambda xs=[]: xs\n"}
+        )
+        assert codes(result) == ["RPR005"]
+
+    def test_immutable_defaults_are_quiet(self, lint_tree):
+        result = lint_tree(
+            {
+                "mod.py": """\
+                def f(a=(), b=None, c=0, d="x", e=frozenset()):
+                    return a, b, c, d, e
+                """
+            }
+        )
+        assert result.ok, result.findings

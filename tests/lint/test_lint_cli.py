@@ -1,0 +1,67 @@
+"""``python -m repro lint``: exit codes and output formats."""
+
+import json
+import textwrap
+
+from repro.cli import main
+
+
+def write(tmp_path, source, name="mod.py"):
+    path = tmp_path / name
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+class TestExitCodes:
+    def test_clean_run_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        write(tmp_path, "import random\n")
+        assert main(["lint", str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["lint", str(tmp_path / "nope")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        write(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path), "--select", "RPR999"]) == 2
+        err = capsys.readouterr().err
+        assert "RPR999" in err and "known rules" in err
+
+
+class TestOptions:
+    def test_json_format(self, tmp_path, capsys):
+        write(tmp_path, "import random\n")
+        assert main(["lint", str(tmp_path), "--format", "json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["tool"] == "repro.lint"
+        assert doc["counts"] == {"RPR001": 1}
+
+    def test_select_limits_rules(self, tmp_path, capsys):
+        write(tmp_path, "import random\nprint(1)\n")
+        assert main(["lint", str(tmp_path), "--select", "RPR004"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR004" in out and "RPR001" not in out
+
+    def test_ignore_drops_rules(self, tmp_path, capsys):
+        write(tmp_path, "import random\n")
+        assert main(["lint", str(tmp_path), "--ignore", "RPR001"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_explicit_file_target(self, tmp_path, capsys):
+        path = write(tmp_path, "import random\n")
+        assert main(["lint", str(path)]) == 1
+        capsys.readouterr()
+
+
+def test_default_target_is_the_installed_package(capsys):
+    """Bare ``python -m repro lint`` lints the shipped sources -- and
+    they are clean (the acceptance gate for the whole subsystem)."""
+    assert main(["lint"]) == 0
+    assert "clean" in capsys.readouterr().out

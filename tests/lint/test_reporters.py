@@ -1,0 +1,55 @@
+"""The text and JSON reporters; the JSON schema is pinned here."""
+
+import json
+
+from repro.lint import REPORT_SCHEMA_VERSION, render_json, render_text
+
+
+def test_json_schema_is_pinned(lint_tree):
+    result = lint_tree({"mod.py": "import random\n"})
+    doc = json.loads(render_json(result))
+    assert set(doc) == {
+        "schema_version",
+        "tool",
+        "files_checked",
+        "findings",
+        "counts",
+        "suppressed",
+        "ok",
+    }
+    assert doc["schema_version"] == REPORT_SCHEMA_VERSION
+    assert doc["tool"] == "repro.lint"
+    assert doc["ok"] is False
+    assert doc["files_checked"] == 1
+    assert doc["counts"] == {"RPR001": 1}
+    (finding,) = doc["findings"]
+    assert set(finding) == {"path", "line", "col", "rule", "message"}
+    assert finding["rule"] == "RPR001"
+    assert finding["line"] == 1
+
+
+def test_json_clean_run(lint_tree):
+    result = lint_tree({"mod.py": "x = 1\n"})
+    doc = json.loads(render_json(result))
+    assert doc["ok"] is True
+    assert doc["findings"] == []
+    assert doc["counts"] == {}
+
+
+def test_text_report_lines_and_summary(lint_tree):
+    result = lint_tree({"mod.py": "import random\nprint(1)\n"})
+    text = render_text(result)
+    lines = text.splitlines()
+    assert len(lines) == 3  # two findings + summary
+    assert lines[0].endswith(result.findings[0].message)
+    assert ":1:1: RPR001" in lines[0]
+    assert "2 finding(s)" in lines[-1]
+    assert "RPR001: 1" in lines[-1] and "RPR004: 1" in lines[-1]
+
+
+def test_text_report_clean_summary(lint_tree):
+    result = lint_tree(
+        {"mod.py": "import random  # repro: lint-ok RPR001 -- fixture\n"}
+    )
+    text = render_text(result)
+    assert text == "clean: 1 file(s), 0 findings, 1 suppressed"

@@ -1,0 +1,47 @@
+"""The repo's own gates, as tests: ``repro.lint`` and mypy self-checks.
+
+These are the acceptance criteria of the static-analysis subsystem --
+the shipped sources must pass their own linter with zero findings, and
+(where mypy is installed, e.g. in CI) type-check cleanly.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.lint import lint_paths
+
+PACKAGE = Path(repro.__file__).parent
+
+
+def test_shipped_sources_lint_clean():
+    result = lint_paths([PACKAGE])
+    assert result.ok, "\n".join(f.render() for f in result.findings)
+    # sanity: the run actually covered the package, not an empty dir
+    assert result.files_checked > 50
+
+
+def test_deliberate_waivers_are_reasoned_and_in_use():
+    """Every suppression in the shipped sources carries a reason and
+    waives a live finding (stale ones would surface as RPR009)."""
+    result = lint_paths([PACKAGE])
+    assert result.ok
+    assert result.suppressed >= 5  # the audited wall-clock/except waivers
+
+
+def test_mypy_self_check():
+    pytest.importorskip("mypy", reason="mypy not installed (CI-only gate)")
+    repo_root = Path(__file__).resolve().parents[2]
+    if not (repo_root / "pyproject.toml").is_file():
+        pytest.skip("not running from a source checkout")
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "src/repro"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -55,7 +55,7 @@ class ReferenceNetwork:
     def inject(self, sources, dests, services, msg_ids) -> None:
         """Fresh messages entering the first stage this cycle."""
         entry = self.topology.entry_queue(np.asarray(sources), np.asarray(dests))
-        for line, dest, service, mid in zip(entry, dests, services, msg_ids):
+        for line, dest, service, mid in zip(entry, dests, services, msg_ids, strict=True):
             self._enqueue(int(line), RefMessage(int(mid), int(dest), int(service), self.now))
 
     def _enqueue(self, port: int, msg: RefMessage) -> None:

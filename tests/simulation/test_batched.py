@@ -123,7 +123,7 @@ def test_stacked_identical_rows_bit_identical_to_run_batched():
     seeds = [11, 12, 13, 14]
     stacked = run_stacked([replace(config, seed=s) for s in seeds], 3_000)
     batched = run_batched(config, seeds, 3_000)
-    for a, b in zip(stacked, batched):
+    for a, b in zip(stacked, batched, strict=True):
         assert_results_identical(a, b)
         assert a.config == b.config
 

@@ -107,7 +107,8 @@ class TestHandPicked:
         script = [
             (np.array([0, 3]), np.array([5, 5]), np.array([4, 4]), np.array([0, 1])),
             (np.array([1]), np.array([5]), np.array([2]), np.array([2])),
-        ] + [(np.array([], dtype=int),) * 4 for _ in range(20)]
+            *((np.array([], dtype=int),) * 4 for _ in range(20)),
+        ]
         engine, ref = run_both(topo, script)
         assert_identical(engine, ref, topo)
 

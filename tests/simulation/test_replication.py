@@ -37,7 +37,7 @@ class TestReplicate:
 
         serial = replicate(small_config(), n_replications=3, n_cycles=1_500, workers=1)
         parallel = replicate(small_config(), n_replications=3, n_cycles=1_500, workers=2)
-        for a, b in zip(serial, parallel):
+        for a, b in zip(serial, parallel, strict=True):
             assert np.array_equal(a.stage_means, b.stage_means)
             assert np.array_equal(
                 a.tracked.complete_rows(), b.tracked.complete_rows()

@@ -33,7 +33,7 @@ class TestTracer:
             assert stages == [0, 1, 2]
             # service starts are causally ordered
             cycles = [e.cycle for e in sorted(j.events, key=lambda e: e.stage)]
-            assert all(a < b for a, b in zip(cycles, cycles[1:]))
+            assert all(a < b for a, b in zip(cycles, cycles[1:], strict=False))
 
     def test_waits_match_statistics_tracker(self):
         sim, tracer, result = traced_run()

@@ -134,7 +134,7 @@ class TestBatchCommand:
         out = capsys.readouterr().out
         assert "2 simulated, 0 cached, 0 failed" in out
         # identical repeat must be served entirely from the cache
-        assert main(argv + ["--require-cached"]) == 0
+        assert main([*argv, "--require-cached"]) == 0
         out = capsys.readouterr().out
         assert "0 simulated, 2 cached, 0 failed" in out
 

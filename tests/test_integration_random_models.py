@@ -48,7 +48,7 @@ def service_pmfs(draw):
         )
     )
     total = sum(weights)
-    return [Fraction(0)] + [Fraction(w, total) for w in weights]
+    return [Fraction(0), *(Fraction(w, total) for w in weights)]
 
 
 class TestRandomModelAgreement:
