@@ -4,7 +4,9 @@ PYTHON ?= python
 WORKERS ?= 4
 CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report calibrate clean lint typecheck
+.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report db-report calibrate clean lint typecheck
+
+DB ?= experiments.sqlite
 
 install:
 	$(PYTHON) -m pip install -e .[test]
@@ -56,6 +58,14 @@ figures:
 
 report:
 	$(PYTHON) -m repro report --cycles 20000 > EXPERIMENTS.md
+
+# Ledger-backed reports: run the smoke batch into $(DB), evaluate the
+# paper's machine-checkable targets, and render both markdown reports
+# (see docs/experiments-db.md).
+db-report:
+	$(PYTHON) -m repro batch --cycles 2000 --no-cache --db $(DB)
+	$(PYTHON) -m repro db --path $(DB) expectations --report SCORECARD.md
+	$(PYTHON) -m repro db --path $(DB) perf --report PERF_TRAJECTORY.md
 
 calibrate:
 	$(PYTHON) -m repro calibrate

@@ -9,9 +9,15 @@ about :mod:`repro.exec`:
   beat the fork overhead);
 * a fully cache-served repeat of a batch is far cheaper than
   re-simulating it, on any machine.
+
+The speedup measurement is emitted as ``BENCH_exec.json`` next to
+``BENCH_replicas.json`` / ``BENCH_sweep.json``, in the shape the
+experiment ledger ingests (``python -m repro db ingest --bench``).
 """
 
+import json
 import os
+from pathlib import Path
 from time import perf_counter
 
 import pytest
@@ -64,6 +70,19 @@ def test_parallel_speedup_at_4_workers(benchmark):
     t_parallel = perf_counter() - t0
 
     assert serial.n_simulated == parallel.n_simulated == len(specs)
+
+    speedup = t_serial / t_parallel
+    artifact = {
+        "scenario": "k=2 n_stages=6 width=64, 8 load points",
+        "n_tasks": len(specs),
+        "n_cycles": 6_000,
+        "workers": 4,
+        "serial_seconds": round(t_serial, 4),
+        "parallel_seconds": round(t_parallel, 4),
+        "speedup": round(speedup, 2),
+        "usable_cpus": _usable_cpus(),
+    }
+    Path("BENCH_exec.json").write_text(json.dumps(artifact, indent=2))
 
     def report():
         return t_parallel

@@ -9,6 +9,7 @@ Usage::
     python -m repro metrics --stages 6 # instrumented run: metrics + timings
     python -m repro batch --workers 4  # parallel scenario batch (cached)
     python -m repro cache stats        # result-cache maintenance
+    python -m repro db expectations    # evaluate paper targets vs the ledger
     python -m repro all                # everything (paper-grade: slow)
 
 ``--cycles`` (or the ``REPRO_SIM_CYCLES`` environment variable) trades
@@ -138,6 +139,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-cached", action="store_true",
         help="exit non-zero unless every task is served from cache",
     )
+    b.add_argument(
+        "--db",
+        metavar="PATH",
+        default=None,
+        help="record every outcome in the experiment ledger at PATH "
+        "(see 'python -m repro db' and docs/experiments-db.md)",
+    )
 
     c = sub.add_parser(
         "cache", parents=[common], help="result-cache maintenance"
@@ -174,6 +182,85 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="RULES",
         help="skip these rule codes (repeatable / comma-separated)",
+    )
+
+    db = sub.add_parser(
+        "db",
+        help="experiment ledger: ingest runs/benchmarks, evaluate the "
+        "paper's reproduction targets, render reports (docs/experiments-db.md)",
+    )
+    db.add_argument(
+        "--path",
+        metavar="PATH",
+        default=None,
+        help="ledger file (default: experiments.sqlite)",
+    )
+    dbsub = db.add_subparsers(dest="db_command", required=True)
+
+    di = dbsub.add_parser(
+        "ingest", help="ingest observation-session manifests and BENCH artifacts"
+    )
+    di.add_argument(
+        "--manifests",
+        action="append",
+        default=[],
+        metavar="DIR",
+        help="observation-session directory of run manifests (repeatable)",
+    )
+    di.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="FILE",
+        help="BENCH_*.json perf artifact (repeatable)",
+    )
+
+    dq = dbsub.add_parser("query", help="list recorded runs")
+    dq.add_argument("--digest", default=None, help="exact spec digest")
+    dq.add_argument("--label", default=None, help="exact scenario label")
+    dq.add_argument(
+        "--status", default=None, choices=["completed", "cached", "failed"]
+    )
+    dq.add_argument(
+        "--engine", default=None,
+        choices=["serial", "replica-batched", "scenario-batched"],
+    )
+    dq.add_argument(
+        "--limit", type=int, default=20, help="max rows (default 20; 0 = all)"
+    )
+
+    de = dbsub.add_parser(
+        "expectations",
+        help="evaluate the paper's machine-checkable targets against the "
+        "ledger; exits non-zero if a previously-met target regressed",
+    )
+    de.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="also write the markdown scorecard to FILE",
+    )
+    de.add_argument(
+        "--strict", action="store_true",
+        help="also exit non-zero on any outright 'failure' classification",
+    )
+
+    dp = dbsub.add_parser(
+        "perf", help="render the perf-trajectory report from ingested benchmarks"
+    )
+    dp.add_argument(
+        "--report", metavar="FILE", default=None,
+        help="also write the markdown report to FILE",
+    )
+    dp.add_argument(
+        "--fail-on-regression", action="store_true",
+        help="exit non-zero if any series' latest speedup is below its floor",
+    )
+
+    dx = dbsub.add_parser(
+        "export", help="dump the whole ledger as deterministic canonical JSON"
+    )
+    dx.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write to FILE instead of stdout",
     )
 
     m = sub.add_parser(
@@ -283,6 +370,11 @@ def _run_batch(args) -> int:
     specs = load_scenarios(args.scenarios, n_cycles=args.cycles)
     cache = None if args.no_cache else ResultCache(args.cache or DEFAULT_CACHE_DIR)
     workers = args.workers or 1
+    db = None
+    if args.db is not None:
+        from repro.expdb import ExperimentDB
+
+        db = ExperimentDB(args.db)
 
     def progress(event) -> None:
         note = f"  [{event['event']:>9}] {event['label'] or event['digest']}"
@@ -298,6 +390,7 @@ def _run_batch(args) -> int:
         timeout=args.timeout,
         progress=progress,
         vectorize=getattr(args, "vectorize_replicas", False),
+        db=db,
     )
     lines = [
         f"batch of {batch.n_tasks} scenarios (workers={workers}, "
@@ -310,16 +403,34 @@ def _run_batch(args) -> int:
             f"{o.spec.label:>18} {o.status:>10} {o.attempts:8d} "
             f"{o.spec.digest[:12]:>14} {w1}"
         )
+    summary = batch.summary()
+    status_note = ", ".join(
+        f"{count} {status}" for status, count in summary["statuses"].items()
+    )
     lines.append(
         f"batch: {batch.n_tasks} tasks -- {batch.n_simulated} simulated, "
         f"{batch.n_cached} cached, {batch.n_failed} failed "
         f"in {batch.elapsed_seconds:.1f}s"
+    )
+    lines.append(
+        f"batch summary: {summary['n_tasks']} tasks ({status_note}) -- "
+        f"{summary['total_attempts']} attempt(s), "
+        f"{summary['cache_hits']} cache hit(s) / "
+        f"{summary['cache_misses']} miss(es), "
+        f"workers={summary['workers']}, {summary['elapsed_seconds']:.1f}s"
     )
     for o in batch.failures():
         lines.append(f"FAILED {o.spec.label or o.index}: "
                      f"{(o.error or '').strip().splitlines()[-1]}")
     if cache is not None:
         lines.append(cache.stats().to_text())
+    if db is not None:
+        counts = db.counts()
+        lines.append(
+            f"ledger {db.path}: {counts['runs']} run(s), "
+            f"{counts['benchmarks']} benchmark point(s), "
+            f"{counts['expectation_evals']} evaluation(s)"
+        )
     print("\n".join(lines))
     if batch.n_failed:
         return 1
@@ -372,6 +483,126 @@ def _run_lint(args) -> int:
     render = render_json if args.format == "json" else render_text
     print(render(result))
     return 0 if result.ok else 1
+
+
+def _run_db(args) -> int:
+    """The ``db`` subcommand family (see ``docs/experiments-db.md``)."""
+    import json as json_mod
+
+    from repro.expdb import (
+        DEFAULT_DB_PATH,
+        ExperimentDB,
+        evaluate_expectations,
+        find_regressions,
+        ingest_bench_file,
+        ingest_session_dir,
+        perf_regressions,
+        record_evaluations,
+        render_expectations_markdown,
+        render_perf_markdown,
+        scorecard_counts,
+    )
+
+    db = ExperimentDB(args.path or DEFAULT_DB_PATH)
+
+    if args.db_command == "ingest":
+        if not args.manifests and not args.bench:
+            print("db ingest: nothing to do (--manifests/--bench)", file=sys.stderr)
+            return 2
+        now = time.time()  # the CLI is a sanctioned timing layer
+        total_ingested = total_skipped = 0
+        for directory in args.manifests:
+            ingested, skipped = ingest_session_dir(db, directory)
+            total_ingested += ingested
+            total_skipped += skipped
+            print(f"{directory}: {ingested} manifest(s) ingested, {skipped} skipped")
+        for bench_path in args.bench:
+            names = ingest_bench_file(db, bench_path, created_unix=now)
+            total_ingested += len(names)
+            print(f"{bench_path}: {len(names)} benchmark point(s) "
+                  f"-> series {sorted(set(names))}")
+        counts = db.counts()
+        print(
+            f"ledger {db.path}: {counts['runs']} run(s), "
+            f"{counts['benchmarks']} benchmark point(s)"
+        )
+        return 0 if total_ingested or not total_skipped else 1
+
+    if args.db_command == "query":
+        rows = db.runs(
+            digest=args.digest,
+            label=args.label,
+            status=args.status,
+            engine=args.engine,
+            limit=args.limit or None,
+        )
+        counts = db.counts()
+        print(
+            f"ledger {db.path}: {counts['runs']} run(s), "
+            f"{counts['benchmarks']} benchmark point(s), "
+            f"{counts['expectation_evals']} evaluation(s)"
+        )
+        if rows:
+            print(f"{'digest':>14} {'label':>18} {'status':>10} "
+                  f"{'engine':>17} {'cycles':>8} {'w1 mean':>9}")
+            for row in rows:
+                means = json_mod.loads(row["stage_means"]) if row["stage_means"] else None
+                w1 = f"{means[0]:9.4f}" if means else "        -"
+                print(
+                    f"{row['digest'][:12]:>14} {row['label']:>18} "
+                    f"{row['status']:>10} {row['engine']:>17} "
+                    f"{row['n_cycles']:8d} {w1}"
+                )
+        return 0
+
+    if args.db_command == "expectations":
+        results = evaluate_expectations(db)
+        regressions = find_regressions(db, results)
+        record_evaluations(db, results, created_unix=time.time())
+        report = render_expectations_markdown(results, regressions)
+        if args.report:
+            from pathlib import Path
+
+            Path(args.report).write_text(report)
+            print(f"[scorecard -> {args.report}]", file=sys.stderr)
+        print(report, end="")
+        counts = scorecard_counts(results)
+        if regressions:
+            names = ", ".join(r.expectation.id for r in regressions)
+            print(f"REGRESSION: previously-met target(s) no longer hold: {names}",
+                  file=sys.stderr)
+            return 1
+        if args.strict and counts["failure"]:
+            print(f"--strict: {counts['failure']} target(s) classified as failure",
+                  file=sys.stderr)
+            return 1
+        return 0
+
+    if args.db_command == "perf":
+        report = render_perf_markdown(db)
+        if args.report:
+            from pathlib import Path
+
+            Path(args.report).write_text(report)
+            print(f"[perf trajectory -> {args.report}]", file=sys.stderr)
+        print(report, end="")
+        problems = perf_regressions(db)
+        if problems and args.fail_on_regression:
+            for problem in problems:
+                print(f"PERF REGRESSION: {problem}", file=sys.stderr)
+            return 1
+        return 0
+
+    # export
+    dump = db.export()
+    if args.out:
+        from pathlib import Path
+
+        Path(args.out).write_text(dump + "\n")
+        print(f"[ledger export -> {args.out}]", file=sys.stderr)
+    else:
+        print(dump)
+    return 0
 
 
 def _run_metrics(args) -> str:
@@ -446,6 +677,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         # lint is pure static analysis: no simulation context, no
         # metrics session, no timing chatter polluting JSON output
         return _run_lint(args)
+    if args.command == "db":
+        # ledger maintenance never simulates: no execution context, no
+        # metrics session, and exports stay free of timing chatter
+        return _run_db(args)
     started = time.time()
 
     def dispatch_in_context() -> int:

@@ -21,6 +21,7 @@ __all__ = [
     "TopologyError",
     "CalibrationError",
     "ExecutionError",
+    "ExperimentDBError",
     "LintError",
 ]
 
@@ -95,6 +96,17 @@ class ExecutionError(ReproError):
     Raised for malformed experiment specs, unreproducible content
     digests, and batches whose failures the caller asked to be fatal
     (:meth:`~repro.exec.runner.BatchResult.raise_on_failure`).
+    """
+
+
+class ExperimentDBError(ReproError):
+    """The experiment ledger (:mod:`repro.expdb`) was misused.
+
+    Raised for databases written by a *newer* schema than this package
+    understands and for malformed ingestion sources.  A *corrupt*
+    database file is never an error: it is moved aside and replaced by
+    a fresh one, mirroring the result cache's corrupt-entry-as-miss
+    rule.
     """
 
 

@@ -36,7 +36,7 @@ import traceback
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.exec.cache import ResultCache, payload_to_result, result_to_payload
@@ -44,6 +44,9 @@ from repro.exec.spec import ExperimentSpec, group_for_vectorize, resolve_seeds
 from repro.obs.session import current_session
 from repro.simulation.network import NetworkResult, NetworkSimulator
 from repro.simulation.rng import DEFAULT_SEED
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, expdb imports lazily
+    from repro.expdb.db import ExperimentDB
 
 __all__ = ["TaskOutcome", "BatchResult", "LocalPool", "run_many", "execute_spec"]
 
@@ -296,6 +299,31 @@ class BatchResult:
         """Per-spec results (``None`` where the task failed)."""
         return [o.result for o in self.outcomes]
 
+    def summary(self) -> dict:
+        """One-glance batch accounting (printed by ``python -m repro batch``).
+
+        Returns per-status counts plus attempt and cache tallies::
+
+            {"n_tasks": 8, "statuses": {"completed": 6, "cached": 1,
+             "failed": 1}, "total_attempts": 9, "cache_hits": 1,
+             "cache_misses": 7, "workers": 4, "elapsed_seconds": 1.9}
+
+        ``cache_hits`` counts outcomes served from the result cache;
+        ``cache_misses`` is every other task (simulated or failed).
+        """
+        statuses: dict = {}
+        for outcome in self.outcomes:
+            statuses[outcome.status] = statuses.get(outcome.status, 0) + 1
+        return {
+            "n_tasks": self.n_tasks,
+            "statuses": dict(sorted(statuses.items())),
+            "total_attempts": sum(o.attempts for o in self.outcomes),
+            "cache_hits": self.n_cached,
+            "cache_misses": self.n_tasks - self.n_cached,
+            "workers": self.workers,
+            "elapsed_seconds": self.elapsed_seconds,
+        }
+
     def failures(self) -> List[TaskOutcome]:
         return [o for o in self.outcomes if o.status == "failed"]
 
@@ -487,6 +515,7 @@ def run_many(
     progress: Optional[Callable[[dict], None]] = None,
     task_fn: Optional[Callable[[ExperimentSpec], NetworkResult]] = None,
     vectorize: bool = False,
+    db: Optional["ExperimentDB"] = None,
 ) -> BatchResult:
     """Execute a batch of specs; see the module docstring for the contract.
 
@@ -527,6 +556,13 @@ def run_many(
         same-shape partner, or with finite buffers, silently fall back
         to the serial engine, so ``vectorize=True`` is always safe.
         Incompatible with ``task_fn`` and ``chunksize``.
+    db:
+        Optional :class:`~repro.expdb.db.ExperimentDB`; every outcome
+        (completed, cached, and failed) is recorded in the ledger after
+        the batch finishes.  Recording is strictly observational: the
+        returned :class:`BatchResult` is identical with and without a
+        ledger, and a ledger write failure is swallowed (stderr note)
+        rather than failing a batch that already computed its results.
     """
     if workers < 1:
         raise ExecutionError(f"workers must be >= 1, got {workers}")
@@ -578,4 +614,17 @@ def run_many(
     session = current_session()
     if session is not None:
         session.record_exec_batch(batch)
+    if db is not None:
+        import sys
+        import time
+
+        from repro.expdb.ingest import ingest_batch
+
+        try:
+            # repro.exec is a sanctioned timing layer: the ledger itself
+            # never reads the clock, the timestamp enters here
+            ingest_batch(db, batch, created_unix=time.time())
+        except Exception as exc:
+            # repro: lint-ok RPR004 -- a swallowed ledger failure must stay visible
+            print(f"warning: experiment-db ingestion failed: {exc}", file=sys.stderr)
     return batch

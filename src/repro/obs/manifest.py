@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import platform as platform_mod
 import subprocess
 import time
 from pathlib import Path
@@ -31,6 +32,7 @@ __all__ = [
     "MANIFEST_SCHEMA_VERSION",
     "METRICS_SCHEMA_VERSION",
     "MANIFEST_REQUIRED_FIELDS",
+    "MANIFEST_V2_FIELDS",
     "git_revision",
     "config_to_jsonable",
     "build_manifest",
@@ -40,8 +42,19 @@ __all__ = [
     "validate_metrics_record",
 ]
 
-MANIFEST_SCHEMA_VERSION = 1
+#: v2 added the environment-provenance block (``platform``,
+#: ``python_version``, ``numpy_version``) so a ledger row can answer
+#: "which interpreter/BLAS produced this number".  v1 documents are
+#: still accepted by :func:`validate_manifest`.
+MANIFEST_SCHEMA_VERSION = 2
 METRICS_SCHEMA_VERSION = 1
+
+#: Fields introduced at manifest schema v2 (absent from v1 documents).
+MANIFEST_V2_FIELDS = (
+    "platform",
+    "python_version",
+    "numpy_version",
+)
 
 #: Top-level keys every manifest must carry (asserted by tests).
 MANIFEST_REQUIRED_FIELDS = (
@@ -51,6 +64,9 @@ MANIFEST_REQUIRED_FIELDS = (
     "created_unix",
     "repro_version",
     "git_revision",
+    "platform",
+    "python_version",
+    "numpy_version",
     "config",
     "n_cycles",
     "warmup",
@@ -79,6 +95,15 @@ def git_revision(cwd: Optional[str] = None) -> Optional[str]:
         return None
     rev = out.stdout.strip()
     return rev if out.returncode == 0 and rev else None
+
+
+def _numpy_version() -> Optional[str]:
+    try:
+        import numpy
+
+        return str(numpy.__version__)
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        return None
 
 
 def _jsonable(value):
@@ -138,6 +163,9 @@ def build_manifest(
         "created_unix": time.time(),
         "repro_version": __version__,
         "git_revision": git_revision(),
+        "platform": platform_mod.platform(),
+        "python_version": platform_mod.python_version(),
+        "numpy_version": _numpy_version(),
         "config": config_to_jsonable(result.config),
         "n_cycles": int(result.n_cycles),
         "warmup": int(result.warmup),
@@ -213,15 +241,25 @@ def write_metrics_jsonl(
 
 
 def validate_manifest(manifest: dict) -> None:
-    """Raise :class:`SimulationError` unless ``manifest`` fits the schema."""
-    missing = [k for k in MANIFEST_REQUIRED_FIELDS if k not in manifest]
+    """Raise :class:`SimulationError` unless ``manifest`` fits the schema.
+
+    Backward-compatible: v1 documents (written before the environment-
+    provenance block) are accepted without the
+    :data:`MANIFEST_V2_FIELDS`; anything newer than this package's
+    schema, or missing its version's fields, is rejected.
+    """
+    version = manifest.get("schema_version")
+    if not isinstance(version, int) or not 1 <= version <= MANIFEST_SCHEMA_VERSION:
+        raise SimulationError(
+            f"manifest schema_version {version!r} not in "
+            f"1..{MANIFEST_SCHEMA_VERSION}"
+        )
+    required = MANIFEST_REQUIRED_FIELDS
+    if version < 2:
+        required = tuple(f for f in required if f not in MANIFEST_V2_FIELDS)
+    missing = [k for k in required if k not in manifest]
     if missing:
         raise SimulationError(f"manifest missing required fields: {missing}")
-    if manifest["schema_version"] != MANIFEST_SCHEMA_VERSION:
-        raise SimulationError(
-            f"manifest schema_version {manifest['schema_version']} != "
-            f"{MANIFEST_SCHEMA_VERSION}"
-        )
 
 
 def validate_metrics_record(record: dict, n_stages: Optional[int] = None) -> None:

@@ -39,6 +39,13 @@ def _doomed_task(spec):
     return execute_spec(spec)
 
 
+def _doomed_task_for_last(spec):
+    """Fail every attempt for the 'load-2' spec (summary() test)."""
+    if spec.label == "load-2":
+        raise RuntimeError("injected permanent failure")
+    return execute_spec(spec)
+
+
 def _sleepy_task(spec):
     """Hold the 'sleepy' spec well past any reasonable test timeout."""
     if spec.label == "sleepy":
@@ -212,6 +219,22 @@ class TestFaultTolerance:
 
 
 class TestObservability:
+    def test_batch_summary_counts(self, tmp_path):
+        specs = make_specs(n=3)
+        cache = ResultCache(tmp_path / "cache")
+        run_many(specs[:1], workers=1, cache=cache)  # pre-warm one entry
+        batch = run_many(specs, workers=1, cache=cache, retries=0,
+                         task_fn=_doomed_task_for_last)
+        summary = batch.summary()
+        assert summary["n_tasks"] == 3
+        assert summary["statuses"] == {"cached": 1, "completed": 1, "failed": 1}
+        assert summary["cache_hits"] == 1
+        assert summary["cache_misses"] == 2
+        # cached task: 0 attempts; completed: 1; failed at retries=0: 1
+        assert summary["total_attempts"] == 2
+        assert summary["workers"] == 1
+        assert summary["elapsed_seconds"] == batch.elapsed_seconds
+
     def test_progress_events(self):
         events = []
         specs = make_specs(n=3)

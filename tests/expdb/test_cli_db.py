@@ -1,0 +1,191 @@
+"""The ``python -m repro db`` command family, end to end."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.exec.runner import execute_spec, run_many
+from repro.exec.spec import ExperimentSpec
+from repro.expdb.db import ExperimentDB
+from repro.expdb.ingest import ingest_batch
+from repro.obs.manifest import build_manifest
+from repro.simulation.network import NetworkConfig
+
+
+def _spec(p=0.5, seed=100):
+    # matches the smoke-first-stage-p0.5 / smoke-throughput-p0.5 selectors
+    return ExperimentSpec(
+        config=NetworkConfig(
+            k=2, n_stages=3, p=p, topology="random", width=32, seed=seed
+        ),
+        n_cycles=1500,
+        label=f"cli-p{p}",
+    )
+
+
+@pytest.fixture()
+def seeded_db(tmp_path):
+    """A ledger holding one completed smoke-matching run."""
+    path = tmp_path / "ledger.sqlite"
+    db = ExperimentDB(path)
+    ingest_batch(db, run_many([_spec()], workers=1), created_unix=50.0)
+    db.close()
+    return path
+
+
+class TestParser:
+    def test_db_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["db"])
+
+    def test_expectations_flags(self):
+        args = build_parser().parse_args(
+            ["db", "--path", "x.sqlite", "expectations", "--report", "r.md"]
+        )
+        assert args.command == "db"
+        assert args.db_command == "expectations"
+        assert args.path == "x.sqlite"
+        assert args.report == "r.md"
+
+    def test_batch_accepts_db_flag(self):
+        args = build_parser().parse_args(["batch", "--db", "x.sqlite"])
+        assert args.db == "x.sqlite"
+
+
+class TestIngest:
+    def test_nothing_to_do_is_an_error(self, tmp_path, capsys):
+        assert main(["db", "--path", str(tmp_path / "x.sqlite"), "ingest"]) == 2
+        assert "nothing to do" in capsys.readouterr().err
+
+    def test_manifests_and_bench(self, tmp_path, capsys):
+        session = tmp_path / "session"
+        session.mkdir()
+        manifest = build_manifest(execute_spec(_spec()), run_id="run-0001")
+        (session / "run-0001.manifest.json").write_text(json.dumps(manifest))
+        bench = tmp_path / "BENCH_replicas.json"
+        bench.write_text(
+            json.dumps({"serial_seconds": 2.0, "batched_seconds": 0.3, "speedup": 6.7})
+        )
+        code = main(
+            ["db", "--path", str(tmp_path / "x.sqlite"), "ingest",
+             "--manifests", str(session), "--bench", str(bench)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "1 manifest(s) ingested" in out
+        assert "series ['replicas']" in out
+
+
+class TestQuery:
+    def test_lists_runs(self, seeded_db, capsys):
+        assert main(["db", "--path", str(seeded_db), "query"]) == 0
+        out = capsys.readouterr().out
+        assert "1 run(s)" in out
+        assert "cli-p0.5" in out
+        assert "completed" in out
+
+
+class TestExpectations:
+    def test_scorecard_renders_and_succeeds(self, seeded_db, capsys):
+        assert main(["db", "--path", str(seeded_db), "expectations"]) == 0
+        out = capsys.readouterr().out
+        assert "Reproduction scorecard" in out
+        assert "smoke-first-stage-p0.5" in out
+        assert "| success" in out
+
+    def test_report_file_and_eval_history(self, seeded_db, tmp_path):
+        report = tmp_path / "scorecard.md"
+        assert main(
+            ["db", "--path", str(seeded_db), "expectations",
+             "--report", str(report)]
+        ) == 0
+        assert "Reproduction scorecard" in report.read_text()
+        db = ExperimentDB(seeded_db)
+        assert db.counts()["expectation_evals"] > 0
+
+    def test_regression_exits_nonzero(self, seeded_db, capsys):
+        assert main(["db", "--path", str(seeded_db), "expectations"]) == 0
+        # corrupt the measured value so a previously-met target fails
+        db = ExperimentDB(seeded_db)
+        db._conn.execute("UPDATE runs SET stage_means = '[9.0, 9.0, 9.0]'")
+        db._conn.commit()
+        db.close()
+        capsys.readouterr()
+        assert main(["db", "--path", str(seeded_db), "expectations"]) == 1
+        assert "REGRESSION" in capsys.readouterr().err
+
+    def test_strict_fails_on_outright_failure(self, seeded_db, capsys):
+        db = ExperimentDB(seeded_db)
+        db._conn.execute("UPDATE runs SET stage_means = '[9.0, 9.0, 9.0]'")
+        db._conn.commit()
+        db.close()
+        # no prior success history -> not a regression, but --strict trips
+        assert main(["db", "--path", str(seeded_db), "expectations"]) == 0
+        capsys.readouterr()
+        assert main(
+            ["db", "--path", str(seeded_db), "expectations", "--strict"]
+        ) == 1
+        assert "--strict" in capsys.readouterr().err
+
+
+class TestPerf:
+    def _ingest_bench(self, path, speedup):
+        db = ExperimentDB(path)
+        from repro.expdb.ingest import bench_record_from_artifact
+
+        db.record_bench(
+            bench_record_from_artifact(
+                "replicas",
+                {"serial_seconds": 2.0, "batched_seconds": 0.4, "speedup": speedup},
+                created_unix=60.0,
+            )
+        )
+        db.close()
+
+    def test_trajectory_renders(self, tmp_path, capsys):
+        path = tmp_path / "x.sqlite"
+        self._ingest_bench(path, speedup=6.7)
+        assert main(["db", "--path", str(path), "perf"]) == 0
+        out = capsys.readouterr().out
+        assert "Performance trajectory" in out
+        assert "6.70x" in out
+
+    def test_fail_on_regression(self, tmp_path, capsys):
+        path = tmp_path / "x.sqlite"
+        self._ingest_bench(path, speedup=1.2)  # below the 5x replicas floor
+        assert main(
+            ["db", "--path", str(path), "perf", "--fail-on-regression"]
+        ) == 1
+        assert "PERF REGRESSION" in capsys.readouterr().err
+
+
+class TestExportAndBatch:
+    def test_export_is_deterministic_json(self, seeded_db, capsys):
+        assert main(["db", "--path", str(seeded_db), "export"]) == 0
+        first = capsys.readouterr().out
+        doc = json.loads(first)
+        assert doc["schema_version"] == 1
+        assert len(doc["runs"]) == 1
+        assert main(["db", "--path", str(seeded_db), "export"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_export_to_file(self, seeded_db, tmp_path):
+        out = tmp_path / "export.json"
+        assert main(
+            ["db", "--path", str(seeded_db), "export", "--out", str(out)]
+        ) == 0
+        assert json.loads(out.read_text())["schema_version"] == 1
+
+    def test_batch_records_into_ledger_and_prints_summary(self, tmp_path, capsys):
+        path = tmp_path / "ledger.sqlite"
+        code = main(
+            ["batch", "--cycles", "1500", "--no-cache", "--db", str(path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "batch summary:" in out
+        assert "cache hit(s)" in out
+        assert f"ledger {path}" in out
+        db = ExperimentDB(path)
+        assert db.counts()["runs"] == 8  # the smoke scenario set

@@ -1,0 +1,174 @@
+"""Ledger core: schema versioning, self-healing open, idempotent upserts."""
+
+import sqlite3
+
+import pytest
+
+from repro.errors import ExperimentDBError
+from repro.expdb.db import (
+    EXPDB_SCHEMA_VERSION,
+    BenchRecord,
+    EvalRecord,
+    ExperimentDB,
+    RunRecord,
+)
+
+
+def _run(digest="d" * 64, **overrides):
+    base = dict(
+        digest=digest,
+        status="completed",
+        engine="serial",
+        source="exec",
+        n_cycles=1000,
+        config_json="{}",
+        label="unit",
+        k=2,
+        n_stages=3,
+        p=0.5,
+        stage_means="[0.25, 0.3, 0.31]",
+        throughput=16.0,
+        created_unix=100.0,
+    )
+    base.update(overrides)
+    return RunRecord(**base)
+
+
+class TestSchema:
+    def test_fresh_file_is_created_at_current_version(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        assert db.schema_version == EXPDB_SCHEMA_VERSION
+        assert (tmp_path / "x.sqlite").exists()
+
+    def test_reopen_keeps_rows_and_version(self, tmp_path):
+        path = tmp_path / "x.sqlite"
+        db = ExperimentDB(path)
+        db.record_run(_run())
+        db.close()
+        again = ExperimentDB(path)
+        assert again.schema_version == EXPDB_SCHEMA_VERSION
+        assert again.counts()["runs"] == 1
+
+    def test_newer_schema_is_refused(self, tmp_path):
+        path = tmp_path / "x.sqlite"
+        db = ExperimentDB(path)
+        db._conn.execute(
+            "UPDATE meta SET value = ? WHERE key = 'schema_version'",
+            (str(EXPDB_SCHEMA_VERSION + 1),),
+        )
+        db._conn.commit()
+        db.close()
+        with pytest.raises(ExperimentDBError, match="newer"):
+            ExperimentDB(path)
+
+    def test_foreign_sqlite_database_is_refused(self, tmp_path):
+        path = tmp_path / "x.sqlite"
+        conn = sqlite3.connect(str(path))
+        conn.execute("CREATE TABLE unrelated (x INTEGER)")
+        conn.commit()
+        conn.close()
+        with pytest.raises(ExperimentDBError, match="not an experiment ledger"):
+            ExperimentDB(path)
+
+    def test_corrupt_file_is_moved_aside_and_recreated(self, tmp_path):
+        path = tmp_path / "x.sqlite"
+        path.write_bytes(b"this is not a sqlite database at all" * 10)
+        db = ExperimentDB(path)
+        # fresh and usable, with the old bytes kept for forensics
+        assert db.schema_version == EXPDB_SCHEMA_VERSION
+        assert db.counts()["runs"] == 0
+        backup = tmp_path / "x.sqlite.corrupt"
+        assert backup.exists()
+        assert b"not a sqlite database" in backup.read_bytes()
+
+
+class TestUpserts:
+    def test_run_reingest_updates_not_duplicates(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_run(_run(throughput=16.0))
+        db.record_run(_run(throughput=17.0))
+        rows = db.runs()
+        assert len(rows) == 1
+        assert rows[0]["throughput"] == 17.0
+
+    def test_created_unix_is_first_write_wins(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_run(_run(created_unix=100.0))
+        db.record_run(_run(created_unix=999.0))
+        (row,) = db.runs()
+        assert row["created_unix"] == 100.0
+
+    def test_bench_reingest_is_idempotent(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        record = BenchRecord(
+            fingerprint="f" * 64,
+            name="replicas",
+            detail_json="{}",
+            speedup=6.0,
+            created_unix=5.0,
+        )
+        db.record_bench(record)
+        db.record_bench(record)
+        assert db.counts()["benchmarks"] == 1
+        assert db.bench_names() == ["replicas"]
+
+    def test_evals_append_as_history(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        for classification in ("success", "partial"):
+            db.record_eval(
+                EvalRecord(
+                    expectation_id="e1",
+                    expectations_version=1,
+                    expected=0.25,
+                    classification=classification,
+                )
+            )
+        assert db.counts()["expectation_evals"] == 2
+        assert db.latest_evals()["e1"]["classification"] == "partial"
+
+
+class TestQueries:
+    def test_match_run_selects_newest_usable(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_run(_run(digest="a" * 64, p=0.5, throughput=15.0))
+        db.record_run(_run(digest="b" * 64, p=0.5, throughput=16.0))
+        db.record_run(_run(digest="c" * 64, p=0.5, status="failed"))
+        row = db.match_run({"k": 2, "p": 0.5})
+        assert row is not None
+        assert row["digest"] == "b" * 64  # newest completed, failed skipped
+
+    def test_match_run_float_tolerance_and_misses(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_run(_run(p=0.35))
+        assert db.match_run({"p": 0.35000000001}) is not None
+        assert db.match_run({"p": 0.36}) is None
+
+    def test_match_run_rejects_unknown_column(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        with pytest.raises(ExperimentDBError, match="unknown run selector"):
+            db.match_run({"nonsense": 1})
+
+    def test_runs_filters(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_run(_run(digest="a" * 64, label="one"))
+        db.record_run(_run(digest="b" * 64, label="two", status="failed"))
+        assert [r["label"] for r in db.runs(status="failed")] == ["two"]
+        assert [r["label"] for r in db.runs(label="one")] == ["one"]
+        assert len(db.runs(limit=1)) == 1
+
+
+class TestExport:
+    def test_export_is_order_independent(self, tmp_path):
+        first = ExperimentDB(tmp_path / "a.sqlite")
+        second = ExperimentDB(tmp_path / "b.sqlite")
+        records = [_run(digest="a" * 64), _run(digest="b" * 64, label="other")]
+        for record in records:
+            first.record_run(record)
+        for record in reversed(records):
+            second.record_run(record)
+        assert first.export() == second.export()
+
+    def test_export_drops_rowids(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_run(_run())
+        assert '"id"' not in db.export()

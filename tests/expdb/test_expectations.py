@@ -1,0 +1,168 @@
+"""Expectations engine: classification boundaries, evaluation, regression."""
+
+import pytest
+
+from repro.errors import ExperimentDBError
+from repro.expdb.db import EvalRecord, ExperimentDB, RunRecord
+from repro.expdb.expectations import (
+    EXPECTATIONS_VERSION,
+    PAPER_EXPECTATIONS,
+    Expectation,
+    classify,
+    evaluate_expectations,
+    extract_metric,
+    find_regressions,
+    record_evaluations,
+)
+
+
+def _expectation(**overrides):
+    base = dict(
+        id="unit-target",
+        source="unit",
+        description="a synthetic target",
+        metric="stage_mean",
+        stage=0,
+        select={"k": 2, "p": 0.5},
+        # binary-exact values so "exactly at tolerance" is well-defined:
+        # tol = 0.125 * 0.25 = 0.03125, partial bound = 0.0625
+        expected=0.25,
+        rtol=0.125,
+        atol=0.0,
+        partial_factor=2.0,
+    )
+    base.update(overrides)
+    return Expectation(**base)
+
+
+def _seed_run(db, stage_means="[0.25]", **overrides):
+    base = dict(
+        digest="a" * 64,
+        status="completed",
+        engine="serial",
+        source="exec",
+        n_cycles=1000,
+        config_json="{}",
+        label="unit",
+        k=2,
+        p=0.5,
+        stage_means=stage_means,
+        throughput=16.0,
+        total_mean=1.7,
+    )
+    base.update(overrides)
+    db.record_run(RunRecord(**base))
+
+
+class TestClassify:
+    """tol = atol + rtol*|expected| = 0.03125 exactly for the unit target."""
+
+    def test_exactly_at_tolerance_is_success(self):
+        e = _expectation()
+        assert classify(e, 0.25 + 0.03125) == "success"
+        assert classify(e, 0.25 - 0.03125) == "success"
+
+    def test_just_past_tolerance_is_partial(self):
+        assert classify(_expectation(), 0.25 + 0.0313) == "partial"
+
+    def test_exactly_at_partial_bound_is_partial(self):
+        # partial_factor=2.0 -> partial bound at err = 0.0625, inclusive
+        assert classify(_expectation(), 0.3125) == "partial"
+
+    def test_past_partial_bound_is_failure(self):
+        assert classify(_expectation(), 0.3126) == "failure"
+
+    def test_atol_floors_relative_tolerance(self):
+        e = _expectation(expected=0.0, rtol=0.5, atol=0.01)
+        assert classify(e, 0.01) == "success"
+        assert classify(e, 0.011) == "partial"
+
+
+class TestExtractMetric:
+    def test_stage_mean_supports_negative_index(self):
+        run = {"stage_means": "[0.1, 0.2, 0.3]"}
+        assert extract_metric(_expectation(stage=-1), run) == 0.3
+
+    def test_stage_index_out_of_range_is_none(self):
+        assert extract_metric(_expectation(stage=7), {"stage_means": "[0.1]"}) is None
+
+    def test_scalar_metrics(self):
+        run = {"throughput": 16.0, "total_mean": 1.7}
+        assert extract_metric(_expectation(metric="throughput"), run) == 16.0
+        assert extract_metric(_expectation(metric="total_mean"), run) == 1.7
+
+    def test_unknown_metric_raises(self):
+        with pytest.raises(ExperimentDBError, match="unknown expectation metric"):
+            extract_metric(_expectation(metric="entropy"), {})
+
+
+class TestEvaluate:
+    def test_no_matching_run_is_missing(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        (result,) = evaluate_expectations(db, [_expectation()])
+        assert result.classification == "missing"
+        assert result.measured is None
+
+    def test_matching_run_is_classified_and_attributed(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        _seed_run(db, stage_means="[0.26]")
+        (result,) = evaluate_expectations(db, [_expectation()])
+        assert result.classification == "success"
+        assert result.measured == 0.26
+        assert result.run_digest == "a" * 64
+        assert result.run_label == "unit"
+
+    def test_default_set_is_the_paper_expectations(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        results = evaluate_expectations(db)
+        assert len(results) == len(PAPER_EXPECTATIONS)
+        assert all(r.classification == "missing" for r in results)
+
+    def test_shipped_expectation_ids_are_unique(self):
+        ids = [e.id for e in PAPER_EXPECTATIONS]
+        assert len(ids) == len(set(ids))
+
+
+class TestRegression:
+    def test_success_to_partial_is_a_regression(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        _seed_run(db, stage_means="[0.25]")
+        results = evaluate_expectations(db, [_expectation()])
+        record_evaluations(db, results, created_unix=1.0)
+        # the run drifts out of the success band
+        _seed_run(db, stage_means="[0.29]")
+        worse = evaluate_expectations(db, [_expectation()])
+        assert worse[0].classification == "partial"
+        regressed = find_regressions(db, worse)
+        assert [r.expectation.id for r in regressed] == ["unit-target"]
+
+    def test_no_history_never_regresses(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        _seed_run(db, stage_means="[0.9]")  # outright failure
+        results = evaluate_expectations(db, [_expectation()])
+        assert results[0].classification == "failure"
+        assert find_regressions(db, results) == []
+
+    def test_missing_never_regresses(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        db.record_eval(
+            EvalRecord(
+                expectation_id="unit-target",
+                expectations_version=EXPECTATIONS_VERSION,
+                expected=0.25,
+                classification="success",
+            )
+        )
+        results = evaluate_expectations(db, [_expectation()])
+        assert results[0].classification == "missing"
+        assert find_regressions(db, results) == []
+
+    def test_record_evaluations_appends_history(self, tmp_path):
+        db = ExperimentDB(tmp_path / "x.sqlite")
+        _seed_run(db)
+        results = evaluate_expectations(db, [_expectation()])
+        assert record_evaluations(db, results, created_unix=2.0) == 1
+        latest = db.latest_evals()["unit-target"]
+        assert latest["classification"] == "success"
+        assert latest["expectations_version"] == EXPECTATIONS_VERSION
+        assert latest["created_unix"] == 2.0

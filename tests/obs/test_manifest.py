@@ -9,6 +9,7 @@ from repro.errors import SimulationError
 from repro.obs.manifest import (
     MANIFEST_REQUIRED_FIELDS,
     MANIFEST_SCHEMA_VERSION,
+    MANIFEST_V2_FIELDS,
     build_manifest,
     config_to_jsonable,
     validate_manifest,
@@ -61,6 +62,38 @@ class TestManifest:
         reloaded = json.loads(path.read_text())
         validate_manifest(reloaded)
         assert reloaded["n_cycles"] == 300
+
+    def test_v2_provenance_fields_are_populated(self):
+        result, _ = run_with_metrics()
+        manifest = build_manifest(result, run_id="run-0001")
+        assert manifest["schema_version"] == 2
+        assert manifest["platform"]  # e.g. "Linux-..."
+        assert manifest["python_version"].count(".") == 2
+        assert manifest["numpy_version"]
+
+    def test_validate_accepts_v1_documents(self):
+        """Manifests written before the provenance block must still load."""
+        result, _ = run_with_metrics()
+        manifest = build_manifest(result, run_id="run-0001")
+        manifest["schema_version"] = 1
+        for field in MANIFEST_V2_FIELDS:
+            del manifest[field]
+        validate_manifest(manifest)  # no error
+
+    def test_validate_rejects_v1_claiming_v2(self):
+        """A v2 document is held to the v2 field set."""
+        result, _ = run_with_metrics()
+        manifest = build_manifest(result, run_id="run-0001")
+        del manifest["platform"]
+        with pytest.raises(SimulationError, match="missing required"):
+            validate_manifest(manifest)
+
+    def test_validate_rejects_newer_schema(self):
+        result, _ = run_with_metrics()
+        manifest = build_manifest(result, run_id="run-0001")
+        manifest["schema_version"] = MANIFEST_SCHEMA_VERSION + 1
+        with pytest.raises(SimulationError, match="schema_version"):
+            validate_manifest(manifest)
 
     def test_validate_rejects_missing_fields(self):
         with pytest.raises(SimulationError):
