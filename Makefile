@@ -4,7 +4,9 @@ PYTHON ?= python
 WORKERS ?= 4
 CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report db-report calibrate clean lint typecheck
+.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report db-report serve calibrate clean lint typecheck
+
+PORT ?= 8765
 
 DB ?= experiments.sqlite
 
@@ -66,6 +68,12 @@ db-report:
 	$(PYTHON) -m repro batch --cycles 2000 --no-cache --db $(DB)
 	$(PYTHON) -m repro db --path $(DB) expectations --report SCORECARD.md
 	$(PYTHON) -m repro db --path $(DB) perf --report PERF_TRAJECTORY.md
+
+# The simulation service: HTTP submissions, SSE progress, digest-keyed
+# dedup onto $(CACHE) (see docs/api-service.md).  Ctrl-C to stop;
+# `python -m repro submit --wait` talks to it.
+serve:
+	$(PYTHON) -m repro serve --port $(PORT) --cache $(CACHE)
 
 calibrate:
 	$(PYTHON) -m repro calibrate

@@ -1,0 +1,135 @@
+"""A tiny stdlib client for the simulation service.
+
+Used by ``python -m repro submit``, the CI smoke job, and the
+end-to-end tests; applications embedding the service in-process should
+talk to :class:`~repro.api.jobs.JobManager` directly instead.
+
+Everything rides :mod:`urllib.request`; HTTP-level failures surface as
+:class:`~repro.errors.ApiError` carrying the server's structured error
+body when one was sent.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import ApiError
+
+__all__ = ["ApiClient", "parse_sse"]
+
+
+def parse_sse(lines: Iterator[str]) -> Iterator[Dict[str, Any]]:
+    """Decode a Server-Sent-Events byte stream into event dicts.
+
+    Yields ``{"event": name, "data": <decoded JSON>}`` per message;
+    comment lines (keepalives) are skipped.  Only the single-``data:``
+    framing the server emits is supported.
+    """
+    name: Optional[str] = None
+    data: List[str] = []
+    for raw in lines:
+        line = raw.rstrip("\n").rstrip("\r")
+        if line.startswith(":"):
+            continue
+        if line.startswith("event:"):
+            name = line[len("event:") :].strip()
+            continue
+        if line.startswith("data:"):
+            data.append(line[len("data:") :].strip())
+            continue
+        if line == "" and (name is not None or data):
+            payload = "\n".join(data)
+            try:
+                decoded: Any = json.loads(payload) if payload else None
+            except json.JSONDecodeError:
+                decoded = payload
+            yield {"event": name or "message", "data": decoded}
+            name, data = None, []
+
+
+class ApiClient:
+    """Thin JSON-over-HTTP wrapper around one service base URL."""
+
+    def __init__(self, base_url: str, *, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ------------------------------------------------------
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        url = f"{self.base_url}{path}"
+        data = None
+        headers = {"Accept": "application/json"}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(url, data=data, headers=headers, method=method)
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                doc = json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as exc:
+            detail = ""
+            try:
+                error_doc = json.loads(exc.read().decode("utf-8"))
+                detail = error_doc.get("error", {}).get("message", "")
+            except Exception as parse_exc:
+                detail = f"(unparseable error body: {parse_exc!r})"
+            raise ApiError(
+                f"{method} {path} -> HTTP {exc.code}: {detail or exc.reason}"
+            ) from exc
+        except urllib.error.URLError as exc:
+            raise ApiError(f"{method} {url} failed: {exc.reason}") from exc
+        if not isinstance(doc, dict):
+            raise ApiError(f"{method} {path}: expected a JSON object response")
+        return doc
+
+    # -- endpoints -----------------------------------------------------
+    def healthz(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/stats")
+
+    def scenarios(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/scenarios")
+
+    def openapi(self) -> Dict[str, Any]:
+        return self._request("GET", "/v1/openapi.json")
+
+    def submit(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        """POST a submission body; returns the ``{count, runs}`` doc."""
+        return self._request("POST", "/v1/runs", body=payload)
+
+    def run(self, digest: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/runs/{digest}")
+
+    def events(self, digest: str) -> List[Dict[str, Any]]:
+        """Read a run's full SSE stream (blocks until the job ends)."""
+        url = f"{self.base_url}/v1/runs/{digest}/events"
+        request = urllib.request.Request(url, headers={"Accept": "text/event-stream"})
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                text = response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ApiError(f"GET {url} -> HTTP {exc.code}") from exc
+        except urllib.error.URLError as exc:
+            raise ApiError(f"GET {url} failed: {exc.reason}") from exc
+        return list(parse_sse(iter(text.splitlines(keepends=True))))
+
+    def wait(self, digest: str, *, timeout: float = 300.0, poll: float = 0.2) -> Dict[str, Any]:
+        """Poll a run until it reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            doc = self.run(digest)
+            if doc.get("status") in ("done", "failed"):
+                return doc
+            if time.monotonic() >= deadline:
+                raise ApiError(
+                    f"run {digest[:12]} still {doc.get('status')!r} after {timeout}s"
+                )
+            time.sleep(poll)

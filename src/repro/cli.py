@@ -10,6 +10,8 @@ Usage::
     python -m repro batch --workers 4  # parallel scenario batch (cached)
     python -m repro cache stats        # result-cache maintenance
     python -m repro db expectations    # evaluate paper targets vs the ledger
+    python -m repro serve --port 8765  # HTTP simulation service (docs/api-service.md)
+    python -m repro submit --scenarios smoke --wait   # talk to a running service
     python -m repro all                # everything (paper-grade: slow)
 
 ``--cycles`` (or the ``REPRO_SIM_CYCLES`` environment variable) trades
@@ -261,6 +263,98 @@ def build_parser() -> argparse.ArgumentParser:
     dx.add_argument(
         "--out", metavar="FILE", default=None,
         help="write to FILE instead of stdout",
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the HTTP simulation service (docs/api-service.md)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765,
+        help="bind port (0 picks an ephemeral port; default 8765)",
+    )
+    serve.add_argument(
+        "--port-file",
+        metavar="FILE",
+        default=None,
+        help="write the bound port number to FILE once listening "
+        "(for scripts using --port 0)",
+    )
+    serve.add_argument(
+        "--executors", type=int, default=2,
+        help="jobs that may run concurrently (default 2)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes per job's run_many call (default 1: in-thread)",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=1,
+        help="extra attempts per failed job (default 1)",
+    )
+    serve.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-task seconds before a dispatched job counts as failed",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="pending-job bound; overflowing submissions get HTTP 429 (default 64)",
+    )
+    serve.add_argument(
+        "--cache",
+        metavar="DIR",
+        default=None,
+        help="result-cache directory (default .repro-cache)",
+    )
+    serve.add_argument(
+        "--no-cache", action="store_true", help="serve without the result cache"
+    )
+    serve.add_argument(
+        "--db",
+        metavar="PATH",
+        default=None,
+        help="record every finished run in the experiment ledger at PATH",
+    )
+    serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-request access logging"
+    )
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit scenarios to a running service and report the runs",
+    )
+    submit.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="service base URL (default http://127.0.0.1:8765)",
+    )
+    submit.add_argument(
+        "--scenarios", default="smoke",
+        help="named scenario set or path to a JSON spec file (default smoke)",
+    )
+    submit.add_argument(
+        "--label", default=None,
+        help="submit only the scenario entry with this label",
+    )
+    submit.add_argument(
+        "--cycles", type=int, default=None,
+        help="override every submitted spec's cycle budget",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until every submitted run reaches a terminal state",
+    )
+    submit.add_argument(
+        "--timeout", type=float, default=300.0,
+        help="seconds to wait per run with --wait (default 300)",
+    )
+    submit.add_argument(
+        "--require-cached", action="store_true",
+        help="exit non-zero unless every response reports cached: true",
+    )
+    submit.add_argument(
+        "--json", action="store_true", dest="as_json",
+        help="print the raw JSON documents instead of the table",
     )
 
     m = sub.add_parser(
@@ -605,6 +699,108 @@ def _run_db(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """The ``serve`` command: run the HTTP service until interrupted."""
+    from pathlib import Path
+
+    from repro.api import JobManager, make_server, serve_forever
+    from repro.exec import DEFAULT_CACHE_DIR, ResultCache
+
+    db = None
+    if args.db is not None:
+        from repro.expdb import ExperimentDB
+
+        db = ExperimentDB(args.db)
+    manager = JobManager(
+        executors=args.executors,
+        workers=args.workers,
+        retries=args.retries,
+        timeout=args.timeout,
+        max_queue=args.max_queue,
+        cache=None if args.no_cache else ResultCache(args.cache or DEFAULT_CACHE_DIR),
+        use_cache=not args.no_cache,
+        db=db,
+    )
+    server = make_server(args.host, args.port, manager=manager, quiet=args.quiet)
+    print(f"listening on http://{args.host}:{server.port}", flush=True)
+    if args.port_file:
+        Path(args.port_file).write_text(f"{server.port}\n")
+    serve_forever(server)
+    return 0
+
+
+def _run_submit(args) -> int:
+    """The ``submit`` command: drive a running service over HTTP."""
+    import json as json_mod
+    from pathlib import Path
+
+    from repro.api import ApiClient
+    from repro.errors import ApiError
+
+    client = ApiClient(args.url, timeout=args.timeout)
+    source = args.scenarios
+    payloads = []
+    if source.endswith(".json") or Path(source).is_file():
+        from repro.exec import specs_from_file
+
+        for spec in specs_from_file(source):
+            doc = {"spec": spec.to_jsonable()}
+            if args.cycles is not None:
+                doc["n_cycles"] = args.cycles
+            payloads.append(doc)
+    else:
+        doc = {"scenario": source}
+        if args.label is not None:
+            doc["label"] = args.label
+        if args.cycles is not None:
+            doc["n_cycles"] = args.cycles
+        payloads.append(doc)
+
+    runs = []
+    try:
+        for payload in payloads:
+            response = client.submit(payload)
+            if args.as_json:
+                print(json_mod.dumps(response, indent=2))
+            runs.extend(response["runs"])
+        finals = {}
+        if args.wait:
+            for run in runs:
+                finals[run["digest"]] = client.wait(
+                    run["digest"], timeout=args.timeout
+                )
+                if args.as_json:
+                    print(json_mod.dumps(finals[run["digest"]], indent=2))
+    except ApiError as exc:
+        print(f"submit: {exc}", file=sys.stderr)
+        return 1
+
+    if not args.as_json:
+        print(f"{'label':>18} {'digest':>14} {'cached':>7} {'status':>10}")
+        for run in runs:
+            status = finals.get(run["digest"], run).get("status", run["status"])
+            print(
+                f"{run['label']:>18} {run['digest'][:12]:>14} "
+                f"{str(run['cached']).lower():>7} {status:>10}"
+            )
+    failed = [
+        digest for digest, doc in finals.items() if doc.get("status") == "failed"
+    ]
+    if failed:
+        print(f"submit: {len(failed)} run(s) failed", file=sys.stderr)
+        return 1
+    if args.require_cached:
+        fresh = [run for run in runs if not run["cached"]]
+        if fresh:
+            print(
+                f"--require-cached: {len(fresh)} run(s) were not served "
+                "from cache or an existing job",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
 def _run_metrics(args) -> str:
     from repro.analysis.report import render_metrics_summary
     from repro.obs.metrics import MetricsCollector
@@ -681,6 +877,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         # ledger maintenance never simulates: no execution context, no
         # metrics session, and exports stay free of timing chatter
         return _run_db(args)
+    if args.command == "serve":
+        # the service wires its own JobManager; the process-global
+        # execution context and metrics session stay out of its way
+        return _run_serve(args)
+    if args.command == "submit":
+        # pure HTTP client: nothing simulates in this process
+        return _run_submit(args)
     started = time.time()
 
     def dispatch_in_context() -> int:

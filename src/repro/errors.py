@@ -23,6 +23,8 @@ __all__ = [
     "ExecutionError",
     "ExperimentDBError",
     "LintError",
+    "ApiError",
+    "JobQueueFullError",
 ]
 
 
@@ -115,4 +117,20 @@ class LintError(ReproError):
 
     Raised for unknown rule codes and unreadable lint targets; rule
     *violations* are reported as findings, never as exceptions.
+    """
+
+
+class ApiError(ReproError):
+    """The simulation service (:mod:`repro.api`) rejected a request.
+
+    The HTTP layer maps these onto 4xx responses; anything else that
+    escapes a handler is a 500.
+    """
+
+
+class JobQueueFullError(ApiError):
+    """The job queue is at capacity; the submission was not accepted.
+
+    Mapped onto HTTP 429 by the server so clients can back off and
+    retry -- nothing was enqueued and no state changed.
     """

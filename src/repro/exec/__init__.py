@@ -15,8 +15,9 @@ runs on:
 * **context** (:mod:`repro.exec.context`) -- a process-wide
   :class:`ExecutionContext` (workers + cache) the analysis generators
   consult, mirroring :mod:`repro.obs.session`;
-* **scenarios** (:mod:`repro.exec.scenarios`) -- named scenario sets
-  for ``python -m repro batch``.
+* **scenarios** (:mod:`repro.exec.scenarios`) -- the versioned YAML
+  scenario library (``scenarios/*.yaml``) behind ``python -m repro
+  batch`` and the :mod:`repro.api` service.
 
 Determinism contract: for any batch, ``workers=N`` produces statistics
 bit-identical to ``workers=1``, and a cached result is bit-identical to
@@ -47,7 +48,15 @@ from repro.exec.runner import (
     execute_spec,
     run_many,
 )
-from repro.exec.scenarios import SCENARIO_SETS, load_scenarios, scenario_specs
+from repro.exec.scenarios import (
+    SCENARIO_SCHEMA_VERSION,
+    ScenarioSet,
+    available_scenario_sets,
+    load_scenario_file,
+    load_scenarios,
+    scenario_dir,
+    scenario_specs,
+)
 from repro.exec.spec import (
     SPEC_SCHEMA_VERSION,
     ExperimentSpec,
@@ -85,7 +94,11 @@ __all__ = [
     "simulate",
     "use_execution",
     # scenarios
-    "SCENARIO_SETS",
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioSet",
+    "available_scenario_sets",
+    "load_scenario_file",
     "load_scenarios",
+    "scenario_dir",
     "scenario_specs",
 ]

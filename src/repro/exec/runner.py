@@ -33,6 +33,7 @@ worker CPU time.
 from __future__ import annotations
 
 import traceback
+import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from time import perf_counter
@@ -344,6 +345,14 @@ class BatchResult:
 
 
 def _emit(progress, outcome: TaskOutcome) -> None:
+    """Dispatch one outcome to the progress subscriber, if any.
+
+    A subscriber is an observer: an exception it raises must never
+    abort the batch (the simulation already ran; its result is good).
+    It must not disappear silently either -- the failure is reported as
+    a :class:`RuntimeWarning` so a broken sink is visible in test runs
+    and ``-W error`` deployments.
+    """
     if progress is None:
         return
     try:
@@ -359,9 +368,14 @@ def _emit(progress, outcome: TaskOutcome) -> None:
                 ),
             }
         )
-    # repro: lint-ok RPR003 -- a broken progress sink must not kill the batch
-    except Exception:
-        pass
+    except Exception as exc:
+        warnings.warn(
+            f"progress callback failed for "
+            f"{outcome.spec.label or outcome.spec.digest[:12]} "
+            f"({outcome.status}): {exc!r}; batch continues",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
 
 def _finish_ok(outcomes, specs, i, payload, attempts, cache, progress) -> None:

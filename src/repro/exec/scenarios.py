@@ -1,89 +1,504 @@
-"""Named scenario sets for ``python -m repro batch``.
+"""The versioned on-disk scenario library (``scenarios/*.yaml``).
+
+Named scenario sets used by ``python -m repro batch``, the simulation
+service (:mod:`repro.api`), and CI live as YAML documents under the
+repository-level ``scenarios/`` directory (override with the
+``REPRO_SCENARIOS_DIR`` environment variable).  Each file is one set::
+
+    version: 1
+    name: smoke
+    description: CI workhorse -- eight small, diverse scenarios.
+    defaults:
+      n_cycles: 2000
+    scenarios:
+      - label: load-p0.2
+        digest: 3f9a...        # optional pin, checked at load time
+        config:
+          k: 2
+          n_stages: 3
+          p: 0.2
+          topology: random
+          width: 32
+          seed: 41
+
+The loader (:func:`parse_strict_yaml`) accepts a deliberately *strict
+subset* of YAML -- block mappings, block lists, and plain scalars
+(int / float / bool / null / quoted or bare strings), two-space
+indentation, ``#`` comments -- and nothing else: no anchors, no flow
+collections, no multi-line strings, no implicit type surprises.  The
+subset is small enough to parse with the stdlib, and every scenario
+file in the library round-trips through it.
+
+Versioning is explicit at three levels: the file format carries
+``version`` (validated against :data:`SCENARIO_SCHEMA_VERSION`), specs
+hash through the spec schema version as always, and a scenario may pin
+its expected content ``digest`` -- the loader recomputes the digest
+from the parsed document and refuses to serve a set whose content has
+drifted from its pins (the pin is skipped when the caller overrides
+``n_cycles``, which legitimately changes the digest).
 
 The ``smoke`` set is the CI workhorse: eight small, structurally
 diverse scenarios (load sweep, multi-packet messages, a wider switch,
-favourite-output bias) that exercise every traffic/service path of the
-simulator in seconds.  All seeds are pinned so repeated batches are
-served entirely from the result cache.
+favourite-output bias) whose digests are byte-identical to the
+previously hard-coded Python set, so warm caches stay warm.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+import json
+import os
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.errors import ExecutionError
-from repro.exec.spec import ExperimentSpec, specs_from_file
-from repro.simulation.network import NetworkConfig
+from repro.exec.spec import ExperimentSpec, spec_from_jsonable, specs_from_file
 
-__all__ = ["SCENARIO_SETS", "scenario_specs", "load_scenarios"]
+__all__ = [
+    "SCENARIO_SCHEMA_VERSION",
+    "ScenarioSet",
+    "available_scenario_sets",
+    "list_scenario_files",
+    "load_scenario_file",
+    "load_scenarios",
+    "parse_strict_yaml",
+    "scenario_dir",
+    "scenario_specs",
+]
 
-#: Default cycle budget for named sets (override with ``--cycles``).
-_DEFAULT_CYCLES = 2_000
+#: Bumped when the scenario-file schema below changes meaning.
+SCENARIO_SCHEMA_VERSION = 1
+
+#: Environment variable overriding the library location.
+SCENARIO_DIR_ENV = "REPRO_SCENARIOS_DIR"
+
+#: Keys allowed at the top level of a scenario file.
+_SET_KEYS = frozenset({"version", "name", "description", "defaults", "scenarios"})
+#: Keys allowed per scenario entry.
+_ENTRY_KEYS = frozenset({"label", "digest", "config", "n_cycles", "warmup"})
+#: Keys allowed under ``defaults``.
+_DEFAULT_KEYS = frozenset({"n_cycles", "warmup"})
+
+_INT_RE = re.compile(r"^[+-]?\d+$")
+_FLOAT_RE = re.compile(r"^[+-]?(\d+\.\d*|\.\d+|\d+[eE][+-]?\d+|\d+\.\d*[eE][+-]?\d+)$")
+_KEY_RE = re.compile(r"^[A-Za-z0-9_.-]+$")
 
 
-def smoke_specs(n_cycles: Optional[int] = None) -> List[ExperimentSpec]:
-    """Eight fast, structurally diverse scenarios (k, p, m, q coverage)."""
-    n = _DEFAULT_CYCLES if n_cycles is None else n_cycles
-    specs = []
-    for i, p in enumerate((0.2, 0.35, 0.5, 0.65)):
-        specs.append(
-            ExperimentSpec(
-                NetworkConfig(
-                    k=2, n_stages=3, p=p, topology="random", width=32, seed=41 + i
-                ),
-                n_cycles=n,
-                label=f"load-p{p}",
-            )
+# ----------------------------------------------------------------------
+# strict YAML subset
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class _Line:
+    indent: int
+    content: str
+    number: int
+
+
+def _yaml_error(source: str, number: int, message: str) -> ExecutionError:
+    return ExecutionError(f"{source}:{number}: {message}")
+
+
+def _strip_comment(text: str) -> str:
+    """Drop a ``#`` comment that is outside quotes (needs a space before)."""
+    quote: Optional[str] = None
+    for i, ch in enumerate(text):
+        if quote is not None:
+            if ch == quote:
+                quote = None
+        elif ch in ("'", '"'):
+            quote = ch
+        elif ch == "#" and (i == 0 or text[i - 1] in (" ", "\t")):
+            return text[:i].rstrip()
+    return text.rstrip()
+
+
+def _tokenize(text: str, source: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[: len(raw) - len(raw.lstrip())]:
+            raise _yaml_error(source, number, "tabs are not allowed in indentation")
+        stripped = _strip_comment(raw)
+        if not stripped.strip():
+            continue
+        indent = len(stripped) - len(stripped.lstrip(" "))
+        lines.append(_Line(indent, stripped.strip(), number))
+    return lines
+
+
+def _parse_scalar(token: str, source: str, number: int) -> Any:
+    token = token.strip()
+    if token.startswith(("[", "{", "&", "*", "|", ">")):
+        raise _yaml_error(
+            source, number,
+            f"unsupported YAML syntax {token[0]!r} (flow collections, anchors "
+            "and block scalars are outside the strict subset)",
         )
-    for j, m in enumerate((2, 4)):
-        specs.append(
-            ExperimentSpec(
-                NetworkConfig(
-                    k=2, n_stages=3, p=0.5 / m, message_size=m,
-                    topology="random", width=32, seed=61 + j,
-                ),
-                n_cycles=n,
-                label=f"message-m{m}",
-            )
+    if token.startswith('"'):
+        try:
+            value = json.loads(token)
+        except json.JSONDecodeError as exc:
+            raise _yaml_error(source, number, f"bad double-quoted string: {exc}") from exc
+        if not isinstance(value, str):
+            raise _yaml_error(source, number, "bad double-quoted string")
+        return value
+    if token.startswith("'"):
+        if len(token) < 2 or not token.endswith("'"):
+            raise _yaml_error(source, number, "unterminated single-quoted string")
+        return token[1:-1].replace("''", "'")
+    if token in ("null", "~"):
+        return None
+    if token == "true":
+        return True
+    if token == "false":
+        return False
+    if _INT_RE.match(token):
+        return int(token)
+    if _FLOAT_RE.match(token):
+        return float(token)
+    return token
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line], source: str) -> None:
+        self.lines = lines
+        self.source = source
+        self.i = 0
+
+    def parse_value(self, indent: int) -> Any:
+        line = self.lines[self.i]
+        if line.content.startswith("- ") or line.content == "-":
+            return self.parse_list(indent)
+        if self._split_key(line) is not None:
+            return self.parse_mapping(indent)
+        # a lone scalar block (e.g. ``key:`` followed by one scalar line)
+        self.i += 1
+        return _parse_scalar(line.content, self.source, line.number)
+
+    def parse_mapping(self, indent: int) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        while self.i < len(self.lines):
+            line = self.lines[self.i]
+            if line.indent < indent:
+                break
+            if line.indent > indent:
+                raise _yaml_error(
+                    self.source, line.number,
+                    f"unexpected indent {line.indent} (expected {indent})",
+                )
+            if line.content.startswith("- ") or line.content == "-":
+                break
+            pair = self._split_key(line)
+            if pair is None:
+                raise _yaml_error(
+                    self.source, line.number,
+                    f"expected 'key: value', got {line.content!r}",
+                )
+            key, rest = pair
+            if key in out:
+                raise _yaml_error(self.source, line.number, f"duplicate key {key!r}")
+            self.i += 1
+            if rest:
+                out[key] = _parse_scalar(rest, self.source, line.number)
+            elif (
+                self.i < len(self.lines)
+                and self.lines[self.i].indent > indent
+            ):
+                out[key] = self.parse_value(self.lines[self.i].indent)
+            elif (
+                self.i < len(self.lines)
+                and self.lines[self.i].indent == indent
+                and self.lines[self.i].content.startswith("- ")
+            ):
+                # lists may sit at the same indent as their key
+                out[key] = self.parse_list(indent)
+            else:
+                out[key] = None
+        return out
+
+    def parse_list(self, indent: int) -> List[Any]:
+        out: List[Any] = []
+        while self.i < len(self.lines):
+            line = self.lines[self.i]
+            if line.indent != indent or not (
+                line.content.startswith("- ") or line.content == "-"
+            ):
+                if line.indent > indent:
+                    raise _yaml_error(
+                        self.source, line.number,
+                        f"unexpected indent {line.indent} in list (expected {indent})",
+                    )
+                break
+            rest = line.content[2:].strip() if line.content != "-" else ""
+            if not rest:
+                raise _yaml_error(
+                    self.source, line.number, "empty list items are not supported"
+                )
+            # an item is either a scalar or an inline-starting mapping;
+            # re-enter the parser with the item's first line re-indented
+            # past the dash so continuation lines line up naturally
+            self.lines[self.i] = _Line(indent + 2, rest, line.number)
+            out.append(self.parse_value(indent + 2))
+        return out
+
+    def _split_key(self, line: _Line) -> Optional[Tuple[str, str]]:
+        """``key: rest`` / ``key:`` -> (key, rest); None if not a pair."""
+        content = line.content
+        if content.startswith(("'", '"')):
+            return None
+        head, sep, rest = content.partition(":")
+        if not sep:
+            return None
+        if rest and not rest.startswith(" "):
+            return None  # e.g. a bare "http://..." scalar
+        key = head.strip()
+        if not _KEY_RE.match(key):
+            return None
+        return key, rest.strip()
+
+
+def parse_strict_yaml(text: str, *, source: str = "<yaml>") -> Any:
+    """Parse the strict YAML subset described in the module docstring.
+
+    Raises :class:`~repro.errors.ExecutionError` with ``source:line``
+    context for anything outside the subset.
+    """
+    lines = _tokenize(text, source)
+    if not lines:
+        raise _yaml_error(source, 1, "empty document")
+    parser = _Parser(lines, source)
+    value = parser.parse_value(lines[0].indent)
+    if parser.i < len(lines):
+        stray = lines[parser.i]
+        raise _yaml_error(
+            source, stray.number,
+            f"trailing content {stray.content!r} outside the document "
+            f"(indent {stray.indent})",
         )
-    specs.append(
-        ExperimentSpec(
-            NetworkConfig(k=4, n_stages=2, p=0.5, topology="random", width=64, seed=71),
-            n_cycles=n,
-            label="switch-k4",
-        )
-    )
-    specs.append(
-        ExperimentSpec(
-            NetworkConfig(k=2, n_stages=3, p=0.5, q=0.25, seed=81),
-            n_cycles=n,
-            label="favourite-q0.25",
-        )
-    )
-    return specs
+    return value
 
 
-SCENARIO_SETS = {"smoke": smoke_specs}
+# ----------------------------------------------------------------------
+# scenario sets
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ScenarioSet:
+    """One named, versioned scenario set loaded from the library."""
+
+    name: str
+    version: int
+    description: str
+    path: Optional[Path]
+    specs: Tuple[ExperimentSpec, ...]
+
+    def to_jsonable(self) -> Dict[str, Any]:
+        """Catalogue document (served by ``GET /v1/scenarios``)."""
+        return {
+            "name": self.name,
+            "version": self.version,
+            "description": self.description,
+            "n_scenarios": len(self.specs),
+            "scenarios": [
+                {
+                    "label": spec.label,
+                    "digest": spec.digest,
+                    "n_cycles": spec.n_cycles,
+                }
+                for spec in self.specs
+            ],
+        }
 
 
-def scenario_specs(name: str, n_cycles: Optional[int] = None) -> List[ExperimentSpec]:
-    """Specs of one named set."""
-    try:
-        factory = SCENARIO_SETS[name]
-    except KeyError:
+def scenario_dir() -> Path:
+    """The library directory: ``$REPRO_SCENARIOS_DIR`` or ``scenarios/``.
+
+    The default resolves relative to the repository root (three levels
+    above this file in the ``src`` layout), so any working directory --
+    and any ``pip install -e`` checkout -- finds the same library.
+    """
+    env = os.environ.get(SCENARIO_DIR_ENV)
+    if env:
+        return Path(env)
+    repo_root = Path(__file__).resolve().parents[3]
+    packaged = repo_root / "scenarios"
+    if packaged.is_dir():
+        return packaged
+    return Path("scenarios")
+
+
+def list_scenario_files(directory: Union[str, Path, None] = None) -> Dict[str, Path]:
+    """Map set name -> YAML path for every file in the library."""
+    base = Path(directory) if directory is not None else scenario_dir()
+    if not base.is_dir():
+        return {}
+    out: Dict[str, Path] = {}
+    for path in sorted(base.glob("*.yaml")) + sorted(base.glob("*.yml")):
+        out.setdefault(path.stem, path)
+    return out
+
+
+def available_scenario_sets(directory: Union[str, Path, None] = None) -> List[str]:
+    """Sorted names of every set the library currently provides."""
+    return sorted(list_scenario_files(directory))
+
+
+def _require(doc: Dict[str, Any], key: str, kind: type, source: str) -> Any:
+    if key not in doc:
+        raise ExecutionError(f"{source}: missing required key {key!r}")
+    value = doc[key]
+    if kind is int and isinstance(value, bool):
+        raise ExecutionError(f"{source}: key {key!r} must be an int, got {value!r}")
+    if not isinstance(value, kind):
         raise ExecutionError(
-            f"unknown scenario set {name!r}; pick from {sorted(SCENARIO_SETS)} "
-            "or pass a JSON spec file path"
+            f"{source}: key {key!r} must be {kind.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def _scenario_entry_to_spec(
+    entry: Any,
+    defaults: Dict[str, Any],
+    n_cycles: Optional[int],
+    source: str,
+    position: int,
+) -> Tuple[ExperimentSpec, Optional[str]]:
+    where = f"{source}: scenario #{position}"
+    if not isinstance(entry, dict):
+        raise ExecutionError(f"{where} must be a mapping, got {type(entry).__name__}")
+    unknown = set(entry) - _ENTRY_KEYS
+    if unknown:
+        raise ExecutionError(f"{where}: unknown keys {sorted(unknown)}")
+    label = _require(entry, "label", str, where)
+    if not label:
+        raise ExecutionError(f"{where}: label must be non-empty")
+    config = _require(entry, "config", dict, where)
+    cycles = entry.get("n_cycles", defaults.get("n_cycles"))
+    if n_cycles is not None:
+        cycles = n_cycles
+    warmup = entry.get("warmup", defaults.get("warmup"))
+    if cycles is None:
+        raise ExecutionError(
+            f"{where}: no n_cycles (set it on the entry, in defaults, or "
+            "pass --cycles)"
+        )
+    if isinstance(cycles, bool) or not isinstance(cycles, int):
+        raise ExecutionError(f"{where}: n_cycles must be an int, got {cycles!r}")
+    if warmup is not None and (isinstance(warmup, bool) or not isinstance(warmup, int)):
+        raise ExecutionError(f"{where}: warmup must be an int, got {warmup!r}")
+    spec = spec_from_jsonable(
+        {
+            "config": config,
+            "n_cycles": cycles,
+            "warmup": warmup,
+            "label": label,
+        }
+    )
+    pin = entry.get("digest")
+    if pin is not None and not isinstance(pin, str):
+        raise ExecutionError(f"{where}: digest pin must be a string")
+    return spec, pin
+
+
+def load_scenario_file(
+    path: Union[str, Path], n_cycles: Optional[int] = None
+) -> ScenarioSet:
+    """Load and validate one scenario file.
+
+    ``n_cycles`` overrides every entry's cycle budget (digest pins are
+    skipped in that case -- an override legitimately changes digests).
+    """
+    path = Path(path)
+    source = str(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise ExecutionError(f"cannot read scenario file {path}: {exc}") from exc
+    doc = parse_strict_yaml(text, source=source)
+    if not isinstance(doc, dict):
+        raise ExecutionError(f"{source}: top level must be a mapping")
+    unknown = set(doc) - _SET_KEYS
+    if unknown:
+        raise ExecutionError(f"{source}: unknown top-level keys {sorted(unknown)}")
+    version = _require(doc, "version", int, source)
+    if version != SCENARIO_SCHEMA_VERSION:
+        raise ExecutionError(
+            f"{source}: scenario schema version {version} is not supported "
+            f"(this package understands version {SCENARIO_SCHEMA_VERSION})"
+        )
+    name = _require(doc, "name", str, source)
+    if name != path.stem:
+        raise ExecutionError(
+            f"{source}: set name {name!r} must match the file name {path.stem!r}"
+        )
+    description = doc.get("description") or ""
+    if not isinstance(description, str):
+        raise ExecutionError(f"{source}: description must be a string")
+    defaults = doc.get("defaults") or {}
+    if not isinstance(defaults, dict):
+        raise ExecutionError(f"{source}: defaults must be a mapping")
+    unknown = set(defaults) - _DEFAULT_KEYS
+    if unknown:
+        raise ExecutionError(f"{source}: unknown defaults keys {sorted(unknown)}")
+    entries = _require(doc, "scenarios", list, source)
+    if not entries:
+        raise ExecutionError(f"{source}: scenarios list must be non-empty")
+
+    specs: List[ExperimentSpec] = []
+    seen: Dict[str, int] = {}
+    for position, entry in enumerate(entries, start=1):
+        spec, pin = _scenario_entry_to_spec(entry, defaults, n_cycles, source, position)
+        if spec.label in seen:
+            raise ExecutionError(
+                f"{source}: duplicate label {spec.label!r} "
+                f"(scenarios #{seen[spec.label]} and #{position})"
+            )
+        seen[spec.label] = position
+        if pin is not None and n_cycles is None and spec.digest != pin:
+            raise ExecutionError(
+                f"{source}: scenario {spec.label!r} digest {spec.digest[:12]}... "
+                f"does not match its pin {pin[:12]}... -- the file content "
+                "drifted from its pinned identity (recompute the pin if the "
+                "change is intentional)"
+            )
+        specs.append(spec)
+    return ScenarioSet(
+        name=name,
+        version=version,
+        description=description,
+        path=path,
+        specs=tuple(specs),
+    )
+
+
+def scenario_specs(
+    name: str, n_cycles: Optional[int] = None
+) -> List[ExperimentSpec]:
+    """Specs of one named library set."""
+    files = list_scenario_files()
+    try:
+        path = files[name]
+    except KeyError:
+        known = ", ".join(available_scenario_sets()) or "<empty library>"
+        raise ExecutionError(
+            f"unknown scenario set {name!r}; pick from [{known}] "
+            f"(library: {scenario_dir()}) or pass a spec-file path"
         ) from None
-    return factory(n_cycles)
+    return list(load_scenario_file(path, n_cycles=n_cycles).specs)
 
 
-def load_scenarios(source: str, n_cycles: Optional[int] = None) -> List[ExperimentSpec]:
-    """Resolve a named set or a ``.json`` spec-file path.
+def load_scenarios(
+    source: str, n_cycles: Optional[int] = None
+) -> List[ExperimentSpec]:
+    """Resolve a named set or a spec-file path (``.json``/``.yaml``).
 
-    ``n_cycles`` overrides the cycle budget of named sets; spec files
-    carry their own budgets and are not overridden.
+    ``n_cycles`` overrides the cycle budget of named sets and YAML
+    files; JSON spec files carry their own budgets and are not
+    overridden.
     """
     if source.endswith(".json"):
         return specs_from_file(source)
+    if source.endswith((".yaml", ".yml")):
+        return list(load_scenario_file(source, n_cycles=n_cycles).specs)
     return scenario_specs(source, n_cycles)

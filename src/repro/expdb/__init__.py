@@ -56,9 +56,11 @@ from repro.expdb.ingest import (
     ingest_batch,
     ingest_bench_file,
     ingest_manifest,
+    ingest_outcome,
     ingest_session_dir,
     provenance,
     run_record_from_outcome,
+    spec_record_fields,
 )
 from repro.expdb.report import (
     PERF_SPEEDUP_FLOORS,
@@ -90,9 +92,11 @@ __all__ = [
     "ingest_batch",
     "ingest_bench_file",
     "ingest_manifest",
+    "ingest_outcome",
     "ingest_session_dir",
     "provenance",
     "run_record_from_outcome",
+    "spec_record_fields",
     "PERF_SPEEDUP_FLOORS",
     "perf_regressions",
     "render_expectations_markdown",

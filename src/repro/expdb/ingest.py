@@ -46,7 +46,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
 __all__ = [
     "provenance",
     "engine_kind",
+    "spec_record_fields",
     "run_record_from_outcome",
+    "ingest_outcome",
     "ingest_batch",
     "ingest_manifest",
     "ingest_session_dir",
@@ -119,6 +121,31 @@ def _scenario_fields(config_doc: Mapping[str, Any]) -> Dict[str, Any]:
     return out
 
 
+def spec_record_fields(spec: "ExperimentSpec") -> Dict[str, Any]:
+    """The spec -> row conversion every ingestion surface shares.
+
+    Digest-keyed identity columns (digest, seed, budget, canonical
+    config JSON, engine variant, denormalised scenario selectors) for
+    one :class:`~repro.exec.spec.ExperimentSpec`.  Used by the batch
+    path (:func:`run_record_from_outcome`, hence ``run_many(db=...)``
+    and the :mod:`repro.api` service) and the manifest path
+    (:func:`ingest_manifest`, hence ``db ingest --manifests``), so a
+    run reaches identical identity columns no matter which surface
+    recorded it.
+    """
+    config_doc = spec.identity()["config"]
+    fields: Dict[str, Any] = {
+        "digest": spec.digest,
+        "engine": engine_kind(spec),
+        "seed": spec.config.seed,
+        "n_cycles": int(spec.n_cycles),
+        "warmup": spec.warmup,
+        "config_json": canonical_json(config_doc),
+    }
+    fields.update(_scenario_fields(config_doc))
+    return fields
+
+
 def run_record_from_outcome(
     outcome: "TaskOutcome",
     *,
@@ -127,7 +154,6 @@ def run_record_from_outcome(
 ) -> RunRecord:
     """Build the ledger row for one :class:`TaskOutcome`."""
     spec = outcome.spec
-    config_doc = spec.identity()["config"]
     result = outcome.result
     stage_means = stage_variances = stage_counts = None
     injected = completed = dropped = None
@@ -150,15 +176,9 @@ def run_record_from_outcome(
             total_mean = total_variance = None
     prov = provenance()
     return RunRecord(
-        digest=spec.digest,
         label=spec.label,
         status=outcome.status,
-        engine=engine_kind(spec),
         source=source,
-        seed=spec.config.seed,
-        n_cycles=int(spec.n_cycles),
-        warmup=spec.warmup,
-        config_json=canonical_json(config_doc),
         stage_means=stage_means,
         stage_variances=stage_variances,
         stage_counts=stage_counts,
@@ -172,12 +192,32 @@ def run_record_from_outcome(
         elapsed_seconds=float(outcome.elapsed_seconds),
         error=(outcome.error.strip().splitlines()[-1] if outcome.error else None),
         created_unix=created_unix,
-        **_scenario_fields(config_doc),
+        **spec_record_fields(spec),
         repro_version=prov["repro_version"],
         git_revision=prov["git_revision"],
         platform=prov["platform"],
         numpy_version=prov["numpy_version"],
     )
+
+
+def ingest_outcome(
+    db: ExperimentDB,
+    outcome: "TaskOutcome",
+    *,
+    created_unix: Optional[float] = None,
+    source: str = "exec",
+) -> str:
+    """Record one task outcome; returns its spec digest.
+
+    The per-outcome surface shared by :func:`ingest_batch` and the
+    simulation service (``python -m repro serve --db``, which records
+    each job as it finishes with ``source="api"``).
+    """
+    record = run_record_from_outcome(
+        outcome, created_unix=created_unix, source=source
+    )
+    db.record_run(record)
+    return record.digest
 
 
 def ingest_batch(
@@ -189,11 +229,7 @@ def ingest_batch(
 ) -> int:
     """Record every outcome of one batch; returns the row count."""
     for outcome in batch.outcomes:
-        db.record_run(
-            run_record_from_outcome(
-                outcome, created_unix=created_unix, source=source
-            )
-        )
+        ingest_outcome(db, outcome, created_unix=created_unix, source=source)
     return len(batch.outcomes)
 
 
@@ -227,7 +263,6 @@ def ingest_manifest(
         )
     except (ExecutionError, KeyError) as exc:
         raise ExperimentDBError(f"cannot rebuild spec from manifest: {exc}") from exc
-    config_doc = spec.identity()["config"]
     counts = manifest.get("counts", {})
 
     def _array(name: str) -> Optional[str]:
@@ -237,15 +272,9 @@ def ingest_manifest(
         return json.dumps([_clean(v) for v in value])
 
     record = RunRecord(
-        digest=spec.digest,
         label=str(manifest.get("run_id", "")),
         status="completed",
-        engine="serial",
         source=source,
-        seed=spec.config.seed,
-        n_cycles=int(manifest["n_cycles"]),
-        warmup=int(manifest["warmup"]),
-        config_json=canonical_json(config_doc),
         stage_means=_array("stage_means"),
         stage_variances=_array("stage_variances"),
         stage_counts=(
@@ -262,7 +291,7 @@ def ingest_manifest(
             canonical_json(manifest["timings"]) if manifest.get("timings") else None
         ),
         created_unix=_clean(manifest.get("created_unix")),
-        **_scenario_fields(config_doc),
+        **spec_record_fields(spec),
         repro_version=manifest.get("repro_version"),
         git_revision=manifest.get("git_revision"),
         platform=manifest.get("platform"),

@@ -1,0 +1,245 @@
+"""End-to-end HTTP service tests: concurrency, SSE, routes, errors.
+
+The acceptance scenario of the service PR lives here: a server on an
+ephemeral port receives the same spec from 8 concurrent threads and
+must run the engine exactly once while every client gets the same
+digest-keyed result.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import ApiClient, JobManager, make_server, start_in_thread
+from repro.api.client import parse_sse
+from repro.api.openapi import openapi_document
+from repro.errors import ApiError
+from repro.exec.cache import ResultCache
+from repro.exec.runner import execute_spec
+from repro.exec.spec import ExperimentSpec
+from repro.simulation.network import NetworkConfig
+
+
+def make_spec_doc(p=0.5, seed=21, n_cycles=600, label="e2e"):
+    spec = ExperimentSpec(
+        config=NetworkConfig(
+            k=2, n_stages=2, p=p, topology="random", width=16, seed=seed
+        ),
+        n_cycles=n_cycles,
+        label=label,
+    )
+    return spec, {"spec": spec.to_jsonable()}
+
+
+@pytest.fixture
+def service(tmp_path):
+    """A live server on an ephemeral port, with an execution counter."""
+    counted = []
+
+    def counting_task(spec):
+        counted.append(spec.digest)
+        return execute_spec(spec)
+
+    manager = JobManager(
+        executors=4, cache=ResultCache(tmp_path / "cache"), task_fn=counting_task
+    )
+    server = make_server(port=0, manager=manager, quiet=True)
+    start_in_thread(server)
+    client = ApiClient(f"http://127.0.0.1:{server.port}", timeout=60.0)
+    try:
+        yield client, manager, counted
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+class TestConcurrentDedup:
+    def test_eight_concurrent_identical_submissions_run_once(self, service):
+        client, manager, counted = service
+        _, payload = make_spec_doc()
+        responses = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def submit(i):
+            barrier.wait()
+            responses[i] = client.submit(payload)
+
+        threads = [threading.Thread(target=submit, args=(i,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+
+        assert all(r is not None for r in responses)
+        digests = {r["runs"][0]["digest"] for r in responses}
+        assert len(digests) == 1
+        digest = digests.pop()
+        # exactly one submission scheduled work; the other seven deduped
+        assert sum(1 for r in responses if not r["runs"][0]["cached"]) == 1
+
+        finals = [client.wait(digest, timeout=60) for _ in range(8)]
+        assert all(doc["status"] == "done" for doc in finals)
+        assert all(doc["digest"] == digest for doc in finals)
+        assert {json.dumps(doc["result"], sort_keys=True) for doc in finals}
+        assert len({json.dumps(doc["result"], sort_keys=True) for doc in finals}) == 1
+        # the engine ran exactly once for all eight clients
+        assert counted.count(digest) == 1
+        assert manager.executions == 1
+
+
+class TestSse:
+    def test_event_stream_is_well_formed(self, service):
+        client, _, _ = service
+        _, payload = make_spec_doc(seed=22, label="sse")
+        digest = client.submit(payload)["runs"][0]["digest"]
+        client.wait(digest, timeout=60)
+        events = client.events(digest)
+        names = [e["event"] for e in events]
+        assert names == ["queued", "running", "completed", "done"]
+        for event in events:
+            assert isinstance(event["data"], dict)
+            assert event["data"]["event"] == event["event"]
+            assert event["data"]["digest"] == digest[:12]
+        assert events[-1]["data"]["status"] == "completed"
+
+    def test_sse_replays_for_finished_jobs(self, service):
+        client, _, _ = service
+        _, payload = make_spec_doc(seed=23)
+        digest = client.submit(payload)["runs"][0]["digest"]
+        client.wait(digest, timeout=60)
+        first = client.events(digest)
+        second = client.events(digest)
+        assert [e["event"] for e in first] == [e["event"] for e in second]
+
+    def test_parse_sse_skips_keepalives(self):
+        raw = (
+            ": keepalive\n\n"
+            "event: queued\ndata: {\"event\": \"queued\"}\n\n"
+            ": keepalive\n\n"
+            "event: done\ndata: {\"event\": \"done\"}\n\n"
+        )
+        events = list(parse_sse(iter(raw.splitlines(keepends=True))))
+        assert [e["event"] for e in events] == ["queued", "done"]
+
+
+class TestRoutes:
+    def test_healthz_and_stats(self, service):
+        client, _, _ = service
+        assert client.healthz()["status"] == "ok"
+        stats = client.stats()
+        assert "jobs" in stats and "executions" in stats
+
+    def test_scenarios_catalogue(self, service):
+        client, _, _ = service
+        doc = client.scenarios()
+        names = [s["name"] for s in doc["sets"]]
+        assert "smoke" in names
+        smoke = next(s for s in doc["sets"] if s["name"] == "smoke")
+        assert smoke["n_scenarios"] == len(smoke["scenarios"])
+        assert all(len(s["digest"]) == 64 for s in smoke["scenarios"])
+
+    def test_openapi_served_and_covers_every_route(self, service):
+        client, _, _ = service
+        doc = client.openapi()
+        assert doc == openapi_document()
+        assert doc["openapi"].startswith("3.0")
+        assert set(doc["paths"]) == {
+            "/v1/healthz",
+            "/v1/stats",
+            "/v1/scenarios",
+            "/v1/openapi.json",
+            "/v1/runs",
+            "/v1/runs/{digest}",
+            "/v1/runs/{digest}/events",
+        }
+
+    def test_scenario_submission_by_name(self, service):
+        client, _, _ = service
+        doc = client.submit(
+            {"scenario": "smoke", "label": "load-p0.2", "n_cycles": 1200}
+        )
+        assert doc["count"] == 1
+        final = client.wait(doc["runs"][0]["digest"], timeout=60)
+        assert final["status"] == "done"
+
+
+class TestErrors:
+    def test_unknown_run_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ApiError, match="HTTP 404"):
+            client.run("0" * 64)
+        with pytest.raises(ApiError, match="HTTP 404"):
+            client.events("0" * 64)
+
+    def test_unknown_scenario_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ApiError, match="HTTP 404"):
+            client.submit({"scenario": "no-such-set"})
+        with pytest.raises(ApiError, match="HTTP 404"):
+            client.submit({"scenario": "smoke", "label": "no-such-label"})
+
+    def test_malformed_submissions_are_400(self, service):
+        client, _, _ = service
+        for payload in (
+            {},
+            {"spec": {"config": {}}, "scenario": "smoke"},
+            {"spec": "not a dict"},
+            {"scenario": "smoke", "n_cycles": -5},
+            {"spec": {"no_config": True}},
+        ):
+            with pytest.raises(ApiError, match="HTTP 400"):
+                client.submit(payload)
+
+    def test_invalid_json_body_is_400(self, service):
+        client, _, _ = service
+        request = urllib.request.Request(
+            f"{client.base_url}/v1/runs",
+            data=b"{nope",
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(request, timeout=10)
+        assert err.value.code == 400
+
+    def test_unknown_route_is_404(self, service):
+        client, _, _ = service
+        with pytest.raises(ApiError, match="HTTP 404"):
+            client._request("GET", "/v1/definitely-not-a-route")
+
+    def test_queue_overflow_is_429(self, tmp_path):
+        gate = threading.Event()
+
+        def slow(spec):
+            gate.wait(10.0)
+            return execute_spec(spec)
+
+        manager = JobManager(
+            executors=1,
+            max_queue=1,
+            cache=ResultCache(tmp_path / "cache"),
+            task_fn=slow,
+        )
+        server = make_server(port=0, manager=manager, quiet=True)
+        start_in_thread(server)
+        client = ApiClient(f"http://127.0.0.1:{server.port}", timeout=30.0)
+        try:
+            docs = [make_spec_doc(seed=200 + i)[1] for i in range(3)]
+            client.submit(docs[0])
+            # wait until the executor has picked job 0 up, freeing the queue
+            deadline_stats = [None]
+            for _ in range(500):
+                deadline_stats[0] = client.stats()
+                if deadline_stats[0]["queue_depth"] == 0:
+                    break
+                threading.Event().wait(0.01)
+            client.submit(docs[1])
+            with pytest.raises(ApiError, match="HTTP 429"):
+                client.submit(docs[2])
+        finally:
+            gate.set()
+            server.shutdown()
+            server.server_close()

@@ -261,8 +261,30 @@ class TestObservability:
         def bad_sink(event):
             raise RuntimeError("sink is broken")
 
-        batch = run_many(make_specs(n=2), workers=1, progress=bad_sink)
+        with pytest.warns(RuntimeWarning, match="progress callback failed"):
+            batch = run_many(make_specs(n=2), workers=1, progress=bad_sink)
         assert batch.n_simulated == 2
+
+    def test_broken_progress_sink_warns_per_event_and_results_survive(self):
+        """Fault injection: a sink that dies on every event must leave the
+        batch identical to a sink-free run, with one warning per outcome."""
+        calls = []
+
+        def bad_sink(event):
+            calls.append(event["event"])
+            raise ValueError(f"sink rejects {event['event']}")
+
+        specs = make_specs(n=3)
+        with pytest.warns(RuntimeWarning, match="batch continues") as caught:
+            batch = run_many(specs, workers=1, progress=bad_sink)
+        clean = run_many(specs, workers=1)
+        assert calls == ["completed"] * 3
+        assert len(caught) == 3
+        assert batch.n_simulated == 3 and batch.n_failed == 0
+        for noisy, quiet in zip(batch.outcomes, clean.outcomes, strict=True):
+            assert noisy.status == quiet.status == "completed"
+            assert noisy.result is not None and quiet.result is not None
+            assert noisy.result.stage_means == pytest.approx(quiet.result.stage_means)
 
     def test_exec_batch_manifest(self, tmp_path):
         specs = make_specs(n=3)
