@@ -142,6 +142,7 @@ class JobManager:
         workers: int = 1,
         retries: int = 1,
         timeout: Optional[float] = None,
+        backend: str = "auto",
         max_queue: int = 64,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
@@ -158,6 +159,9 @@ class JobManager:
         self._workers = workers
         self._retries = retries
         self._timeout = timeout
+        #: compute backend forwarded to each job's run_many call (an
+        #: execution detail: digests and cached payloads never see it)
+        self._backend = backend
         self._max_queue = max_queue
         # SQLite connections are thread-bound, so the manager keeps the
         # ledger *path* and opens one handle per thread that ingests.
@@ -273,6 +277,7 @@ class JobManager:
                 "max_queue": self._max_queue,
                 "executors": len(self._threads),
                 "workers": self._workers,
+                "backend": self._backend,
                 "uptime_seconds": time.time() - self._started_unix,
                 "ledger": self._db_path is not None,
             }
@@ -363,6 +368,7 @@ class JobManager:
                     timeout=self._timeout,
                     progress=progress,
                     task_fn=self._task_fn,
+                    backend=self._backend,
                 )
                 outcome = batch.outcomes[0]
         except Exception as exc:

@@ -82,6 +82,15 @@ def build_parser() -> argparse.ArgumentParser:
         "fusing replications and whole sweeps into single runs; composes "
         "with --workers (metrics are off for stacked runs)",
     )
+    common.add_argument(
+        "--backend",
+        choices=["numpy", "numba", "auto"],
+        default="auto",
+        help="compute backend for stacked runs: 'numpy' (reference), "
+        "'numba' (JIT cycle loop; requires numba), or 'auto' (default: "
+        "JIT when usable, reference otherwise) -- results are "
+        "bit-identical either way (see docs/backends.md)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -294,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="extra attempts per failed job (default 1)",
     )
     serve.add_argument(
+        "--backend",
+        choices=["numpy", "numba", "auto"],
+        default="auto",
+        help="compute backend for vectorized jobs (default auto)",
+    )
+    serve.add_argument(
         "--timeout", type=float, default=None,
         help="per-task seconds before a dispatched job counts as failed",
     )
@@ -484,6 +499,7 @@ def _run_batch(args) -> int:
         timeout=args.timeout,
         progress=progress,
         vectorize=getattr(args, "vectorize_replicas", False),
+        backend=getattr(args, "backend", "auto"),
         db=db,
     )
     lines = [
@@ -716,6 +732,7 @@ def _run_serve(args) -> int:
         workers=args.workers,
         retries=args.retries,
         timeout=args.timeout,
+        backend=args.backend,
         max_queue=args.max_queue,
         cache=None if args.no_cache else ResultCache(args.cache or DEFAULT_CACHE_DIR),
         use_cache=not args.no_cache,
@@ -895,6 +912,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             workers=args.workers or 1,
             cache=ResultCache(cache_dir) if cache_dir else None,
             vectorize=getattr(args, "vectorize_replicas", False),
+            backend=getattr(args, "backend", "auto"),
         )
         with use_execution(context):
             return _dispatch(args)

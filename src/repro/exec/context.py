@@ -44,6 +44,10 @@ class ExecutionContext:
     #: stack same-shape specs onto the replica-batched engine
     #: (:mod:`repro.simulation.batched`); composes with ``workers``
     vectorize: bool = False
+    #: compute backend for vectorized groups (``"numpy"``/``"numba"``/
+    #: ``"auto"``); an execution detail -- results and cache keys are
+    #: backend-independent (see :mod:`repro.simulation.backends`)
+    backend: str = "auto"
 
 
 _DEFAULT = ExecutionContext()
@@ -85,6 +89,7 @@ def run_batch(specs: Sequence[ExperimentSpec], **overrides) -> BatchResult:
         "retries": ctx.retries,
         "timeout": ctx.timeout,
         "vectorize": ctx.vectorize,
+        "backend": ctx.backend,
     }
     kwargs.update(overrides)
     return run_many(specs, **kwargs)

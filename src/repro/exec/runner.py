@@ -93,23 +93,28 @@ def _run_chunk(specs: List[ExperimentSpec], task_fn) -> List[tuple]:
     return out
 
 
-def _run_batched_group(specs: List[ExperimentSpec]) -> List[tuple]:
+def _run_batched_group(specs: List[ExperimentSpec], backend: str = "auto") -> List[tuple]:
     """Worker-side batched executor: one stacked run, one payload per spec.
 
     The specs must share everything that fixes the engine's array
     shapes (guaranteed by :func:`~repro.exec.spec.group_for_vectorize`);
     stackable parameters -- seed, load, bulk, bias, service model -- may
     differ per spec and ride the scenario axis of
-    :func:`~repro.simulation.batched.run_stacked`.  Failure is atomic --
-    a stacked run cannot partially succeed -- so an exception reports
-    every spec of the group as one failed attempt.
+    :func:`~repro.simulation.batched.run_stacked`.  ``backend`` selects
+    the compute backend of the stacked cycle loop (an execution detail:
+    results and cache keys are backend-independent).  Failure is
+    atomic -- a stacked run cannot partially succeed -- so an exception
+    reports every spec of the group as one failed attempt.
     """
     started = perf_counter()
     try:
         from repro.simulation.batched import run_stacked
 
         results = run_stacked(
-            [s.config for s in specs], specs[0].n_cycles, warmup=specs[0].warmup
+            [s.config for s in specs],
+            specs[0].n_cycles,
+            warmup=specs[0].warmup,
+            backend=backend,
         )
         elapsed = perf_counter() - started
         out = []
@@ -122,15 +127,18 @@ def _run_batched_group(specs: List[ExperimentSpec]) -> List[tuple]:
         return [("err", traceback.format_exc(limit=20))] * len(specs)
 
 
-def _execute_job(specs: List[ExperimentSpec], batched: bool) -> List[tuple]:
+def _execute_job(
+    specs: List[ExperimentSpec], batched: bool, backend: str = "auto"
+) -> List[tuple]:
     """One vectorized-path job: a stacked group or a serial fallback."""
     if batched:
-        return _run_batched_group(specs)
+        return _run_batched_group(specs, backend)
     return _run_chunk(specs, None)
 
 
 def _run_vectorized(
-    specs, pending, groups, outcomes, *, workers, retries, timeout, cache, progress
+    specs, pending, groups, outcomes, *,
+    workers, retries, timeout, cache, progress, backend="auto",
 ) -> None:
     """Execute a grouped batch: stacked runs for marked groups.
 
@@ -188,7 +196,7 @@ def _run_vectorized(
             attempt = 1
             while job is not None:
                 indices, need, batched = job
-                job_out = _execute_job([specs[i] for i in indices], batched)
+                job_out = _execute_job([specs[i] for i in indices], batched, backend)
                 errors = finish(job, attempt, job_out)
                 job = None
                 if errors:
@@ -206,7 +214,9 @@ def _run_vectorized(
 
         def submit(job, attempt: int) -> None:
             indices, _, batched = job
-            fut = pool.submit(_execute_job, [specs[i] for i in indices], batched)
+            fut = pool.submit(
+                _execute_job, [specs[i] for i in indices], batched, backend
+            )
             futures[fut] = (job, attempt, perf_counter())
 
         for job in jobs:
@@ -529,6 +539,7 @@ def run_many(
     progress: Optional[Callable[[dict], None]] = None,
     task_fn: Optional[Callable[[ExperimentSpec], NetworkResult]] = None,
     vectorize: bool = False,
+    backend: str = "auto",
     db: Optional["ExperimentDB"] = None,
 ) -> BatchResult:
     """Execute a batch of specs; see the module docstring for the contract.
@@ -570,6 +581,13 @@ def run_many(
         same-shape partner, or with finite buffers, silently fall back
         to the serial engine, so ``vectorize=True`` is always safe.
         Incompatible with ``task_fn`` and ``chunksize``.
+    backend:
+        Compute backend for vectorized groups -- ``"numpy"``,
+        ``"numba"``, or ``"auto"`` (default; JIT when numba is usable,
+        reference otherwise).  Purely an execution detail: results,
+        digests, and cache keys are backend-independent (the JIT loop is
+        bit-identical to the reference), and serial paths always use the
+        reference implementation.  See :mod:`repro.simulation.backends`.
     db:
         Optional :class:`~repro.expdb.db.ExperimentDB`; every outcome
         (completed, cached, and failed) is recorded in the ledger after
@@ -586,6 +604,10 @@ def run_many(
         raise ExecutionError("vectorize=True cannot run a custom task_fn")
     if vectorize and chunksize is not None:
         raise ExecutionError("vectorize=True groups specs itself; drop chunksize")
+    if backend not in ("numpy", "numba", "auto"):
+        raise ExecutionError(
+            f"backend must be one of 'numpy', 'numba', 'auto'; got {backend!r}"
+        )
     started = perf_counter()
     specs = resolve_seeds(specs, base_seed=base_seed)
     groups = None
@@ -612,7 +634,7 @@ def run_many(
             _run_vectorized(
                 specs, pending, groups, outcomes,
                 workers=workers, retries=retries, timeout=timeout,
-                cache=cache, progress=progress,
+                cache=cache, progress=progress, backend=backend,
             )
         elif workers == 1 or len(pending) == 1:
             _run_serial(specs, pending, outcomes, retries, task_fn, cache, progress)

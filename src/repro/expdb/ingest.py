@@ -71,8 +71,8 @@ _SCENARIO_COLUMNS = (
 #: Key names (in priority order) holding the baseline / measured wall
 #: times inside a BENCH artifact.  Covers the three shipped formats and
 #: degrades gracefully for future ones (any other ``*_seconds`` pair).
-_BASELINE_KEYS = ("serial_seconds", "per_load_batched_seconds")
-_MEASURED_KEYS = ("batched_seconds", "stacked_seconds", "parallel_seconds")
+_BASELINE_KEYS = ("serial_seconds", "per_load_batched_seconds", "numpy_seconds")
+_MEASURED_KEYS = ("batched_seconds", "stacked_seconds", "parallel_seconds", "numba_seconds")
 
 
 def provenance() -> Dict[str, Optional[str]]:

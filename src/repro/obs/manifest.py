@@ -33,6 +33,7 @@ __all__ = [
     "METRICS_SCHEMA_VERSION",
     "MANIFEST_REQUIRED_FIELDS",
     "MANIFEST_V2_FIELDS",
+    "MANIFEST_V3_FIELDS",
     "git_revision",
     "config_to_jsonable",
     "build_manifest",
@@ -44,9 +45,11 @@ __all__ = [
 
 #: v2 added the environment-provenance block (``platform``,
 #: ``python_version``, ``numpy_version``) so a ledger row can answer
-#: "which interpreter/BLAS produced this number".  v1 documents are
-#: still accepted by :func:`validate_manifest`.
-MANIFEST_SCHEMA_VERSION = 2
+#: "which interpreter/BLAS produced this number".  v3 added ``backend``
+#: (which :mod:`compute backend <repro.simulation.backends>` executed
+#: the cycle loop) -- provenance only; results are backend-identical.
+#: Older documents are still accepted by :func:`validate_manifest`.
+MANIFEST_SCHEMA_VERSION = 3
 METRICS_SCHEMA_VERSION = 1
 
 #: Fields introduced at manifest schema v2 (absent from v1 documents).
@@ -55,6 +58,9 @@ MANIFEST_V2_FIELDS = (
     "python_version",
     "numpy_version",
 )
+
+#: Fields introduced at manifest schema v3 (absent from v1/v2 documents).
+MANIFEST_V3_FIELDS = ("backend",)
 
 #: Top-level keys every manifest must carry (asserted by tests).
 MANIFEST_REQUIRED_FIELDS = (
@@ -67,6 +73,7 @@ MANIFEST_REQUIRED_FIELDS = (
     "platform",
     "python_version",
     "numpy_version",
+    "backend",
     "config",
     "n_cycles",
     "warmup",
@@ -166,6 +173,7 @@ def build_manifest(
         "platform": platform_mod.platform(),
         "python_version": platform_mod.python_version(),
         "numpy_version": _numpy_version(),
+        "backend": getattr(result, "backend", "numpy"),
         "config": config_to_jsonable(result.config),
         "n_cycles": int(result.n_cycles),
         "warmup": int(result.warmup),
@@ -245,7 +253,8 @@ def validate_manifest(manifest: dict) -> None:
 
     Backward-compatible: v1 documents (written before the environment-
     provenance block) are accepted without the
-    :data:`MANIFEST_V2_FIELDS`; anything newer than this package's
+    :data:`MANIFEST_V2_FIELDS`, and v1/v2 documents without the
+    :data:`MANIFEST_V3_FIELDS`; anything newer than this package's
     schema, or missing its version's fields, is rejected.
     """
     version = manifest.get("schema_version")
@@ -257,6 +266,8 @@ def validate_manifest(manifest: dict) -> None:
     required = MANIFEST_REQUIRED_FIELDS
     if version < 2:
         required = tuple(f for f in required if f not in MANIFEST_V2_FIELDS)
+    if version < 3:
+        required = tuple(f for f in required if f not in MANIFEST_V3_FIELDS)
     missing = [k for k in required if k not in manifest]
     if missing:
         raise SimulationError(f"manifest missing required fields: {missing}")

@@ -1,0 +1,43 @@
+"""Pluggable compute backends for the replica-batched engine.
+
+``repro.simulation.backends`` separates *what* a batched run computes
+(:class:`~repro.simulation.batched.BatchedClockedEngine` state and
+statistics) from *how* the cycle loop executes:
+
+* :class:`~repro.simulation.backends.reference.NumpyBackend` -- the
+  vectorised NumPy kernels (always available; the reference every other
+  backend must match bit-for-bit);
+* :class:`~repro.simulation.backends.jit.NumbaBackend` -- the whole
+  multi-cycle loop compiled to one nopython function over pre-drawn
+  RNG blocks (used automatically when numba is importable).
+
+Select a backend by name through ``run_stacked``/``run_batched``
+(``backend="numpy" | "numba" | "auto"``), the execution layer
+(:class:`~repro.exec.context.ExecutionContext`), or the CLI
+(``--backend``).  Backend choice never changes results, digests, or
+cache keys -- see :mod:`repro.simulation.backends.base` for the
+determinism contract and ``docs/backends.md`` for the design.
+"""
+
+from repro.simulation.backends.base import (
+    BACKEND_CHOICES,
+    DEFAULT_BACKEND,
+    ComputeBackend,
+    available_backends,
+    register_backend,
+    resolve_backend,
+)
+from repro.simulation.backends.jit import NumbaBackend, numba_available
+from repro.simulation.backends.reference import NumpyBackend
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "DEFAULT_BACKEND",
+    "ComputeBackend",
+    "NumbaBackend",
+    "NumpyBackend",
+    "available_backends",
+    "numba_available",
+    "register_backend",
+    "resolve_backend",
+]

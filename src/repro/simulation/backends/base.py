@@ -1,0 +1,141 @@
+"""The ``ComputeBackend`` protocol and backend registry.
+
+The split follows the "Python orchestrates; the backend computes"
+design: :class:`~repro.simulation.batched.BatchedClockedEngine` owns
+model *state* (queues, busy counters, accumulators, trackers) and the
+run *policy* (cycle budget, warm-up), while a backend owns the cycle
+*loop* -- how inject/serve/forward/tick are actually executed over that
+state.  The protocol is deliberately narrow: a backend advances a fresh
+engine by ``n_cycles`` and leaves every statistic the engine exposes
+(``stats``, ``tracker``, ``injected``, ``completed``, ``busy``, queue
+high-water marks) exactly as the reference implementation would.
+
+Determinism contract
+--------------------
+Backends must be **bit-identical** to the reference
+:class:`~repro.simulation.backends.reference.NumpyBackend` -- not
+statistically equivalent, identical.  All randomness of a batched run
+is drawn in the inject phase by
+:meth:`~repro.simulation.traffic.NetworkTrafficGenerator.generate_batch`
+(the built-in topologies route by destination digits and consume no
+routing RNG), so any backend that replays those draws in the same
+per-cycle order gets the same sample path; the remaining freedom --
+accumulation order of integer-valued waits in float64 bins -- is exact
+below 2**53 and therefore order-independent.  See ``docs/backends.md``.
+
+Backend *selection* is an execution detail, never an identity: it does
+not appear in :class:`~repro.simulation.network.NetworkConfig`, in
+:meth:`~repro.exec.spec.ExperimentSpec.identity`, or in any cache
+digest (test-asserted).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Type, Union, runtime_checkable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.simulation.batched import BatchedClockedEngine
+
+__all__ = [
+    "BACKEND_CHOICES",
+    "DEFAULT_BACKEND",
+    "ComputeBackend",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
+]
+
+#: Values accepted wherever a backend is named (CLI, context, runners).
+BACKEND_CHOICES = ("numpy", "numba", "auto")
+
+#: ``auto`` picks the fastest available backend that supports the
+#: engine, falling back to the NumPy reference when numba is absent.
+DEFAULT_BACKEND = "auto"
+
+
+@runtime_checkable
+class ComputeBackend(Protocol):
+    """What the batched engine needs from a cycle-loop executor."""
+
+    #: short identifier recorded on results, manifests, and timers
+    name: str
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this backend's dependencies are importable here."""
+        ...
+
+    @classmethod
+    def unsupported_reason(cls, engine: "BatchedClockedEngine") -> Optional[str]:
+        """``None`` if this backend can run ``engine``, else why not."""
+        ...
+
+    def run(self, engine: "BatchedClockedEngine", n_cycles: int, warmup: int) -> None:
+        """Advance ``engine`` by ``n_cycles``, measuring from ``warmup``."""
+        ...
+
+
+_REGISTRY: Dict[str, Type] = {}
+
+
+def register_backend(cls: Type) -> Type:
+    """Register a backend class under its ``name`` (import-time hook)."""
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def available_backends() -> List[str]:
+    """Names of the registered backends importable in this environment."""
+    return [name for name, cls in sorted(_REGISTRY.items()) if cls.is_available()]
+
+
+def resolve_backend(
+    backend: Union[str, ComputeBackend, None],
+    engine: "BatchedClockedEngine",
+) -> ComputeBackend:
+    """Turn a backend request into a ready instance for ``engine``.
+
+    ``"auto"`` (or ``None``) degrades cleanly: the JIT backend is chosen
+    only when numba is importable *and* it supports the engine;
+    otherwise the NumPy reference runs.  An *explicit* name is strict --
+    asking for ``"numba"`` without numba, or for an engine the JIT loop
+    cannot reproduce, raises with the reason.  A ready
+    :class:`ComputeBackend` instance passes through (after a support
+    check), which is how the equivalence tests drive the pre-drawn loop
+    through its pure-Python kernel.
+    """
+    if backend is None or backend == DEFAULT_BACKEND:
+        jit_cls = _REGISTRY.get("numba")
+        if (
+            jit_cls is not None
+            and jit_cls.is_available()
+            and jit_cls.unsupported_reason(engine) is None
+        ):
+            return jit_cls()  # type: ignore[no-any-return]
+        return _REGISTRY["numpy"]()  # type: ignore[no-any-return]
+    if isinstance(backend, str):
+        cls = _REGISTRY.get(backend)
+        if cls is None:
+            raise SimulationError(
+                f"unknown compute backend {backend!r}; choose one of "
+                f"{sorted(_REGISTRY)} or 'auto'"
+            )
+        if not cls.is_available():
+            raise SimulationError(
+                f"compute backend {backend!r} is not available: "
+                f"{getattr(cls, 'requirement', 'missing dependency')}"
+            )
+        reason = cls.unsupported_reason(engine)
+        if reason is not None:
+            raise SimulationError(
+                f"compute backend {backend!r} cannot run this engine: {reason}"
+            )
+        return cls()  # type: ignore[no-any-return]
+    reason = type(backend).unsupported_reason(engine)
+    if reason is not None:
+        raise SimulationError(
+            f"compute backend {backend.name!r} cannot run this engine: {reason}"
+        )
+    return backend

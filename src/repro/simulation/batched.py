@@ -35,6 +35,16 @@ Limitations (by construction)
   *metrics-off*; run serially when you need instrumentation.
 * ``warmup="auto"`` (MSER-5) is refused: the detector is a per-run
   pilot; pass an explicit warm-up instead.
+
+Compute backends
+----------------
+The engine owns model *state*; the cycle *loop* is executed by a
+pluggable :mod:`compute backend <repro.simulation.backends>`.  The
+default (``backend="auto"``) runs the JIT-compiled pre-drawn loop when
+numba is importable and the vectorised NumPy reference otherwise;
+either way the results are bit-identical (test-asserted), so backend
+choice is an execution detail -- never part of a spec digest or cache
+key.
 """
 
 from __future__ import annotations
@@ -43,11 +53,13 @@ from dataclasses import replace
 
 # repro: lint-ok RPR001 -- elapsed_seconds bookkeeping; never enters results
 from time import perf_counter
-from typing import List, Literal, Optional, Sequence
+from typing import List, Literal, Optional, Sequence, Union
 
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs.profiling import PhaseTimers
+from repro.simulation.backends import ComputeBackend, NumpyBackend, resolve_backend
 from repro.simulation.engine import build_routing_tables
 from repro.simulation.network import NetworkConfig, NetworkResult
 from repro.simulation.rng import DEFAULT_SEED
@@ -57,6 +69,10 @@ from repro.simulation.topology import MultistageTopology
 from repro.simulation.traffic import NetworkTrafficGenerator
 
 __all__ = ["BatchedClockedEngine", "run_batched", "run_stacked"]
+
+#: A backend request: a registry name (``"numpy"``/``"numba"``/
+#: ``"auto"``) or a ready :class:`~repro.simulation.backends.ComputeBackend`.
+BackendSpec = Union[str, ComputeBackend]
 
 #: config fields that fix the stacked engine's array shapes -- scenarios
 #: in one batch must agree on all of these (everything else may vary)
@@ -131,113 +147,55 @@ class BatchedClockedEngine:
         self.completed = np.zeros(n_replicas, dtype=np.int64)
         self.injected = np.zeros(n_replicas, dtype=np.int64)
         self._perm_stack, self._shifts = build_routing_tables(topology)
+        #: wall-clock phase timers (enable via :meth:`enable_profiling`);
+        #: entries carry the backend that executed each phase
+        self.timers: Optional[PhaseTimers] = None
+        #: registry name of the backend the last :meth:`run` resolved to
+        self.backend_name: Optional[str] = None
+        self._step_backend: Optional[NumpyBackend] = None
+        self._in_flight_override: Optional[int] = None
+        self._finalized = False
+
+    def enable_profiling(self) -> PhaseTimers:
+        """Start accumulating per-phase wall-clock timers."""
+        if self.timers is None:
+            self.timers = PhaseTimers()
+        return self.timers
 
     # ------------------------------------------------------------------
     # simulation loop
     # ------------------------------------------------------------------
-    def run(self, n_cycles: int, warmup: int = 0) -> None:
-        """Advance ``n_cycles``; discard statistics before ``warmup``."""
+    def run(self, n_cycles: int, warmup: int = 0, backend: BackendSpec = "auto") -> None:
+        """Advance ``n_cycles``; discard statistics before ``warmup``.
+
+        ``backend`` names the cycle-loop executor (``"numpy"``,
+        ``"numba"``, or ``"auto"``; see
+        :func:`~repro.simulation.backends.resolve_backend`) or is a
+        ready backend instance.  Results are backend-independent.
+        """
         if n_cycles < 1:
             raise SimulationError(f"n_cycles must be >= 1, got {n_cycles}")
         if not 0 <= warmup < n_cycles:
             raise SimulationError(f"warmup {warmup} outside [0, {n_cycles})")
+        self._check_not_finalized()
         self.measure_from = self.now + warmup
-        end = self.now + n_cycles
-        while self.now < end:
-            self.step()
+        resolved = resolve_backend(backend, self)
+        self.backend_name = resolved.name
+        resolved.run(self, n_cycles, warmup)
 
     def step(self) -> None:
-        """Simulate one clock cycle of every replica."""
-        t = self.now
-        measuring = t >= self.measure_from
-        self._inject(t, measuring)
-        self._serve(t, measuring)
-        np.subtract(self.busy, 1, out=self.busy, where=self.busy > 0)
-        self.now = t + 1
+        """Simulate one clock cycle of every replica (reference backend)."""
+        self._check_not_finalized()
+        if self._step_backend is None:
+            self._step_backend = NumpyBackend()
+        self._step_backend.step(self)
 
-    # ------------------------------------------------------------------
-    # phases
-    # ------------------------------------------------------------------
-    def _inject(self, t: int, measuring: bool) -> None:
-        arrivals = self.traffic.generate_batch()
-        n = arrivals.sources.size
-        if n == 0:
-            return
-        reps = arrivals.replicas
-        self.injected += np.bincount(reps, minlength=self.n_replicas)
-        lines = self.topology.entry_queue(
-            arrivals.sources, arrivals.destinations, self.routing_rng
-        )
-        track = (
-            self.tracker.allocate(reps)
-            if measuring
-            else np.full(n, -1, dtype=np.int64)
-        )
-        self.queues.push_batch(
-            reps * self.ports_per_replica + lines,
-            dest=arrivals.destinations,
-            service=arrivals.services,
-            arrival=np.full(n, t, dtype=np.int64),
-            track=track,
-        )
-
-    def _serve(self, t: int, measuring: bool) -> None:
-        candidates = np.flatnonzero((self.busy == 0) & (self.queues.counts > 0))
-        if candidates.size == 0:
-            return
-        head_arrival = self.queues.peek(candidates, "arrival")
-        ready = candidates[head_arrival <= t]
-        if ready.size == 0:
-            return
-        msg = self.queues.pop(ready)
-        waits = (t - msg["arrival"]).astype(np.float64)
-        reps = ready // self.ports_per_replica
-        local = ready - reps * self.ports_per_replica
-        stages = local // self.width
-        if measuring:
-            self.stats.add(reps * self.n_stages + stages, waits)
-            self.tracker.record(msg["track"], stages, waits)
-        self.busy[ready] = msg["service"]
-        self._forward(t, reps, local, stages, msg)
-
-    def _forward(
-        self,
-        t: int,
-        reps: np.ndarray,
-        local: np.ndarray,
-        stages: np.ndarray,
-        msg: dict,
-    ) -> None:
-        moving = stages < self.n_stages - 1
-        done = ~moving
-        if done.any():
-            self.completed += np.bincount(reps[done], minlength=self.n_replicas)
-        if not moving.any():
-            return
-        reps = reps[moving]
-        stages = stages[moving]
-        dest = msg["dest"][moving]
-        lines = local[moving] % self.width
-        in_lines = self._perm_stack[stages + 1, lines]
-        if self._shifts is not None:
-            digits = (dest // self._shifts[stages + 1]) % self.topology.k
-        else:
-            digits = self.routing_rng.integers(0, self.topology.k, size=lines.size)
-        next_lines = (in_lines // self.topology.k) * self.topology.k + digits
-        next_ports = (
-            reps * self.ports_per_replica + (stages + 1) * self.width + next_lines
-        )
-        if self.transfer == "cut_through":
-            arrival = np.full(reps.size, t + 1, dtype=np.int64)
-        else:
-            arrival = t + msg["service"][moving]
-        self.queues.push_batch(
-            next_ports,
-            dest=dest,
-            service=msg["service"][moving],
-            arrival=arrival,
-            track=msg["track"][moving],
-        )
+    def _check_not_finalized(self) -> None:
+        if self._finalized:
+            raise SimulationError(
+                "engine state was consumed by a pre-drawn JIT run; build a "
+                "fresh engine to simulate further"
+            )
 
     # ------------------------------------------------------------------
     # inspection
@@ -245,6 +203,8 @@ class BatchedClockedEngine:
     @property
     def in_flight(self) -> int:
         """Messages currently buffered across all replicas."""
+        if self._in_flight_override is not None:
+            return self._in_flight_override
         return self.queues.total_occupancy()
 
     def __repr__(self) -> str:
@@ -255,10 +215,59 @@ class BatchedClockedEngine:
         )
 
 
+def _build_stacked_engine(configs: Sequence[NetworkConfig]) -> BatchedClockedEngine:
+    """A fresh stacked engine for ``configs`` (validated, seeded, t=0).
+
+    Factored out of :func:`run_stacked` so backend tests can hold the
+    engine itself; the shape validation and the per-scenario seeding
+    (one ``SeedSequence`` over the ordered seed list) live here.
+    """
+    if not configs:
+        raise SimulationError("need at least one scenario config")
+    first = configs[0]
+    for other in configs[1:]:
+        for name in STACK_SHAPE_FIELDS:
+            if getattr(other, name) != getattr(first, name):
+                raise SimulationError(
+                    "scenario stacking needs identical array shapes: "
+                    f"{name}={getattr(other, name)!r} != {getattr(first, name)!r}"
+                )
+    if first.buffer_capacity is not None:
+        raise SimulationError(
+            "replica batching supports infinite buffers only; run finite-"
+            "buffer scenarios serially"
+        )
+    n_replicas = len(configs)
+    entropy = [DEFAULT_SEED if c.seed is None else int(c.seed) for c in configs]
+    children = np.random.SeedSequence(entropy).spawn(2)
+    traffic_rng, routing_rng = (np.random.default_rng(c) for c in children)
+
+    topology = first.build_topology()
+    traffic = NetworkTrafficGenerator(
+        width=topology.width,
+        p=[c.p for c in configs],
+        service=[c.service_model() for c in configs],
+        rng=traffic_rng,
+        bulk_size=[c.bulk_size for c in configs],
+        q=[c.q for c in configs],
+        dest_space=topology.destination_space,
+        n_replicas=n_replicas,
+    )
+    return BatchedClockedEngine(
+        topology,
+        traffic,
+        n_replicas,
+        transfer=first.transfer,
+        routing_rng=routing_rng,
+        track_limit=first.track_limit,
+    )
+
+
 def run_stacked(
     configs: Sequence[NetworkConfig],
     n_cycles: int,
     warmup: Optional[int] = None,
+    backend: BackendSpec = "auto",
 ) -> List[NetworkResult]:
     """Run ``len(configs)`` *scenarios* in one stacked engine.
 
@@ -283,24 +292,17 @@ def run_stacked(
     function applied to ``[replace(config, seed=s) for s in seeds]``
     and the R=1 serial bit-identity anchor carries over unchanged.
 
+    ``backend`` selects the cycle-loop executor (default ``"auto"``:
+    the JIT loop when numba is importable, the NumPy reference
+    otherwise); every backend produces bit-identical results, and the
+    one that actually ran is recorded on each
+    :attr:`NetworkResult.backend <repro.simulation.network.NetworkResult.backend>`.
+
     Refuses finite buffers and ``warmup="auto"`` (see module notes).
     """
     configs = list(configs)
-    if not configs:
-        raise SimulationError("need at least one scenario config")
+    engine = _build_stacked_engine(configs)
     first = configs[0]
-    for other in configs[1:]:
-        for name in STACK_SHAPE_FIELDS:
-            if getattr(other, name) != getattr(first, name):
-                raise SimulationError(
-                    "scenario stacking needs identical array shapes: "
-                    f"{name}={getattr(other, name)!r} != {getattr(first, name)!r}"
-                )
-    if first.buffer_capacity is not None:
-        raise SimulationError(
-            "replica batching supports infinite buffers only; run finite-"
-            "buffer scenarios serially"
-        )
     if warmup == "auto":
         raise SimulationError(
             'warmup="auto" is a per-run pilot; give an explicit warm-up '
@@ -311,33 +313,9 @@ def run_stacked(
     warmup = int(warmup)
     if warmup >= n_cycles:
         raise SimulationError(f"warmup {warmup} >= n_cycles {n_cycles}")
-
     n_replicas = len(configs)
-    entropy = [DEFAULT_SEED if c.seed is None else int(c.seed) for c in configs]
-    children = np.random.SeedSequence(entropy).spawn(2)
-    traffic_rng, routing_rng = (np.random.default_rng(c) for c in children)
-
-    topology = first.build_topology()
-    traffic = NetworkTrafficGenerator(
-        width=topology.width,
-        p=[c.p for c in configs],
-        service=[c.service_model() for c in configs],
-        rng=traffic_rng,
-        bulk_size=[c.bulk_size for c in configs],
-        q=[c.q for c in configs],
-        dest_space=topology.destination_space,
-        n_replicas=n_replicas,
-    )
-    engine = BatchedClockedEngine(
-        topology,
-        traffic,
-        n_replicas,
-        transfer=first.transfer,
-        routing_rng=routing_rng,
-        track_limit=first.track_limit,
-    )
     started = perf_counter()
-    engine.run(n_cycles, warmup=warmup)
+    engine.run(n_cycles, warmup=warmup, backend=backend)
     elapsed = perf_counter() - started
 
     S = first.n_stages
@@ -363,6 +341,7 @@ def run_stacked(
                 dropped=0,
                 max_occupancy=int(high_water[i].max()),
                 elapsed_seconds=elapsed / n_replicas,
+                backend=engine.backend_name or "numpy",
             )
         )
     return results
@@ -373,13 +352,14 @@ def run_batched(
     seeds: Sequence[Optional[int]],
     n_cycles: int,
     warmup: Optional[int] = None,
+    backend: BackendSpec = "auto",
 ) -> List[NetworkResult]:
     """Run ``len(seeds)`` replicas of ``config`` in one stacked engine.
 
     The homogeneous special case of :func:`run_stacked`: every replica
     simulates the same scenario under its own seed.  Returns one
     :class:`NetworkResult` per seed, in order, each carrying ``config``
-    with its own seed.
+    with its own seed.  ``backend`` is forwarded to :func:`run_stacked`.
 
     Refuses finite buffers and ``warmup="auto"`` (see module notes).
     """
@@ -391,5 +371,8 @@ def run_batched(
     if not seeds:
         raise SimulationError("need at least one replica seed")
     return run_stacked(
-        [replace(config, seed=seed) for seed in seeds], n_cycles, warmup=warmup
+        [replace(config, seed=seed) for seed in seeds],
+        n_cycles,
+        warmup=warmup,
+        backend=backend,
     )

@@ -214,9 +214,9 @@ class ClockedEngine:
                 callback(t)
             np.subtract(self.busy, 1, out=self.busy, where=self.busy > 0)
             t3 = perf_counter()
-            timers.add("inject", t1 - t0)
-            timers.add("serve", t2 - t1)
-            timers.add("tick", t3 - t2)
+            timers.add("inject", t1 - t0, backend="numpy")
+            timers.add("serve", t2 - t1, backend="numpy")
+            timers.add("tick", t3 - t2, backend="numpy")
         if self.record_cycle_series:
             self.cycle_wait_sums.append(self._cycle_probe[0])
             self.cycle_wait_counts.append(self._cycle_probe[1])

@@ -201,6 +201,11 @@ class NetworkResult:
     max_occupancy: int = 0
     #: wall-clock seconds spent inside :meth:`NetworkSimulator.run`
     elapsed_seconds: float = 0.0
+    #: compute backend that executed the cycle loop (serial runs and
+    #: cache rehydrations report the reference ``"numpy"``; see
+    #: :mod:`repro.simulation.backends`) -- an execution detail, never
+    #: part of a spec digest or cache key
+    backend: str = "numpy"
     #: engine phase timings (``PhaseTimers.as_dict``) when profiling was on
     timings: Optional[dict] = None
     #: manifest written for this run (observation session only)

@@ -72,6 +72,11 @@ class RingBufferQueues:
         self._high_water = np.zeros(n_queues, dtype=np.int64)
         # scratch for the duplicate-rank peeling in push_batch
         self._first_pos = np.empty(n_queues, dtype=np.int64)
+        # push_batch runs every cycle: its per-call temporaries (the
+        # 0..n-1 ramp and the rank vector) are hoisted into buffers
+        # grown on demand and reused across cycles
+        self._iota = np.empty(0, dtype=np.int64)
+        self._rank = np.empty(0, dtype=np.int64)
         #: messages rejected by finite buffers (finite mode only)
         self.dropped = 0
 
@@ -167,15 +172,18 @@ class RingBufferQueues:
         per pass with no sort, vs. the stable argsort this replaces.
         """
         n = queues.size
-        rank = np.zeros(n, dtype=np.int64)
+        if self._rank.size < n:
+            self._rank = np.empty(max(n, 2 * self._rank.size), dtype=np.int64)
+        rank = self._rank[:n]
+        rank.fill(0)
         if int(binc[queues].max()) == 1:
             return rank
         scratch = self._first_pos
-        idx = np.arange(n)
+        idx = self._arange(n)
         remaining_q = queues
         level = 0
         while remaining_q.size:
-            pos = np.arange(remaining_q.size)
+            pos = self._arange(remaining_q.size)
             scratch[remaining_q[::-1]] = pos[::-1]
             is_first = scratch[remaining_q] == pos
             rank[idx[is_first]] = level
@@ -183,6 +191,21 @@ class RingBufferQueues:
             remaining_q = remaining_q[~is_first]
             level += 1
         return rank
+
+    def _arange(self, n: int) -> np.ndarray:
+        """A read-only-by-convention view of ``[0, n)`` from scratch."""
+        if self._iota.size < n:
+            self._iota = np.arange(max(n, 2 * self._iota.size), dtype=np.int64)
+        return self._iota[:n]
+
+    def record_high_water(self, values: np.ndarray) -> None:
+        """Merge externally observed per-queue occupancy high-water marks.
+
+        Used by compute backends that bypass the ring buffers (the
+        pre-drawn JIT loop keeps its own queue structures) so
+        :attr:`max_occupancy` / :meth:`high_water` stay authoritative.
+        """
+        np.maximum(self._high_water, values, out=self._high_water)
 
     def pop(self, queues: np.ndarray) -> Dict[str, np.ndarray]:
         """Remove and return the head message of each queue in ``queues``.

@@ -193,6 +193,15 @@ class TestBenchIngestion:
         "parallel_seconds": 3.1,
         "speedup": 2.58,
     }
+    BACKEND = {
+        "scenario": "k=2 n_stages=6 width=8 p=0.5",
+        "n_replicas": 64,
+        "n_cycles": 5000,
+        "numpy_seconds": 4.2,
+        "numba_seconds": 0.9,
+        "speedup": 4.67,
+        "usable_cpus": 8,
+    }
 
     @pytest.mark.parametrize(
         "filename,artifact,baseline,measured",
@@ -200,9 +209,10 @@ class TestBenchIngestion:
             ("BENCH_replicas.json", REPLICAS, 2.1, 0.3),
             ("BENCH_sweep.json", SWEEP, 1.2, 0.35),
             ("BENCH_exec.json", EXEC, 8.0, 3.1),
+            ("BENCH_backend.json", BACKEND, 4.2, 0.9),
         ],
     )
-    def test_all_three_shipped_formats(
+    def test_all_shipped_formats(
         self, tmp_path, filename, artifact, baseline, measured
     ):
         db = ExperimentDB(tmp_path / "x.sqlite")

@@ -50,6 +50,18 @@ class TestPartition:
         assert "bulk_size" in result.findings[0].message
         assert "neither" in result.findings[0].message
 
+    def test_backend_field_on_config_fires(self, lint_tree):
+        """Backend selection is an execution detail: were anyone to
+        promote it onto NetworkConfig it would enter digests and cache
+        keys, and the partition check must catch the attempt."""
+        mutated = NETWORK.replace(
+            "seed: int = 19880101",
+            'seed: int = 19880101\n    backend: str = "numpy"',
+        )
+        result = lint_tree(tree(network=mutated))
+        assert codes(result) == ["RPR002"]
+        assert "backend" in result.findings[0].message
+
     def test_field_in_both_lists_fires(self, lint_tree):
         result = lint_tree(
             tree(batched='STACK_SHAPE_FIELDS = ("k", "n_stages", "p")\n')

@@ -10,6 +10,7 @@ from repro.obs.manifest import (
     MANIFEST_REQUIRED_FIELDS,
     MANIFEST_SCHEMA_VERSION,
     MANIFEST_V2_FIELDS,
+    MANIFEST_V3_FIELDS,
     build_manifest,
     config_to_jsonable,
     validate_manifest,
@@ -63,20 +64,30 @@ class TestManifest:
         validate_manifest(reloaded)
         assert reloaded["n_cycles"] == 300
 
-    def test_v2_provenance_fields_are_populated(self):
+    def test_provenance_fields_are_populated(self):
         result, _ = run_with_metrics()
         manifest = build_manifest(result, run_id="run-0001")
-        assert manifest["schema_version"] == 2
+        assert manifest["schema_version"] == 3
         assert manifest["platform"]  # e.g. "Linux-..."
         assert manifest["python_version"].count(".") == 2
         assert manifest["numpy_version"]
+        assert manifest["backend"] == "numpy"  # serial runs: reference backend
 
     def test_validate_accepts_v1_documents(self):
         """Manifests written before the provenance block must still load."""
         result, _ = run_with_metrics()
         manifest = build_manifest(result, run_id="run-0001")
         manifest["schema_version"] = 1
-        for field in MANIFEST_V2_FIELDS:
+        for field in (*MANIFEST_V2_FIELDS, *MANIFEST_V3_FIELDS):
+            del manifest[field]
+        validate_manifest(manifest)  # no error
+
+    def test_validate_accepts_v2_documents(self):
+        """v2 manifests (pre-backend) must still load without v3 fields."""
+        result, _ = run_with_metrics()
+        manifest = build_manifest(result, run_id="run-0001")
+        manifest["schema_version"] = 2
+        for field in MANIFEST_V3_FIELDS:
             del manifest[field]
         validate_manifest(manifest)  # no error
 
@@ -84,7 +95,17 @@ class TestManifest:
         """A v2 document is held to the v2 field set."""
         result, _ = run_with_metrics()
         manifest = build_manifest(result, run_id="run-0001")
+        manifest["schema_version"] = 2
+        del manifest["backend"]  # v2 documents need no backend field
         del manifest["platform"]
+        with pytest.raises(SimulationError, match="missing required"):
+            validate_manifest(manifest)
+
+    def test_validate_rejects_v3_missing_backend(self):
+        """A current document is held to the full v3 field set."""
+        result, _ = run_with_metrics()
+        manifest = build_manifest(result, run_id="run-0001")
+        del manifest["backend"]
         with pytest.raises(SimulationError, match="missing required"):
             validate_manifest(manifest)
 

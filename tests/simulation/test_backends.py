@@ -1,0 +1,205 @@
+"""Compute-backend equivalence: the pre-drawn loop vs the reference.
+
+The determinism contract (``docs/backends.md``) says backends are
+**bit-identical**, not statistically equivalent.  Two layers enforce it:
+
+* **always-on** -- the pre-drawn kernel algorithm is an ordinary Python
+  function (:func:`~repro.simulation.backends.jit.cycle_loop_kernel`);
+  driving :class:`NumbaBackend` with it interpreted validates the whole
+  pre-draw + linked-list-FIFO design in every environment, numba or not;
+* **with numba** -- the same cases re-run through the ``@njit``-compiled
+  loop (``pytest.importorskip``-guarded), proving compilation changes
+  nothing.
+
+Every anchor the batched engine already has -- the seven config
+variants, heterogeneous stacked rows, R=1 vs the serial engine -- is
+re-asserted here per backend.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.backends import (
+    BACKEND_CHOICES,
+    DEFAULT_BACKEND,
+    NumbaBackend,
+    NumpyBackend,
+    available_backends,
+    numba_available,
+    resolve_backend,
+)
+from repro.simulation.backends.jit import cycle_loop_kernel
+from repro.simulation.batched import run_batched, run_stacked
+from repro.simulation.network import NetworkConfig, NetworkSimulator
+
+from tests.simulation.test_batched import assert_results_identical
+
+#: every way this suite can drive the pre-drawn loop: interpreted
+#: always, compiled when numba is importable
+KERNEL_BACKENDS = [pytest.param(lambda: NumbaBackend(kernel=cycle_loop_kernel),
+                                id="interpreted-kernel")]
+if numba_available():
+    KERNEL_BACKENDS.append(pytest.param(lambda: NumbaBackend(), id="njit"))
+
+ANCHOR_VARIANTS = [
+    dict(k=2, n_stages=3, p=0.5, topology="omega"),
+    dict(k=2, n_stages=6, p=0.7, topology="random", width=8),
+    dict(k=2, n_stages=3, p=0.4, topology="butterfly", bulk_size=2),
+    dict(k=2, n_stages=3, p=0.5, topology="baseline", q=0.3),
+    dict(k=2, n_stages=3, p=0.3, message_size=3, transfer="store_forward"),
+    dict(k=2, n_stages=3, p=0.4, sizes=(1, 3), probabilities=(0.5, 0.5)),
+    dict(k=4, n_stages=2, p=0.6, topology="omega"),
+]
+ANCHOR_IDS = ["omega", "random-deep", "bulk", "favourite", "store-forward",
+              "multisize", "k4"]
+
+
+# ----------------------------------------------------------------------
+# registry / resolution
+# ----------------------------------------------------------------------
+class TestResolution:
+    def test_choices_and_default(self):
+        assert BACKEND_CHOICES == ("numpy", "numba", "auto")
+        assert DEFAULT_BACKEND == "auto"
+        assert "numpy" in available_backends()
+
+    def test_auto_degrades_cleanly_without_numba(self):
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)
+        [result] = run_stacked([config], 800, warmup=0, backend="auto")
+        expected = "numba" if numba_available() else "numpy"
+        assert result.backend == expected
+
+    def test_explicit_numpy_always_works(self):
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)
+        [result] = run_stacked([config], 800, warmup=0, backend="numpy")
+        assert result.backend == "numpy"
+
+    def test_unknown_backend_name_raises(self):
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)
+        with pytest.raises(SimulationError, match="unknown compute backend"):
+            run_stacked([config], 800, warmup=0, backend="cupy")
+
+    @pytest.mark.skipif(numba_available(), reason="needs an env without numba")
+    def test_explicit_numba_without_numba_raises_with_reason(self):
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)
+        with pytest.raises(SimulationError, match="not installed"):
+            run_stacked([config], 800, warmup=0, backend="numba")
+
+    def test_backend_instance_passes_through(self):
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)
+        [result] = run_stacked(
+            [config], 800, warmup=0, backend=NumbaBackend(kernel=cycle_loop_kernel)
+        )
+        assert result.backend == "numba"
+
+    def test_numpy_backend_reports_supported_everywhere(self):
+        assert NumpyBackend.is_available()
+        assert NumpyBackend.unsupported_reason(object()) is None
+
+    def test_resolve_rejects_unsupported_instance(self):
+        """An engine mid-run cannot take the pre-drawn loop."""
+        from repro.simulation.batched import _build_stacked_engine
+
+        engine = _build_stacked_engine(
+            [NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)]
+        )
+        engine.run(100, backend="numpy")
+        with pytest.raises(SimulationError, match="fresh engine"):
+            resolve_backend(NumbaBackend(kernel=cycle_loop_kernel), engine)
+
+
+# ----------------------------------------------------------------------
+# bit-identity anchors, per available kernel backend
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("make_backend", KERNEL_BACKENDS)
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("kwargs", ANCHOR_VARIANTS, ids=ANCHOR_IDS)
+    def test_anchor_variants_bit_identical(self, make_backend, kwargs):
+        config = NetworkConfig(seed=42, **kwargs)
+        [ref] = run_batched(config, [42], 1_500, backend="numpy")
+        [jit] = run_batched(config, [42], 1_500, backend=make_backend())
+        assert_results_identical(ref, jit)
+        assert ref.backend == "numpy" and jit.backend == "numba"
+
+    def test_replica_stack_bit_identical(self, make_backend):
+        config = NetworkConfig(k=2, n_stages=4, p=0.6, topology="random", width=16)
+        seeds = [11, 12, 13, 14]
+        ref = run_batched(config, seeds, 2_000, backend="numpy")
+        jit = run_batched(config, seeds, 2_000, backend=make_backend())
+        for a, b in zip(ref, jit, strict=True):
+            assert_results_identical(a, b)
+
+    def test_heterogeneous_stack_bit_identical(self, make_backend):
+        """Scenario-stacked rows differing in load/bulk/seed."""
+        from dataclasses import replace
+
+        base = NetworkConfig(k=2, n_stages=3, p=0.2, topology="random", width=16)
+        configs = [
+            replace(base, p=p, bulk_size=b, seed=s)
+            for (p, b, s) in [(0.2, 1, 9), (0.9, 1, 10), (0.4, 2, 11)]
+        ]
+        ref = run_stacked(configs, 2_000, backend="numpy")
+        jit = run_stacked(configs, 2_000, backend=make_backend())
+        for a, b in zip(ref, jit, strict=True):
+            assert_results_identical(a, b)
+            assert a.config == b.config
+
+    def test_r1_bit_identical_to_serial_engine(self, make_backend):
+        """The chain closes: serial engine == numpy backend == kernel."""
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, topology="omega", seed=42)
+        serial = NetworkSimulator(config).run(n_cycles=1_500)
+        [jit] = run_stacked([config], 1_500, backend=make_backend())
+        assert_results_identical(serial, jit)
+
+    def test_warmup_discards_identically(self, make_backend):
+        config = NetworkConfig(k=2, n_stages=3, p=0.7, seed=5)
+        [ref] = run_stacked([config], 1_200, warmup=400, backend="numpy")
+        [jit] = run_stacked([config], 1_200, warmup=400, backend=make_backend())
+        assert_results_identical(ref, jit)
+        assert ref.warmup == jit.warmup == 400
+
+    def test_finalized_engine_refuses_further_use(self, make_backend):
+        from repro.simulation.batched import _build_stacked_engine
+
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=1)
+        engine = _build_stacked_engine([config])
+        engine.run(300, backend=make_backend())
+        assert engine.now == 300
+        assert engine.in_flight >= 0  # honest override, not ring-buffer state
+        with pytest.raises(SimulationError, match="fresh engine"):
+            engine.run(100)
+        with pytest.raises(SimulationError, match="fresh engine"):
+            engine.step()
+
+
+# ----------------------------------------------------------------------
+# selection is an execution detail
+# ----------------------------------------------------------------------
+class TestBackendIsNotIdentity:
+    def test_result_backend_label_only_differs(self):
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=3)
+        [a] = run_stacked([config], 800, backend="numpy")
+        [b] = run_stacked(
+            [config], 800, backend=NumbaBackend(kernel=cycle_loop_kernel)
+        )
+        assert a.backend != b.backend
+        assert_results_identical(a, b)
+
+    def test_timers_label_their_backend(self):
+        from repro.simulation.batched import _build_stacked_engine
+
+        config = NetworkConfig(k=2, n_stages=3, p=0.5, seed=3)
+        engine = _build_stacked_engine([config])
+        engine.enable_profiling()
+        engine.run(300, backend=NumbaBackend(kernel=cycle_loop_kernel))
+        timings = engine.timers.as_dict()
+        assert timings["predraw"]["backend"] == "numba"
+        assert timings["kernel"]["backend"] == "numba"
+
+        engine = _build_stacked_engine([config])
+        engine.enable_profiling()
+        engine.run(300, backend="numpy")
+        timings = engine.timers.as_dict()
+        for phase in ("inject", "serve", "tick"):
+            assert timings[phase]["backend"] == "numpy"
