@@ -4,7 +4,7 @@ PYTHON ?= python
 WORKERS ?= 4
 CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full coverage tables tables-parallel sweeps-fast figures report db-report serve calibrate clean lint typecheck
+.PHONY: install test bench bench-full scale-bench coverage tables tables-parallel sweeps-fast figures report db-report serve calibrate clean lint typecheck
 
 PORT ?= 8765
 
@@ -33,6 +33,12 @@ bench:
 
 bench-full:
 	REPRO_BENCH_CYCLES=30000 $(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# The million-replica scale benchmark alone: peak-RSS bound at R=1e5
+# plus the sharded >= 2x speedup (CPU-gated); emits BENCH_scale.json
+# (see docs/scaling.md).
+scale-bench:
+	REPRO_BENCH_CYCLES=3000 $(PYTHON) -m pytest benchmarks/test_perf_scale.py --benchmark-only
 
 tables:
 	for t in I II III IV V VI VII VIII IX X XI XII; do \

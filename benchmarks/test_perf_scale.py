@@ -1,0 +1,185 @@
+"""Million-replica scale benchmark: bounded memory, sharded speedup.
+
+``docs/scaling.md`` makes two measurable claims about the streamed
+sharded driver (:func:`repro.exec.sharded.stream_totals`):
+
+* **Bounded memory** -- a streaming-summary run at ``R >= 1e5``
+  replicas holds peak RSS under a fixed budget that does not scale
+  with ``R`` (per-message state is never materialised; per-replica
+  state is five floats of moment accumulators).  Measured on a child
+  process via ``os.wait4`` so the parent's own allocations don't
+  pollute the reading.
+* **Sharded speedup** -- dispatching shards across a process pool
+  beats a single-shard serial run by >= 2x on >= 4 CPUs, while the
+  merged moments stay bit-identical (shard-invariance of the streamed
+  engine).
+
+The merged measurements are emitted as ``BENCH_scale.json`` (series
+``scale`` in the experiment DB, floor 2.0x).  Like the other runner
+benchmarks, the speedup assertion is CPU-gated: on a starved box the
+ratio is noise.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+from time import perf_counter
+
+import numpy as np
+import pytest
+
+from repro.exec.sharded import estimate_replica_bytes, stream_totals
+from repro.simulation.network import NetworkConfig
+
+SCENARIO = "k=2 n_stages=3 p=0.6 streamed totals"
+MEM_REPLICAS = 100_000
+MEM_CYCLES = 200
+MEM_SHARD_MIB = 64
+#: Fixed peak-RSS budget for the R=1e5 run.  Two 64 MiB shards in
+#: flight plus interpreter + numpy overhead sit well under this; the
+#: point is that the bound does NOT grow with R (a tracked run at this
+#: scale would need tens of GiB of per-message state).
+RSS_BUDGET_MIB = 1536
+
+#: Measurements accumulated across this module's tests; whichever
+#: subset ran is merged into one BENCH_scale.json by the speedup test
+#: (the artifact needs its ``speedup`` key to be ingestable).
+_artifact: dict = {}
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+_CHILD = """\
+import json, sys
+from repro.exec.sharded import stream_totals
+from repro.simulation.network import NetworkConfig
+
+out = stream_totals(
+    NetworkConfig(k=2, n_stages=2, p=0.5),
+    {replicas}, {cycles}, warmup=20,
+    shard_mem={shard_mib} * 1024 * 1024, workers=2,
+)
+json.dump(
+    {{"count": int(out.totals.count), "mean": float(out.totals.mean),
+      "n_shards": out.n_shards, "shard_size": out.shard_size}},
+    sys.stdout,
+)
+"""
+
+
+def test_streaming_memory_bound(benchmark):
+    """stream_totals at R=1e5 stays under a fixed peak-RSS budget."""
+    script = _CHILD.format(
+        replicas=MEM_REPLICAS, cycles=MEM_CYCLES, shard_mib=MEM_SHARD_MIB
+    )
+    t0 = perf_counter()
+    proc = subprocess.Popen(
+        [sys.executable, "-c", script],
+        stdout=subprocess.PIPE,
+        env=os.environ.copy(),
+    )
+    assert proc.stdout is not None
+    stdout = proc.stdout.read()
+    _, status, rusage = os.wait4(proc.pid, 0)
+    proc.returncode = os.waitstatus_to_exitcode(status)
+    elapsed = perf_counter() - t0
+    assert proc.returncode == 0, f"child exited {proc.returncode}"
+    doc = json.loads(stdout)
+    # every replica contributed completed messages to the totals
+    assert doc["count"] > MEM_REPLICAS
+    assert doc["n_shards"] > 1  # the budget actually forced sharding
+
+    peak_rss_mib = rusage.ru_maxrss / 1024.0  # Linux reports KiB
+    _artifact.update(
+        {
+            "memory_replicas": MEM_REPLICAS,
+            "memory_cycles": MEM_CYCLES,
+            "memory_shard_mib": MEM_SHARD_MIB,
+            "memory_n_shards": doc["n_shards"],
+            "streamed_messages": doc["count"],
+            "peak_rss_mib": round(peak_rss_mib, 1),
+            "rss_budget_mib": RSS_BUDGET_MIB,
+            "memory_run_seconds": round(elapsed, 2),
+        }
+    )
+
+    def report():
+        return peak_rss_mib
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    assert peak_rss_mib < RSS_BUDGET_MIB, (
+        f"streaming run at R={MEM_REPLICAS} peaked at {peak_rss_mib:.0f} MiB "
+        f"(budget {RSS_BUDGET_MIB} MiB): per-message state is leaking into "
+        "a path that must stay O(shards)"
+    )
+
+
+@pytest.mark.skipif(
+    _usable_cpus() < 4,
+    reason=f"speedup benchmark needs >= 4 usable CPUs, have {_usable_cpus()}",
+)
+def test_sharded_speedup(benchmark, cycles):
+    """Four-worker sharded run must beat single-shard serial by >= 2x."""
+    config = NetworkConfig(k=2, n_stages=3, p=0.6, track_limit=0)
+    n_replicas = 256
+    n_cycles = max(cycles, 3_000)
+    workers = 4
+    per_replica = estimate_replica_bytes(config, n_cycles)
+    # exactly `workers` shards: every worker gets one full-size shard
+    shard_mem = per_replica * (n_replicas // workers + 1)
+
+    t0 = perf_counter()
+    serial = stream_totals(
+        config, n_replicas, n_cycles, warmup=500,
+        shard_mem=per_replica * (n_replicas + 1), workers=1,
+    )
+    t_serial = perf_counter() - t0
+    assert serial.n_shards == 1
+
+    t0 = perf_counter()
+    sharded = stream_totals(
+        config, n_replicas, n_cycles, warmup=500,
+        shard_mem=shard_mem, workers=workers,
+    )
+    t_sharded = perf_counter() - t0
+    assert sharded.n_shards == workers
+
+    # shard-invariance holds at benchmark scale too: exact statistics
+    # are bit-identical no matter how the batch was cut or dispatched
+    assert sharded.totals.count == serial.totals.count
+    assert sharded.totals.mean == serial.totals.mean
+    assert sharded.totals.variance == serial.totals.variance
+    assert np.array_equal(sharded.totals.tail, serial.totals.tail)
+    assert sharded.injected == serial.injected
+    assert sharded.completed == serial.completed
+
+    speedup = t_serial / t_sharded
+    _artifact.update(
+        {
+            "scenario": SCENARIO,
+            "n_replicas": n_replicas,
+            "n_cycles": n_cycles,
+            "workers": workers,
+            "serial_seconds": round(t_serial, 4),
+            "sharded_seconds": round(t_sharded, 4),
+            "speedup": round(speedup, 2),
+            "usable_cpus": _usable_cpus(),
+        }
+    )
+    Path("BENCH_scale.json").write_text(json.dumps(_artifact, indent=2))
+
+    def report():
+        return t_sharded
+
+    benchmark.pedantic(report, rounds=1, iterations=1)
+    assert speedup >= 2.0, (
+        f"expected >= 2x sharded speedup at R={n_replicas}: serial "
+        f"{t_serial:.2f}s, sharded {t_sharded:.2f}s ({speedup:.2f}x)"
+    )

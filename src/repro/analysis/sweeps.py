@@ -33,6 +33,11 @@ from repro.simulation.stats import batch_means_ci
 __all__ = ["SweepPoint", "sweep", "load_sweep", "switch_size_sweep", "message_size_sweep"]
 
 
+def _first_stage_mean(result) -> float:
+    """Module-level so adaptive-replication statistics stay picklable."""
+    return float(result.stage_means[0])
+
+
 @dataclass(frozen=True)
 class SweepPoint:
     """One simulated configuration with predictions attached."""
@@ -77,9 +82,21 @@ def sweep(
     The configurations run as one :mod:`repro.exec` batch: an ambient
     execution context (CLI ``--workers`` / ``--cache``) parallelises
     and caches the sweep; the default context runs serially inline.
+
+    When the ambient context carries ``target_ci`` (CLI
+    ``--target-ci``), each point's first-stage statistic is instead
+    estimated by adaptive replication
+    (:func:`repro.simulation.replication.replicate_until`): replications
+    grow per point until the cross-replication t-interval half-width
+    reaches the target, so low-variance points stop early while noisy
+    ones get the replications they need.  The totals columns still come
+    from the single tracked run (see ``docs/scaling.md``).
     """
     if not (len(configs) == len(labels) == len(models)):
         raise AnalysisError("configs, labels and models must align")
+    from repro.exec.context import current_execution
+
+    ctx = current_execution()
     specs = [
         ExperimentSpec(config=config, n_cycles=n_cycles, label=f"sweep:{label}")
         for config, label in zip(configs, labels, strict=True)
@@ -94,14 +111,27 @@ def sweep(
                 f"{label}: only {rows.shape[0]} tracked messages; "
                 "raise n_cycles or lower n_batches"
             )
-        first_ci = batch_means_ci(rows[:, 0], n_batches=n_batches)
+        first_mean = float(result.stage_means[0])
+        first_half_width = batch_means_ci(rows[:, 0], n_batches=n_batches).half_width
+        if ctx.target_ci is not None:
+            from repro.simulation.replication import replicate_until
+
+            adaptive = replicate_until(
+                config,
+                _first_stage_mean,
+                target_half_width=ctx.target_ci,
+                n_cycles=n_cycles,
+                base_seed=(config.seed or 0) * 101 + 7,
+            )
+            first_mean = adaptive.statistic.mean
+            first_half_width = adaptive.statistic.half_width
         total_ci = batch_means_ci(rows.sum(axis=1), n_batches=n_batches)
         out.append(
             SweepPoint(
                 label=label,
                 config=config,
-                first_stage_mean=float(result.stage_means[0]),
-                first_stage_ci=first_ci.half_width,
+                first_stage_mean=first_mean,
+                first_stage_ci=first_half_width,
                 deep_stage_mean=float(np.mean(result.stage_means[-2:])),
                 total_mean=total_ci.mean,
                 total_ci=total_ci.half_width,

@@ -62,9 +62,10 @@ def result_summary(result: NetworkResult) -> Dict[str, Any]:
 
     Deliberately scalar-and-small: the full cohort stays in the result
     cache; clients wanting arrays re-run against the cache locally.
+    Streaming-summary results (``track_limit=0``) have no per-message
+    cohort; their totals come from the streamed moment accumulators.
     """
-    totals = result.tracked.totals()
-    return {
+    doc: Dict[str, Any] = {
         "n_cycles": int(result.n_cycles),
         "warmup": int(result.warmup),
         "injected": int(result.injected),
@@ -73,10 +74,21 @@ def result_summary(result: NetworkResult) -> Dict[str, Any]:
         "max_occupancy": int(result.max_occupancy),
         "stage_means": [float(x) for x in result.stage_means],
         "stage_variances": [float(x) for x in result.stage_variances],
-        "tracked_messages": int(totals.size),
-        "mean_total_wait": float(totals.mean()) if totals.size else None,
         "elapsed_seconds": float(result.elapsed_seconds),
     }
+    if result.totals_summary is not None:
+        doc["tracked_messages"] = 0
+        doc["streamed_messages"] = int(result.totals_summary.count)
+        doc["mean_total_wait"] = (
+            float(result.total_waiting_mean())
+            if result.totals_summary.count
+            else None
+        )
+    else:
+        totals = result.tracked.totals()
+        doc["tracked_messages"] = int(totals.size)
+        doc["mean_total_wait"] = float(totals.mean()) if totals.size else None
+    return doc
 
 
 def _last_line(text: Optional[str]) -> Optional[str]:
@@ -143,6 +155,8 @@ class JobManager:
         retries: int = 1,
         timeout: Optional[float] = None,
         backend: str = "auto",
+        stream: bool = False,
+        shard_mem: Optional[int] = None,
         max_queue: int = 64,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
@@ -162,6 +176,10 @@ class JobManager:
         #: compute backend forwarded to each job's run_many call (an
         #: execution detail: digests and cached payloads never see it)
         self._backend = backend
+        #: streamed sharded execution knobs, forwarded the same way
+        #: (shard_mem is a byte budget; see docs/scaling.md)
+        self._stream = stream or shard_mem is not None
+        self._shard_mem = shard_mem
         self._max_queue = max_queue
         # SQLite connections are thread-bound, so the manager keeps the
         # ledger *path* and opens one handle per thread that ingests.
@@ -278,6 +296,8 @@ class JobManager:
                 "executors": len(self._threads),
                 "workers": self._workers,
                 "backend": self._backend,
+                "stream": self._stream,
+                "shard_mem": self._shard_mem,
                 "uptime_seconds": time.time() - self._started_unix,
                 "ledger": self._db_path is not None,
             }
@@ -369,6 +389,8 @@ class JobManager:
                     progress=progress,
                     task_fn=self._task_fn,
                     backend=self._backend,
+                    stream=self._stream,
+                    shard_mem=self._shard_mem,
                 )
                 outcome = batch.outcomes[0]
         except Exception as exc:

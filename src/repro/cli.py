@@ -91,6 +91,25 @@ def build_parser() -> argparse.ArgumentParser:
         "JIT when usable, reference otherwise) -- results are "
         "bit-identical either way (see docs/backends.md)",
     )
+    common.add_argument(
+        "--shard-mem",
+        type=int,
+        default=None,
+        metavar="MIB",
+        dest="shard_mem",
+        help="per-shard memory budget in MiB for huge replication batches; "
+        "implies the streamed sharded engine (results are bit-identical "
+        "under any budget; see docs/scaling.md)",
+    )
+    common.add_argument(
+        "--target-ci",
+        type=float,
+        default=None,
+        dest="target_ci",
+        help="adaptive replication: grow replications per scenario until "
+        "the 95%% t-interval half-width is at most this value, instead of "
+        "a fixed count (see docs/scaling.md)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -234,7 +253,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dq.add_argument(
         "--engine", default=None,
-        choices=["serial", "replica-batched", "scenario-batched"],
+        choices=["serial", "replica-batched", "scenario-batched", "stream"],
     )
     dq.add_argument(
         "--limit", type=int, default=20, help="max rows (default 20; 0 = all)"
@@ -311,6 +330,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--timeout", type=float, default=None,
         help="per-task seconds before a dispatched job counts as failed",
+    )
+    serve.add_argument(
+        "--shard-mem",
+        type=int,
+        default=None,
+        metavar="MIB",
+        dest="shard_mem",
+        help="run jobs on the streamed sharded engine with this per-shard "
+        "memory budget in MiB (see docs/scaling.md)",
     )
     serve.add_argument(
         "--max-queue", type=int, default=64,
@@ -491,6 +519,7 @@ def _run_batch(args) -> int:
             note += f"  ({event['error']})"
         print(note, file=sys.stderr)
 
+    shard_mib = getattr(args, "shard_mem", None)
     batch = run_many(
         specs,
         workers=workers,
@@ -500,6 +529,8 @@ def _run_batch(args) -> int:
         progress=progress,
         vectorize=getattr(args, "vectorize_replicas", False),
         backend=getattr(args, "backend", "auto"),
+        stream=shard_mib is not None,
+        shard_mem=shard_mib * 1024 * 1024 if shard_mib is not None else None,
         db=db,
     )
     lines = [
@@ -727,12 +758,14 @@ def _run_serve(args) -> int:
         from repro.expdb import ExperimentDB
 
         db = ExperimentDB(args.db)
+    shard_mib = args.shard_mem
     manager = JobManager(
         executors=args.executors,
         workers=args.workers,
         retries=args.retries,
         timeout=args.timeout,
         backend=args.backend,
+        shard_mem=shard_mib * 1024 * 1024 if shard_mib is not None else None,
         max_queue=args.max_queue,
         cache=None if args.no_cache else ResultCache(args.cache or DEFAULT_CACHE_DIR),
         use_cache=not args.no_cache,
@@ -908,11 +941,15 @@ def main(argv: Optional[List[str]] = None) -> int:
 
         # the batch/cache commands manage their own cache handle
         cache_dir = args.cache if args.command not in ("batch", "cache") else None
+        shard_mib = getattr(args, "shard_mem", None)
         context = ExecutionContext(
             workers=args.workers or 1,
             cache=ResultCache(cache_dir) if cache_dir else None,
             vectorize=getattr(args, "vectorize_replicas", False),
             backend=getattr(args, "backend", "auto"),
+            stream=shard_mib is not None,
+            shard_mem=shard_mib * 1024 * 1024 if shard_mib is not None else None,
+            target_ci=getattr(args, "target_ci", None),
         )
         with use_execution(context):
             return _dispatch(args)

@@ -57,9 +57,18 @@ from repro.exec.scenarios import (
     scenario_dir,
     scenario_specs,
 )
+from repro.exec.sharded import (
+    DEFAULT_SHARD_MEM,
+    ShardedTotals,
+    estimate_replica_bytes,
+    plan_shard_size,
+    stream_totals,
+)
 from repro.exec.spec import (
     SPEC_SCHEMA_VERSION,
+    STREAM_MARKER,
     ExperimentSpec,
+    group_for_stream,
     group_for_vectorize,
     resolve_seeds,
     spec_from_jsonable,
@@ -69,11 +78,19 @@ from repro.exec.spec import (
 __all__ = [
     # spec
     "SPEC_SCHEMA_VERSION",
+    "STREAM_MARKER",
     "ExperimentSpec",
+    "group_for_stream",
     "group_for_vectorize",
     "resolve_seeds",
     "spec_from_jsonable",
     "specs_from_file",
+    # sharded
+    "DEFAULT_SHARD_MEM",
+    "ShardedTotals",
+    "estimate_replica_bytes",
+    "plan_shard_size",
+    "stream_totals",
     # runner
     "BatchResult",
     "LocalPool",

@@ -42,7 +42,7 @@ import numpy as np
 
 from repro._version import __version__
 from repro.simulation.network import NetworkConfig, NetworkResult
-from repro.simulation.stats import TrackedMessages
+from repro.simulation.stats import TotalsSummary, TrackedMessages
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -78,6 +78,18 @@ _ARRAYS = {
     "tracked_rows": np.float32,
 }
 
+#: Optional scalar fields carried only by streaming-summary results
+#: (``track_limit=0``): the five :class:`TotalsSummary` scalars.  Old
+#: cache entries simply lack them; new tracked-mode entries omit them,
+#: so the on-disk format is unchanged for every pre-existing workload.
+_TOTALS_SCALARS = (
+    "totals_count",
+    "totals_mean",
+    "totals_m2",
+    "totals_min",
+    "totals_max",
+)
+
 
 def result_to_payload(result: NetworkResult) -> dict:
     """Flatten a result into plain scalars + arrays (IPC / disk form).
@@ -88,7 +100,7 @@ def result_to_payload(result: NetworkResult) -> dict:
     ``stage_correlations()`` bit-for-bit.
     """
     rows = result.tracked.complete_rows().astype(np.float32)
-    return {
+    payload = {
         "n_cycles": int(result.n_cycles),
         "warmup": int(result.warmup),
         "injected": int(result.injected),
@@ -101,6 +113,14 @@ def result_to_payload(result: NetworkResult) -> dict:
         "stage_counts": np.asarray(result.stage_counts, dtype=np.int64),
         "tracked_rows": rows,
     }
+    summary = result.totals_summary
+    if summary is not None:
+        payload["totals_count"] = int(summary.count)
+        payload["totals_mean"] = float(summary.mean)
+        payload["totals_m2"] = float(summary.m2)
+        payload["totals_min"] = float(summary.minimum)
+        payload["totals_max"] = float(summary.maximum)
+    return payload
 
 
 def payload_to_result(payload: dict, config: NetworkConfig) -> NetworkResult:
@@ -108,6 +128,15 @@ def payload_to_result(payload: dict, config: NetworkConfig) -> NetworkResult:
     stage_means = np.asarray(payload["stage_means"], dtype=np.float64)
     n_stages = stage_means.shape[0]
     tracked = TrackedMessages.from_rows(payload["tracked_rows"], n_stages)
+    summary = None
+    if "totals_count" in payload:
+        summary = TotalsSummary(
+            count=int(payload["totals_count"]),
+            mean=float(payload["totals_mean"]),
+            m2=float(payload["totals_m2"]),
+            minimum=float(payload["totals_min"]),
+            maximum=float(payload["totals_max"]),
+        )
     return NetworkResult(
         config=config,
         n_cycles=int(payload["n_cycles"]),
@@ -121,6 +150,7 @@ def payload_to_result(payload: dict, config: NetworkConfig) -> NetworkResult:
         dropped=int(payload["dropped"]),
         max_occupancy=int(payload["max_occupancy"]),
         elapsed_seconds=float(payload["elapsed_seconds"]),
+        totals_summary=summary,
     )
 
 
@@ -265,7 +295,11 @@ class ResultCache:
             "created_unix": time.time(),
             "repro_version": __version__,
             "spec": spec.to_jsonable(),
-            "payload": {k: payload[k] for k in _SCALARS},
+            "payload": {
+                k: payload[k]
+                for k in (*_SCALARS, *_TOTALS_SCALARS)
+                if k in payload or k in _SCALARS
+            },
         }
         arrays = {k: np.asarray(payload[k], dtype=dtype) for k, dtype in _ARRAYS.items()}
         self._atomic_write(npz_path, lambda fh: np.savez_compressed(fh, **arrays))

@@ -48,6 +48,17 @@ class ExecutionContext:
     #: ``"auto"``); an execution detail -- results and cache keys are
     #: backend-independent (see :mod:`repro.simulation.backends`)
     backend: str = "auto"
+    #: run specs on the streamed engine in memory-bounded shards
+    #: (:mod:`repro.exec.sharded`); mutually exclusive with ``vectorize``
+    stream: bool = False
+    #: per-shard byte budget for ``stream`` mode (``None`` = the
+    #: 256 MiB default); never enters digests or results
+    shard_mem: Optional[int] = None
+    #: when set, adaptive replication helpers
+    #: (:func:`repro.simulation.replication.replicate_until`, sweep
+    #: generators) grow replicas until the t-interval half-width of
+    #: their target statistic drops below this value
+    target_ci: Optional[float] = None
 
 
 _DEFAULT = ExecutionContext()
@@ -90,6 +101,8 @@ def run_batch(specs: Sequence[ExperimentSpec], **overrides) -> BatchResult:
         "timeout": ctx.timeout,
         "vectorize": ctx.vectorize,
         "backend": ctx.backend,
+        "stream": ctx.stream,
+        "shard_mem": ctx.shard_mem,
     }
     kwargs.update(overrides)
     return run_many(specs, **kwargs)

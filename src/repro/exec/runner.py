@@ -36,12 +36,18 @@ import traceback
 import warnings
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
+from functools import partial
 from time import perf_counter
 from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 from repro.errors import ExecutionError
 from repro.exec.cache import ResultCache, payload_to_result, result_to_payload
-from repro.exec.spec import ExperimentSpec, group_for_vectorize, resolve_seeds
+from repro.exec.spec import (
+    ExperimentSpec,
+    group_for_stream,
+    group_for_vectorize,
+    resolve_seeds,
+)
 from repro.obs.session import current_session
 from repro.simulation.network import NetworkResult, NetworkSimulator
 from repro.simulation.rng import DEFAULT_SEED
@@ -136,6 +142,36 @@ def _execute_job(
     return _run_chunk(specs, None)
 
 
+def _run_stream_shard(
+    specs: List[ExperimentSpec], batched: bool, backend: str = "auto"
+) -> List[tuple]:
+    """Worker-side streamed executor: one shard, one payload per spec.
+
+    ``batched`` is accepted for dispatcher symmetry and ignored -- every
+    stream job is a :func:`~repro.simulation.streamed.run_streamed`
+    call.  Shard failure is atomic, like a stacked group.
+    """
+    started = perf_counter()
+    try:
+        from repro.simulation.streamed import run_streamed
+
+        batch = run_streamed(
+            [s.config for s in specs],
+            specs[0].n_cycles,
+            warmup=specs[0].warmup,
+            backend=backend,
+        )
+        elapsed = perf_counter() - started
+        out = []
+        for result in batch.results:
+            payload = result_to_payload(result)
+            payload["elapsed_seconds"] = elapsed / len(specs)
+            out.append(("ok", payload))
+        return out
+    except Exception:
+        return [("err", traceback.format_exc(limit=20))] * len(specs)
+
+
 def _run_vectorized(
     specs, pending, groups, outcomes, *,
     workers, retries, timeout, cache, progress, backend="auto",
@@ -160,6 +196,58 @@ def _run_vectorized(
             jobs.append((indices, need, True))
         else:
             jobs.extend(([i], [i], False) for i in need)
+    execute = partial(_execute_job, backend=backend)
+    _dispatch_jobs(
+        specs, jobs, outcomes, workers=workers, retries=retries,
+        timeout=timeout, cache=cache, progress=progress, execute=execute,
+    )
+
+
+def _run_streamed_groups(
+    specs, pending, groups, outcomes, *,
+    workers, retries, timeout, cache, progress, backend="auto", shard_mem=None,
+) -> None:
+    """Execute a stream-marked batch in memory-bounded shards.
+
+    Unlike the vectorized path, jobs cover only *pending* specs: a
+    streamed replica's result is independent of its shard-mates, so
+    cached members are genuinely skipped and the pending remainder is
+    sharded under the byte budget.  Shard composition affects neither
+    results (shard-invariance, test-asserted) nor digests
+    (:data:`~repro.exec.spec.STREAM_MARKER` carries no batch info).
+    """
+    from repro.exec.sharded import plan_shard_size
+
+    pending_set = set(pending)
+    jobs: List[tuple] = []
+    for indices, _ in groups:
+        need = [i for i in indices if i in pending_set]
+        if not need:
+            continue
+        shard_size = plan_shard_size(
+            specs[need[0]].config, specs[need[0]].n_cycles, shard_mem
+        )
+        for j in range(0, len(need), shard_size):
+            shard = need[j : j + shard_size]
+            jobs.append((shard, shard, True))
+    execute = partial(_run_stream_shard, backend=backend)
+    _dispatch_jobs(
+        specs, jobs, outcomes, workers=workers, retries=retries,
+        timeout=timeout, cache=cache, progress=progress, execute=execute,
+    )
+
+
+def _dispatch_jobs(
+    specs, jobs, outcomes, *,
+    workers, retries, timeout, cache, progress, execute,
+) -> None:
+    """Run group-shaped jobs in-process or on a pool, with retries.
+
+    A job is ``(indices_to_run, indices_to_finish, batched)``;
+    ``execute(specs_list, batched)`` returns one ``("ok"|"err", ...)``
+    per spec.  ``execute`` must be picklable for pooled dispatch.
+    Retries and timeouts apply per job, atomically.
+    """
 
     def finish(job, attempt, job_out) -> List[tuple]:
         """Finish a job's pending members; return member-level errors."""
@@ -196,7 +284,7 @@ def _run_vectorized(
             attempt = 1
             while job is not None:
                 indices, need, batched = job
-                job_out = _execute_job([specs[i] for i in indices], batched, backend)
+                job_out = execute([specs[i] for i in indices], batched)
                 errors = finish(job, attempt, job_out)
                 job = None
                 if errors:
@@ -214,9 +302,7 @@ def _run_vectorized(
 
         def submit(job, attempt: int) -> None:
             indices, _, batched = job
-            fut = pool.submit(
-                _execute_job, [specs[i] for i in indices], batched, backend
-            )
+            fut = pool.submit(execute, [specs[i] for i in indices], batched)
             futures[fut] = (job, attempt, perf_counter())
 
         for job in jobs:
@@ -539,6 +625,8 @@ def run_many(
     progress: Optional[Callable[[dict], None]] = None,
     task_fn: Optional[Callable[[ExperimentSpec], NetworkResult]] = None,
     vectorize: bool = False,
+    stream: bool = False,
+    shard_mem: Optional[int] = None,
     backend: str = "auto",
     db: Optional["ExperimentDB"] = None,
 ) -> BatchResult:
@@ -581,6 +669,24 @@ def run_many(
         same-shape partner, or with finite buffers, silently fall back
         to the serial engine, so ``vectorize=True`` is always safe.
         Incompatible with ``task_fn`` and ``chunksize``.
+    stream:
+        Run every spec on the streamed engine
+        (:mod:`repro.simulation.streamed`) in memory-bounded shards.
+        Specs are stream-marked (digest kind ``"stream"`` -- a distinct
+        replication design from both serial and batched runs), grouped
+        by shape like ``vectorize``, and the *pending* members of each
+        group sharded under ``shard_mem``: cached specs are skipped
+        outright, and results are bit-identical for any shard size or
+        worker count (streamed replicas are seeded independently).
+        Requires infinite buffers; incompatible with ``vectorize``,
+        ``task_fn``, and ``chunksize``.  ``track_limit=0`` specs
+        additionally return streaming totals summaries instead of
+        per-message panels (see ``docs/scaling.md``).
+    shard_mem:
+        Per-shard working-set budget in bytes for ``stream=True``
+        (default :data:`~repro.exec.sharded.DEFAULT_SHARD_MEM`,
+        256 MiB).  Purely an execution knob: it never enters digests or
+        results.
     backend:
         Compute backend for vectorized groups -- ``"numpy"``,
         ``"numba"``, or ``"auto"`` (default; JIT when numba is usable,
@@ -604,6 +710,17 @@ def run_many(
         raise ExecutionError("vectorize=True cannot run a custom task_fn")
     if vectorize and chunksize is not None:
         raise ExecutionError("vectorize=True groups specs itself; drop chunksize")
+    if stream and vectorize:
+        raise ExecutionError(
+            "stream=True and vectorize=True are distinct replication "
+            "designs (independent vs shared-stream seeding); pick one"
+        )
+    if stream and task_fn is not None:
+        raise ExecutionError("stream=True cannot run a custom task_fn")
+    if stream and chunksize is not None:
+        raise ExecutionError("stream=True shards specs itself; drop chunksize")
+    if shard_mem is not None and not stream:
+        raise ExecutionError("shard_mem only applies with stream=True")
     if backend not in ("numpy", "numba", "auto"):
         raise ExecutionError(
             f"backend must be one of 'numpy', 'numba', 'auto'; got {backend!r}"
@@ -616,6 +733,10 @@ def run_many(
         # composition -- and hence every digest and result -- is a pure
         # function of the spec list, never of cache state
         specs, groups = group_for_vectorize(specs)
+    elif stream:
+        # stream marking is composition-free, so here the cache may
+        # legitimately shape execution: only pending specs are sharded
+        specs, groups = group_for_stream(specs)
     outcomes: List[Optional[TaskOutcome]] = [None] * len(specs)
 
     pending: List[int] = []
@@ -635,6 +756,13 @@ def run_many(
                 specs, pending, groups, outcomes,
                 workers=workers, retries=retries, timeout=timeout,
                 cache=cache, progress=progress, backend=backend,
+            )
+        elif stream:
+            _run_streamed_groups(
+                specs, pending, groups, outcomes,
+                workers=workers, retries=retries, timeout=timeout,
+                cache=cache, progress=progress, backend=backend,
+                shard_mem=shard_mem,
             )
         elif workers == 1 or len(pending) == 1:
             _run_serial(specs, pending, outcomes, retries, task_fn, cache, progress)

@@ -39,7 +39,9 @@ from repro.simulation.rng import DEFAULT_SEED
 __all__ = [
     "SPEC_SCHEMA_VERSION",
     "STACKABLE_CONFIG_FIELDS",
+    "STREAM_MARKER",
     "ExperimentSpec",
+    "group_for_stream",
     "group_for_vectorize",
     "resolve_seeds",
     "spec_from_jsonable",
@@ -49,6 +51,14 @@ __all__ = [
 #: Bumped whenever the identity document below changes meaning; part of
 #: every digest, so old cache entries can never alias new semantics.
 SPEC_SCHEMA_VERSION = 1
+
+#: ``batch_marker`` for specs that run on the streamed engine
+#: (:mod:`repro.simulation.streamed`).  Deliberately composition-free:
+#: streamed replicas are seeded independently, so the same spec yields
+#: the same result in any shard of any batch -- one digest (and one
+#: cache entry) serves them all.  Shard size is an execution knob and
+#: must never appear here.
+STREAM_MARKER = ("stream",)
 
 
 def _canonical_json(doc) -> str:
@@ -93,7 +103,12 @@ class ExperimentSpec:
         every stackable parameter) for a *heterogeneous*
         scenario-stacked batch, so the two batch kinds can never alias
         each other either.  One-replica batches are bit-identical to
-        serial runs and stay unmarked.
+        serial runs and stay unmarked.  The :data:`STREAM_MARKER`
+        1-tuple ``("stream",)`` instead marks execution on the streamed
+        engine (:func:`group_for_stream`): independent per-replica
+        seeding makes streamed results composition-free, so the marker
+        carries no batch information and one digest covers every
+        sharding.
     """
 
     config: NetworkConfig
@@ -105,7 +120,13 @@ class ExperimentSpec:
     def __post_init__(self) -> None:
         if self.batch_marker is not None:
             marker = tuple(self.batch_marker)
-            if (
+            if marker == STREAM_MARKER:
+                # streamed engine: a replica's sample path is a pure
+                # function of its own (config, n_cycles, warmup) -- no
+                # batch composition enters the digest, so one digest
+                # serves every sharding of the same spec
+                object.__setattr__(self, "batch_marker", STREAM_MARKER)
+            elif (
                 len(marker) != 3
                 or not isinstance(marker[0], int)
                 or not isinstance(marker[1], int)
@@ -119,10 +140,10 @@ class ExperimentSpec:
                 )
             ):
                 raise ExecutionError(
-                    "batch_marker must be (n_replicas, replica_index, "
-                    "batch_rows) with n_replicas >= 2 and rows all ints "
-                    f"(seeds) or all strings (scenario rows), got "
-                    f"{self.batch_marker!r}"
+                    "batch_marker must be ('stream',) or (n_replicas, "
+                    "replica_index, batch_rows) with n_replicas >= 2 and "
+                    f"rows all ints (seeds) or all strings (scenario rows), "
+                    f"got {self.batch_marker!r}"
                 )
             object.__setattr__(self, "batch_marker", marker)
         if not isinstance(self.config, NetworkConfig):
@@ -155,7 +176,11 @@ class ExperimentSpec:
             "n_cycles": int(self.n_cycles),
             "warmup": self.warmup,
         }
-        if self.batch_marker is not None:
+        if self.batch_marker == STREAM_MARKER:
+            # no batch composition: streamed replicas are independent,
+            # so the digest is shard-configuration-free by construction
+            doc["engine"] = {"kind": "stream"}
+        elif self.batch_marker is not None:
             n_replicas, replica, rows = self.batch_marker
             if rows and isinstance(rows[0], str):
                 # heterogeneous scenario stack: a distinct kind + key so
@@ -308,6 +333,59 @@ def group_for_vectorize(specs: Iterable[ExperimentSpec]):
                     specs[i], batch_marker=(len(indices), pos, marker_rows)
                 )
         groups.append((indices, batchable))
+    return marked, groups
+
+
+def group_for_stream(specs: Iterable[ExperimentSpec]):
+    """Partition a seed-resolved batch into streamed-engine groups.
+
+    The streamed sibling of :func:`group_for_vectorize`: two specs share
+    a group iff they agree on the shape-fixing fields (so one
+    :func:`~repro.simulation.streamed.run_streamed` call can stack
+    them), and **every** spec -- including singletons -- is marked with
+    :data:`STREAM_MARKER`, because the streamed engine's per-replica
+    draw order differs from the serial engine's and the two must never
+    alias in the cache.
+
+    Unlike batched groups, a streamed group is *not* execution-atomic:
+    replicas are independent, so the runner may execute any subset of a
+    group (cached members are genuinely skipped, pending ones sharded
+    freely) and still reproduce the monolithic results bit for bit.
+
+    Finite-buffer specs are refused -- the streamed engine cannot drop
+    messages from pre-drawn queues.
+
+    Returns ``(marked_specs, groups)``; ``groups`` entries are
+    ``(indices, True)`` (the boolean kept for dispatcher symmetry).
+    """
+    specs = list(specs)
+    by_shape: dict = {}
+    for i, spec in enumerate(specs):
+        if spec.batch_marker is not None:
+            raise ExecutionError(
+                f"spec {i} ({spec.label or spec.digest[:12]}) is already "
+                "batch-marked; pass unmarked specs to the runner"
+            )
+        if spec.config.seed is None:
+            raise ExecutionError("group_for_stream needs seed-resolved specs")
+        if spec.config.buffer_capacity is not None:
+            raise ExecutionError(
+                f"spec {i} ({spec.label or spec.digest[:12]}) has finite "
+                "buffers; the streamed engine supports infinite buffers "
+                "only -- run it without stream=True"
+            )
+        ident = spec.identity()
+        config_doc = dict(ident["config"])
+        config_doc.pop("seed", None)
+        for name in STACKABLE_CONFIG_FIELDS:
+            config_doc.pop(name, None)
+        ident["config"] = config_doc
+        by_shape.setdefault(_canonical_json(ident), []).append(i)
+
+    marked = [
+        dataclasses.replace(spec, batch_marker=STREAM_MARKER) for spec in specs
+    ]
+    groups = [(indices, True) for indices in by_shape.values()]
     return marked, groups
 
 

@@ -72,7 +72,13 @@ _SCENARIO_COLUMNS = (
 #: times inside a BENCH artifact.  Covers the three shipped formats and
 #: degrades gracefully for future ones (any other ``*_seconds`` pair).
 _BASELINE_KEYS = ("serial_seconds", "per_load_batched_seconds", "numpy_seconds")
-_MEASURED_KEYS = ("batched_seconds", "stacked_seconds", "parallel_seconds", "numba_seconds")
+_MEASURED_KEYS = (
+    "batched_seconds",
+    "stacked_seconds",
+    "parallel_seconds",
+    "numba_seconds",
+    "sharded_seconds",
+)
 
 
 def provenance() -> Dict[str, Optional[str]]:
@@ -95,6 +101,9 @@ def engine_kind(spec: "ExperimentSpec") -> str:
     """Which engine variant a spec's digest is keyed for."""
     if spec.batch_marker is None:
         return "serial"
+    if spec.batch_marker[0] == "stream":
+        # the composition-free streamed marker (repro.exec.spec.STREAM_MARKER)
+        return "stream"
     rows = spec.batch_marker[2]
     if rows and isinstance(rows[0], str):
         return "scenario-batched"

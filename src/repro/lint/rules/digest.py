@@ -41,10 +41,12 @@ __all__ = ["DigestPartitionRule"]
 SEED_FIELD = "seed"
 
 
-def _find_config_fields(tree: ast.Module) -> Optional[tuple[ast.ClassDef, list[str]]]:
-    """The ``NetworkConfig`` dataclass and its field names, if defined."""
+def _find_class_fields(
+    tree: ast.Module, class_name: str
+) -> Optional[tuple[ast.ClassDef, list[str]]]:
+    """A dataclass by name and its annotated field names, if defined."""
     for node in ast.walk(tree):
-        if isinstance(node, ast.ClassDef) and node.name == "NetworkConfig":
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
             fields = [
                 stmt.target.id
                 for stmt in node.body
@@ -101,11 +103,18 @@ class DigestPartitionRule(ProjectRule):
         shape_ctx: Optional[FileContext] = None
         shape_node: Optional[ast.AST] = None
         shape: Optional[list[str]] = None
+        exec_ctx: Optional[FileContext] = None
+        exec_node: Optional[ast.ClassDef] = None
+        exec_fields: Optional[list[str]] = None
         for ctx in files:
             if config_fields is None:
-                found = _find_config_fields(ctx.tree)
+                found = _find_class_fields(ctx.tree, "NetworkConfig")
                 if found is not None:
                     config_ctx, (_, config_fields) = ctx, found
+            if exec_fields is None:
+                found = _find_class_fields(ctx.tree, "ExecutionContext")
+                if found is not None:
+                    exec_ctx, (exec_node, exec_fields) = ctx, found
             if stackable_node is None:
                 found_t = _find_tuple_assignment(ctx.tree, "STACKABLE_CONFIG_FIELDS")
                 if found_t is not None:
@@ -172,3 +181,20 @@ class DigestPartitionRule(ProjectRule):
                 "they would silently fall out of cache digests and batch "
                 "grouping -- classify each as stackable or shape-fixing",
             )
+
+        # execution knobs (workers, shard_mem, stream, ...) must never
+        # share a name with a NetworkConfig field: a collision invites
+        # threading an execution detail into a config -- and hence into
+        # every spec digest -- by accident.  Model parameters belong on
+        # NetworkConfig; how a batch runs belongs on ExecutionContext.
+        if exec_ctx is not None and exec_fields is not None:
+            collisions = sorted(set(exec_fields) & fields)
+            if collisions:
+                yield exec_ctx.finding(
+                    exec_node,
+                    self.code,
+                    "ExecutionContext field(s) also on NetworkConfig: "
+                    f"{', '.join(collisions)} -- execution knobs must stay "
+                    "disjoint from digest-bearing config fields (rename "
+                    "one side)",
+                )

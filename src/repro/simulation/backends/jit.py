@@ -83,18 +83,30 @@ def cycle_loop_kernel(
     shifts: np.ndarray,
     busy: np.ndarray,
     bin_count: np.ndarray,
+    bin_shift: np.ndarray,
     bin_total: np.ndarray,
     bin_total_sq: np.ndarray,
     tracker_waits: np.ndarray,
     completed: np.ndarray,
     q_high: np.ndarray,
+    streaming: bool,
+    msg_total: np.ndarray,
+    msg_done: np.ndarray,
 ) -> int:
     """Simulate all cycles over pre-drawn arrivals; returns in-flight count.
 
-    Mutates ``busy``, the three stat bins, ``tracker_waits``,
+    Mutates ``busy``, the stat bins (shifted sums, first value seen per
+    bin becomes its shift -- see
+    :class:`~repro.simulation.stats.StageAccumulator`), ``tracker_waits``,
     ``completed``, and ``q_high`` in place.  Pure integer/float
     arithmetic, nopython-compatible; the messages of cycle ``t`` are
     ``ports/dests/services/tracks[offsets[t]:offsets[t + 1]]``.
+
+    With ``streaming`` set, ``tracks`` holds per-message ids into
+    ``msg_total``/``msg_done`` instead of tracker rows: each measured
+    message accumulates its total wait across stages in ``msg_total``
+    and flips ``msg_done`` when it leaves the last stage, so summary
+    statistics need no per-message stage matrix.
     """
     n_msgs = offsets[n_cycles]
     node_next = np.full(n_msgs, -1, dtype=np.int64)
@@ -142,12 +154,18 @@ def cycle_loop_kernel(
             stage = local // width
             if measuring:
                 b = rep * n_stages + stage
+                if bin_count[b] == 0:
+                    bin_shift[b] = wait
+                centered = wait - bin_shift[b]
                 bin_count[b] += 1
-                bin_total[b] += wait
-                bin_total_sq[b] += wait * wait
+                bin_total[b] += centered
+                bin_total_sq[b] += centered * centered
                 tid = tracks[node]
                 if tid >= 0:
-                    tracker_waits[tid, stage] = wait
+                    if streaming:
+                        msg_total[tid] += wait
+                    else:
+                        tracker_waits[tid, stage] = wait
             busy[port] = services[node]
             served_nodes[n_served] = node
             served_ports[n_served] = port
@@ -162,6 +180,8 @@ def cycle_loop_kernel(
             stage = local // width
             if stage == n_stages - 1:
                 completed[rep] += 1
+                if streaming and tracks[node] >= 0:
+                    msg_done[tracks[node]] = 1
                 continue
             line = local - stage * width
             in_line = perm_stack[stage + 1, line]
@@ -196,6 +216,15 @@ def cycle_loop_kernel(
 _compiled_loop: Optional[Callable] = (
     njit(cache=True)(cycle_loop_kernel) if njit is not None else None
 )
+
+
+def compiled_kernel() -> Optional[Callable]:
+    """The ``@njit``-compiled cycle loop, or ``None`` without numba.
+
+    Shared with the streamed engine (:mod:`repro.simulation.streamed`),
+    which drives the same kernel over differently pre-drawn arrivals.
+    """
+    return _compiled_loop
 
 
 def _as_i64(parts: List[np.ndarray], total: int) -> np.ndarray:
@@ -270,14 +299,19 @@ class NumbaBackend:
             engine._shifts,
             engine.busy,
             engine.stats.count,
+            engine.stats.shift,
             engine.stats.total,
             engine.stats.total_sq,
             engine.tracker.waits,
             engine.completed,
             q_high,
+            False,
+            np.zeros(1, dtype=np.float64),
+            np.zeros(1, dtype=np.uint8),
         )
         t2 = perf_counter()
 
+        engine.stats.refresh_unseen()
         engine.queues.record_high_water(q_high)
         engine.now += n_cycles
         # the in-flight messages live in the kernel's (discarded) node

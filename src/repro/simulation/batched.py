@@ -237,6 +237,12 @@ def _build_stacked_engine(configs: Sequence[NetworkConfig]) -> BatchedClockedEng
             "replica batching supports infinite buffers only; run finite-"
             "buffer scenarios serially"
         )
+    if first.track_limit == 0:
+        raise SimulationError(
+            "track_limit=0 (streaming summary mode) is only supported by "
+            "the streamed engine -- use repro.simulation.streamed."
+            "run_streamed; see docs/scaling.md"
+        )
     n_replicas = len(configs)
     entropy = [DEFAULT_SEED if c.seed is None else int(c.seed) for c in configs]
     children = np.random.SeedSequence(entropy).spawn(2)

@@ -33,7 +33,7 @@ from repro.service.deterministic import DeterministicService
 from repro.service.multisize import MultiSizeService
 from repro.simulation.engine import ClockedEngine
 from repro.simulation.rng import spawn_rngs
-from repro.simulation.stats import TrackedMessages
+from repro.simulation.stats import TotalsSummary, TrackedMessages
 from repro.simulation.topology import (
     BaselineTopology,
     ButterflyTopology,
@@ -127,6 +127,11 @@ class NetworkConfig:
             )
         if self.q > 0 and self.topology == "random":
             raise ModelError("favourite-output traffic needs destination routing")
+        if self.track_limit < 0:
+            raise ModelError(
+                "track_limit must be >= 0 (0 = streaming summary mode, "
+                "supported by the streamed engine only)"
+            )
 
     # ------------------------------------------------------------------
     def service_model(self) -> ServiceProcess:
@@ -210,18 +215,37 @@ class NetworkResult:
     timings: Optional[dict] = None
     #: manifest written for this run (observation session only)
     manifest_path: Optional[str] = None
+    #: streaming summary of the total waiting times (``track_limit=0``
+    #: runs of the streamed engine only; ``None`` = per-message tracking)
+    totals_summary: Optional[TotalsSummary] = None
 
     # -- totals ---------------------------------------------------------
     def total_waits(self) -> np.ndarray:
-        """Total network waiting time per completed tracked message."""
+        """Total network waiting time per completed tracked message.
+
+        Unavailable for streaming-summary runs (``track_limit=0``),
+        which keep moments instead of per-message values -- use
+        :meth:`total_waiting_mean` / :meth:`total_waiting_variance` or
+        the batch-level :class:`~repro.simulation.stats.StreamingTotals`.
+        """
+        if self.totals_summary is not None:
+            raise SimulationError(
+                "per-message total waits were not stored (streaming summary "
+                "mode, track_limit=0); use total_waiting_mean/_variance or "
+                "the StreamingTotals sketch -- see docs/scaling.md"
+            )
         return self.tracked.totals()
 
     def total_waiting_mean(self) -> float:
         """Sample mean of the total waiting time."""
+        if self.totals_summary is not None:
+            return self.totals_summary.mean
         return float(self.total_waits().mean())
 
     def total_waiting_variance(self) -> float:
         """Sample variance of the total waiting time."""
+        if self.totals_summary is not None:
+            return self.totals_summary.variance
         return float(self.total_waits().var(ddof=1))
 
     def stage_correlations(self) -> np.ndarray:
@@ -261,6 +285,13 @@ class NetworkSimulator:
     """
 
     def __init__(self, config: NetworkConfig) -> None:
+        if config.track_limit == 0:
+            raise SimulationError(
+                "track_limit=0 (streaming summary mode) is only supported "
+                "by the streamed engine -- use "
+                "repro.simulation.streamed.run_streamed or the sharded "
+                "exec driver; see docs/scaling.md"
+            )
         self.config = config
         traffic_rng, routing_rng = spawn_rngs(config.seed, 2)
         self.topology = config.build_topology()

@@ -21,7 +21,13 @@ from repro.errors import SimulationError
 from repro.obs.session import current_session
 from repro.simulation.network import NetworkConfig, NetworkResult
 
-__all__ = ["ReplicatedStatistic", "replicate", "replicated_statistic"]
+__all__ = [
+    "AdaptiveReplication",
+    "ReplicatedStatistic",
+    "replicate",
+    "replicate_until",
+    "replicated_statistic",
+]
 
 
 @dataclass(frozen=True)
@@ -143,6 +149,142 @@ def replicate(
         # exec-batch manifest instead)
         session.record_batch(out)
     return out
+
+
+@dataclass(frozen=True)
+class AdaptiveReplication:
+    """Outcome of :func:`replicate_until`."""
+
+    #: the aggregated statistic over every replication actually run
+    statistic: ReplicatedStatistic
+    #: growth rounds taken (1 = the pilot already converged)
+    rounds: int
+    #: replications actually executed
+    n_replications: int
+    #: the half-width the caller asked for
+    target_half_width: float
+    #: whether the target was met (``False`` = ``r_max`` exhausted)
+    converged: bool
+    #: total engine cycles actually simulated across all rounds
+    #: (cache-served replicas excluded) -- the work metric the
+    #: early-stopping tests assert on
+    engine_cycles: int
+
+    @property
+    def half_width(self) -> float:
+        return self.statistic.half_width
+
+    def __str__(self) -> str:
+        state = "converged" if self.converged else "NOT converged"
+        return (
+            f"{self.statistic} [{state} to +/-{self.target_half_width:g} "
+            f"in {self.rounds} round(s), {self.n_replications} replication(s)]"
+        )
+
+
+def replicate_until(
+    config: NetworkConfig,
+    statistic: Callable[[NetworkResult], float],
+    target_half_width: float,
+    n_cycles: int,
+    *,
+    warmup: Optional[int] = None,
+    base_seed: int = 1000,
+    confidence: float = 0.95,
+    r0: int = 8,
+    r_max: int = 4096,
+    workers: Optional[int] = None,
+    stream: Optional[bool] = None,
+    shard_mem: Optional[int] = None,
+) -> AdaptiveReplication:
+    """Grow replications until the t-interval is tight enough.
+
+    Runs a pilot of ``r0`` replications (seeds ``base_seed + i``, the
+    same derivation as :func:`replicate`), then repeatedly extends the
+    sample until the Student-t half-width of ``statistic`` drops to
+    ``target_half_width`` or ``r_max`` replications have run.  Each
+    round's size combines a variance forecast
+    ``n ~ (t * std / target)**2`` (the classical sequential
+    fixed-width procedure) with a doubling floor, so low-variance scenarios
+    stop after the pilot while noisy ones approach their forecast in
+    O(log) rounds rather than creeping one replication at a time.
+
+    Replications are executed through :func:`repro.exec.run_many` on
+    the streamed engine by default (``stream=None`` follows the ambient
+    :class:`~repro.exec.context.ExecutionContext`; its default is
+    streamed here because adaptive growth *extends* earlier rounds, and
+    streamed replicas are exactly the engine whose results are
+    extension-invariant and individually cacheable).  Earlier rounds'
+    replicas are therefore never re-simulated: a grown round re-submits
+    their specs and the cache (when ambient) serves them, or the
+    streamed engine reproduces them bit-identically.
+
+    The early-stopping contract asserted by the tests: for a
+    low-variance scenario, ``engine_cycles`` is strictly less than the
+    fixed-``r_max`` budget, while the returned interval still covers
+    the Theorem 1 prediction at every load.
+    """
+    if target_half_width <= 0:
+        raise SimulationError(
+            f"target_half_width must be > 0, got {target_half_width}"
+        )
+    if r0 < 2:
+        raise SimulationError(f"pilot size r0 must be >= 2, got {r0}")
+    if r_max < r0:
+        raise SimulationError(f"r_max {r_max} < pilot size r0 {r0}")
+    if not 0 < confidence < 1:
+        raise SimulationError(f"confidence {confidence} outside (0, 1)")
+    from repro.exec.context import current_execution
+    from repro.exec.runner import run_many
+    from repro.exec.spec import ExperimentSpec
+
+    ctx = current_execution()
+    effective_workers = ctx.workers if workers is None else workers
+    effective_stream = ctx.stream if stream is None else stream
+    effective_shard_mem = ctx.shard_mem if shard_mem is None else shard_mem
+    if not effective_stream:
+        effective_shard_mem = None
+
+    def specs_for(count: int) -> list:
+        return [
+            ExperimentSpec(
+                config=replace(config, seed=base_seed + i),
+                n_cycles=n_cycles,
+                warmup=warmup,
+                label=f"replication-{i}",
+            )
+            for i in range(count)
+        ]
+
+    n = r0
+    rounds = 0
+    simulated = 0
+    while True:
+        rounds += 1
+        batch = run_many(
+            specs_for(n),
+            workers=effective_workers,
+            cache=ctx.cache,
+            retries=ctx.retries,
+            timeout=ctx.timeout,
+            stream=effective_stream,
+            shard_mem=effective_shard_mem,
+        )
+        batch.raise_on_failure()
+        simulated += batch.n_simulated
+        agg = replicated_statistic(batch.results(), statistic, confidence)
+        if agg.half_width <= target_half_width or n >= r_max:
+            return AdaptiveReplication(
+                statistic=agg,
+                rounds=rounds,
+                n_replications=n,
+                target_half_width=target_half_width,
+                converged=agg.half_width <= target_half_width,
+                engine_cycles=simulated * n_cycles,
+            )
+        t = float(sps.t.ppf(0.5 + confidence / 2, df=n - 1))
+        forecast = int(np.ceil((t * agg.std / target_half_width) ** 2))
+        n = min(r_max, max(2 * n, forecast))
 
 
 def replicated_statistic(

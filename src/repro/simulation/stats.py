@@ -18,7 +18,8 @@ histograms (Figures 3--8).  This module supplies the estimators:
 
 from __future__ import annotations
 
-from typing import NamedTuple, Optional
+from dataclasses import dataclass
+from typing import NamedTuple, Optional, Sequence
 
 import numpy as np
 from scipy import stats as sps
@@ -27,7 +28,10 @@ from repro.errors import SimulationError
 
 __all__ = [
     "BatchedTrackedMessages",
+    "QuantileSketch",
     "StageAccumulator",
+    "StreamingTotals",
+    "TotalsSummary",
     "TrackedMessages",
     "batch_means_ci",
     "histogram_pmf",
@@ -35,15 +39,27 @@ __all__ = [
 
 
 class StageAccumulator:
-    """Streaming first/second-moment accumulator per network stage."""
+    """Streaming first/second-moment accumulator per network stage.
+
+    Sums are kept *shifted*: the first waiting time observed in a bin
+    becomes that bin's fixed shift, and ``total`` / ``total_sq``
+    accumulate ``x - shift`` and ``(x - shift)**2``.  Waiting times in a
+    clocked network are integer-valued, so the shifted sums stay exact
+    integers (below 2**53) and the two-pass-equivalent variance formula
+    no longer cancels catastrophically when the mean is large relative
+    to the spread -- the naive ``total_sq - n * mean**2`` form loses all
+    significant digits once ``mean**2`` dwarfs the variance.
+    """
 
     def __init__(self, n_stages: int) -> None:
         if n_stages < 1:
             raise SimulationError(f"need >= 1 stage, got {n_stages}")
         self.n_stages = n_stages
         self.count = np.zeros(n_stages, dtype=np.int64)
+        self.shift = np.zeros(n_stages, dtype=np.float64)
         self.total = np.zeros(n_stages, dtype=np.float64)
         self.total_sq = np.zeros(n_stages, dtype=np.float64)
+        self._n_unseen = n_stages
 
     def add(self, stages: np.ndarray, waits: np.ndarray) -> None:
         """Record waiting times ``waits`` observed at ``stages``."""
@@ -51,31 +67,58 @@ class StageAccumulator:
             return
         waits = waits.astype(np.float64, copy=False)
         n = self.n_stages
+        if self._n_unseen:
+            # A bin's shift is the first value it ever sees (np.unique
+            # returns first-occurrence indices), matching the order the
+            # sequential JIT kernel assigns shifts in.
+            bins, first = np.unique(stages, return_index=True)
+            fresh = self.count[bins] == 0
+            if fresh.any():
+                self.shift[bins[fresh]] = waits[first[fresh]]
+                self._n_unseen -= int(fresh.sum())
+        centered = waits - self.shift[stages]
         self.count += np.bincount(stages, minlength=n)
-        self.total += np.bincount(stages, weights=waits, minlength=n)
-        self.total_sq += np.bincount(stages, weights=waits * waits, minlength=n)
+        self.total += np.bincount(stages, weights=centered, minlength=n)
+        self.total_sq += np.bincount(stages, weights=centered * centered, minlength=n)
+
+    def refresh_unseen(self) -> None:
+        """Re-derive the unseen-bin counter after direct array mutation.
+
+        The JIT backend writes ``count``/``shift``/``total``/``total_sq``
+        from inside the compiled kernel; call this afterwards so later
+        :meth:`add` calls keep assigning shifts correctly.
+        """
+        self._n_unseen = int((self.count == 0).sum())
 
     def snapshot(self) -> tuple:
-        """``(count, total, total_sq)`` copies of the running sums.
+        """``(count, total, total_sq)`` copies of the *raw* running sums.
 
-        The raw moments, not the derived mean/variance: metrics
-        samplers (:class:`~repro.obs.metrics.MetricsCollector`) store
-        these cumulative snapshots so any window's statistics are a
-        difference of two samples.
+        The raw (un-shifted) moments, not the derived mean/variance:
+        metrics samplers (:class:`~repro.obs.metrics.MetricsCollector`)
+        store these cumulative snapshots so any window's statistics are
+        a difference of two samples.  Un-shifting is exact for the
+        integer-valued waits the engines produce.
         """
-        return self.count.copy(), self.total.copy(), self.total_sq.copy()
+        n = self.count.astype(np.float64)
+        raw_total = self.total + n * self.shift
+        raw_sq = self.total_sq + 2.0 * self.shift * self.total + n * self.shift * self.shift
+        return self.count.copy(), raw_total, raw_sq
 
     def means(self) -> np.ndarray:
         """Per-stage sample mean waiting time."""
         with np.errstate(invalid="ignore", divide="ignore"):
-            return np.where(self.count > 0, self.total / self.count, np.nan)
+            return np.where(self.count > 0, self.shift + self.total / self.count, np.nan)
 
     def variances(self) -> np.ndarray:
-        """Per-stage sample variance (denominator ``n - 1``)."""
+        """Per-stage sample variance (denominator ``n - 1``).
+
+        Computed from the shifted sums, so the subtraction happens
+        between quantities of the same (small) magnitude instead of
+        between ``total_sq`` and ``n * mean**2``.
+        """
         with np.errstate(invalid="ignore", divide="ignore"):
             n = self.count.astype(np.float64)
-            mean = self.total / n
-            var = (self.total_sq - n * mean * mean) / (n - 1)
+            var = (self.total_sq - self.total * self.total / n) / (n - 1)
             return np.where(self.count > 1, var, np.nan)
 
 
@@ -184,6 +227,11 @@ class BatchedTrackedMessages:
         n = replicas.size
         if n == 0:
             return np.empty(0, dtype=np.int64)
+        if n > 1 and (replicas[1:] < replicas[:-1]).any():
+            raise SimulationError(
+                "BatchedTrackedMessages.allocate needs replicas sorted "
+                "ascending; an unsorted batch would silently corrupt slot ids"
+            )
         counts = np.bincount(replicas, minlength=self.n_replicas)
         group_start = np.cumsum(counts) - counts
         offsets = np.arange(n) - group_start[replicas]
@@ -209,6 +257,324 @@ class BatchedTrackedMessages:
         block = self.waits[replica * self.limit : replica * self.limit + int(self._next[replica])]
         done = (block >= 0).all(axis=1)
         return TrackedMessages.from_rows(block[done], self.n_stages)
+
+
+@dataclass(frozen=True)
+class TotalsSummary:
+    """Moment summary of one replica's completed total waiting times.
+
+    The streaming-mode replacement for ``tracked.totals()``: five
+    scalars instead of a per-message matrix.  ``m2`` is the centered sum
+    of squares (``sum((x - mean)**2)``), computed shifted by the sample
+    minimum so the arithmetic is exact for the integer-valued totals a
+    clocked network produces.
+    """
+
+    count: int
+    mean: float
+    m2: float
+    minimum: float
+    maximum: float
+
+    @classmethod
+    def from_values(cls, values: np.ndarray) -> "TotalsSummary":
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            return cls(count=0, mean=float("nan"), m2=0.0,
+                       minimum=float("nan"), maximum=float("nan"))
+        lo = float(values.min())
+        d = values - lo
+        s1 = float(d.sum())
+        s2 = float((d * d).sum())
+        n = values.size
+        return cls(
+            count=n,
+            mean=lo + s1 / n,
+            m2=s2 - s1 * s1 / n,
+            minimum=lo,
+            maximum=float(values.max()),
+        )
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (denominator ``n - 1``)."""
+        if self.count < 2:
+            return float("nan")
+        return self.m2 / (self.count - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+
+class QuantileSketch:
+    """Deterministic fixed-size quantile summary of a large sample.
+
+    In the spirit of the P\\ :sup:`2` algorithm (Jain & Chlamtac 1985)
+    the sketch keeps a bounded set of quantile markers instead of the
+    sample itself; here the markers are built in one deterministic batch
+    pass (the values at a fixed probability grid) rather than by online
+    parabolic adjustment, so equal inputs always produce bit-identical
+    sketches.  Merging reconstructs a count-weighted mixture CDF on the
+    union of marker values and re-reads the grid from it -- approximate,
+    but deterministic, and the error is bounded by the grid resolution
+    (asserted against exact quantiles in the test suite).
+    """
+
+    def __init__(self, probs: np.ndarray, knots: np.ndarray, count: int) -> None:
+        self.probs = np.asarray(probs, dtype=np.float64)
+        self.knots = np.asarray(knots, dtype=np.float64)
+        self.count = int(count)
+        if self.probs.shape != self.knots.shape:
+            raise SimulationError("probability grid and knots must align")
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, n_markers: int = 129) -> "QuantileSketch":
+        """Build a sketch from raw observations (one deterministic pass)."""
+        if n_markers < 3:
+            raise SimulationError(f"need >= 3 markers, got {n_markers}")
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise SimulationError("cannot sketch an empty sample")
+        probs = np.linspace(0.0, 1.0, n_markers)
+        knots = np.quantile(values, probs)
+        return cls(probs, knots, values.size)
+
+    def quantile(self, q: float) -> float:
+        """Approximate ``q``-quantile by interpolating the marker grid."""
+        if not 0.0 <= q <= 1.0:
+            raise SimulationError(f"quantile must be in [0, 1], got {q}")
+        return float(np.interp(q, self.probs, self.knots))
+
+    def cdf(self, x: np.ndarray) -> np.ndarray:
+        """Approximate ``P(value <= x)`` from the marker grid."""
+        x = np.asarray(x, dtype=np.float64)
+        return np.interp(x, self.knots, self.probs, left=0.0, right=1.0)
+
+    def pmf(self, n_bins: int) -> np.ndarray:
+        """Approximate integer pmf for figure overlays.
+
+        ``out[j] ~= P(value == j)`` read off the sketch CDF at half-integer
+        boundaries; mass above ``n_bins`` stays in the CDF (the returned
+        vector sums to ``cdf(n_bins - 0.5)``), mirroring
+        :func:`histogram_pmf` with ``tail="keep"``.
+        """
+        if n_bins < 1:
+            raise SimulationError(f"need >= 1 bin, got {n_bins}")
+        edges = np.arange(n_bins + 1) - 0.5
+        cdf = self.cdf(edges)
+        return np.diff(cdf)
+
+    @classmethod
+    def merge(cls, sketches: Sequence["QuantileSketch"]) -> "QuantileSketch":
+        """Count-weighted merge of several sketches (deterministic)."""
+        sketches = [s for s in sketches if s.count > 0]
+        if not sketches:
+            raise SimulationError("cannot merge zero sketches")
+        if len(sketches) == 1:
+            only = sketches[0]
+            return cls(only.probs.copy(), only.knots.copy(), only.count)
+        probs = sketches[0].probs
+        for s in sketches[1:]:
+            if not np.array_equal(s.probs, probs):
+                raise SimulationError("cannot merge sketches with different grids")
+        grid = np.unique(np.concatenate([s.knots for s in sketches]))
+        total = sum(s.count for s in sketches)
+        mixture = np.zeros_like(grid)
+        for s in sketches:
+            mixture += (s.count / total) * s.cdf(grid)
+        # np.interp needs increasing xp; the mixture CDF is nondecreasing,
+        # and exact plateaus resolve to the first grid value, which is the
+        # deterministic choice we document.
+        knots = np.interp(probs, mixture, grid)
+        knots[0] = grid[0]
+        knots[-1] = grid[-1]
+        return cls(probs.copy(), knots, total)
+
+
+@dataclass
+class StreamingTotals:
+    """Streaming summary of total waiting times across ``R`` replicas.
+
+    Holds O(R) per-replica moment state (exact, order-free shifted sums)
+    plus one bounded :class:`QuantileSketch` and an exact top-``tail_k``
+    reservoir -- everything Tables VII--XII and the Figure 3--8 overlays
+    need, with no per-message matrix anywhere.
+
+    Merging shards with :meth:`concat` concatenates the per-replica
+    arrays in replica order, so every moment (global and per replica) is
+    **bit-identical regardless of how the batch was sharded**; the
+    sketch merge is deterministic but approximate (bounded by the marker
+    grid), and the tail merge is exact (top-k of a union is the union of
+    top-ks).
+    """
+
+    counts: np.ndarray       # (R,) int64 completed messages per replica
+    mins: np.ndarray         # (R,) float64, +inf where a replica saw none
+    maxs: np.ndarray         # (R,) float64, -inf where a replica saw none
+    sums_shifted: np.ndarray    # (R,) sum(x - min_r)
+    sumsq_shifted: np.ndarray   # (R,) sum((x - min_r)**2)
+    sketch: Optional[QuantileSketch]
+    tail: np.ndarray         # descending, at most tail_k values
+    tail_k: int
+
+    @classmethod
+    def from_totals(
+        cls,
+        totals: np.ndarray,
+        replicas: np.ndarray,
+        n_replicas: int,
+        *,
+        n_markers: int = 129,
+        tail_k: int = 1024,
+    ) -> "StreamingTotals":
+        """Summarise one contiguous run (or shard) of ``n_replicas`` replicas.
+
+        ``totals[i]`` is a completed message's total wait and
+        ``replicas[i]`` the replica that produced it (any order).
+        """
+        totals = np.asarray(totals, dtype=np.float64)
+        replicas = np.asarray(replicas, dtype=np.int64)
+        if totals.shape != replicas.shape:
+            raise SimulationError("totals and replicas must align")
+        counts = np.bincount(replicas, minlength=n_replicas)
+        mins = np.full(n_replicas, np.inf)
+        maxs = np.full(n_replicas, -np.inf)
+        if totals.size:
+            np.minimum.at(mins, replicas, totals)
+            np.maximum.at(maxs, replicas, totals)
+            centered = totals - mins[replicas]
+            sums = np.bincount(replicas, weights=centered, minlength=n_replicas)
+            sumsq = np.bincount(replicas, weights=centered * centered, minlength=n_replicas)
+        else:
+            sums = np.zeros(n_replicas)
+            sumsq = np.zeros(n_replicas)
+        sketch = QuantileSketch.from_values(totals, n_markers) if totals.size else None
+        if totals.size and tail_k > 0:
+            k = min(tail_k, totals.size)
+            top = np.partition(totals, totals.size - k)[totals.size - k:]
+            tail = np.sort(top)[::-1].copy()
+        else:
+            tail = np.empty(0, dtype=np.float64)
+        return cls(counts, mins, maxs, sums, sumsq, sketch, tail, tail_k)
+
+    @classmethod
+    def concat(cls, parts: Sequence["StreamingTotals"]) -> "StreamingTotals":
+        """Merge shard summaries; shards must be in replica order."""
+        if not parts:
+            raise SimulationError("cannot merge zero summaries")
+        tail_k = parts[0].tail_k
+        counts = np.concatenate([p.counts for p in parts])
+        mins = np.concatenate([p.mins for p in parts])
+        maxs = np.concatenate([p.maxs for p in parts])
+        sums = np.concatenate([p.sums_shifted for p in parts])
+        sumsq = np.concatenate([p.sumsq_shifted for p in parts])
+        sketches = [p.sketch for p in parts if p.sketch is not None]
+        sketch = QuantileSketch.merge(sketches) if sketches else None
+        tails = np.concatenate([p.tail for p in parts])
+        if tails.size > tail_k:
+            k = tail_k
+            top = np.partition(tails, tails.size - k)[tails.size - k:]
+            tail = np.sort(top)[::-1].copy()
+        else:
+            tail = np.sort(tails)[::-1].copy()
+        return cls(counts, mins, maxs, sums, sumsq, sketch, tail, tail_k)
+
+    @property
+    def n_replicas(self) -> int:
+        return int(self.counts.size)
+
+    @property
+    def count(self) -> int:
+        """Completed messages across all replicas."""
+        return int(self.counts.sum())
+
+    @property
+    def minimum(self) -> float:
+        lo = self.mins[self.counts > 0]
+        return float(lo.min()) if lo.size else float("nan")
+
+    @property
+    def maximum(self) -> float:
+        hi = self.maxs[self.counts > 0]
+        return float(hi.max()) if hi.size else float("nan")
+
+    def _global_shifted(self) -> tuple:
+        """Exact global shifted sums (shift = global minimum)."""
+        seen = self.counts > 0
+        if not seen.any():
+            return 0.0, 0.0, float("nan")
+        gmin = float(self.mins[seen].min())
+        # Re-shift each replica's exact sums from its own minimum to the
+        # global minimum; all terms are integer-valued, so this is exact.
+        off = self.mins[seen] - gmin
+        n_r = self.counts[seen].astype(np.float64)
+        s1 = float((self.sums_shifted[seen] + n_r * off).sum())
+        s2 = float(
+            (
+                self.sumsq_shifted[seen]
+                + 2.0 * off * self.sums_shifted[seen]
+                + n_r * off * off
+            ).sum()
+        )
+        return s1, s2, gmin
+
+    @property
+    def mean(self) -> float:
+        """Grand mean total wait (bit-identical across shardings)."""
+        n = self.count
+        if n == 0:
+            return float("nan")
+        s1, _, gmin = self._global_shifted()
+        return gmin + s1 / n
+
+    @property
+    def variance(self) -> float:
+        """Pooled sample variance of all completed totals."""
+        n = self.count
+        if n < 2:
+            return float("nan")
+        s1, s2, _ = self._global_shifted()
+        return (s2 - s1 * s1 / n) / (n - 1)
+
+    @property
+    def std(self) -> float:
+        return float(np.sqrt(self.variance))
+
+    def replica_means(self) -> np.ndarray:
+        """Per-replica mean total wait (NaN where a replica completed none)."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            means = self.mins + self.sums_shifted / self.counts
+        return np.where(self.counts > 0, means, np.nan)
+
+    def replica_summary(self, replica: int) -> TotalsSummary:
+        """One replica's :class:`TotalsSummary` (for per-result plumbing)."""
+        n = int(self.counts[replica])
+        if n == 0:
+            return TotalsSummary(count=0, mean=float("nan"), m2=0.0,
+                                 minimum=float("nan"), maximum=float("nan"))
+        s1 = float(self.sums_shifted[replica])
+        s2 = float(self.sumsq_shifted[replica])
+        lo = float(self.mins[replica])
+        return TotalsSummary(
+            count=n,
+            mean=lo + s1 / n,
+            m2=s2 - s1 * s1 / n,
+            minimum=lo,
+            maximum=float(self.maxs[replica]),
+        )
+
+    def quantile(self, q: float) -> float:
+        """Approximate total-wait quantile from the merged sketch."""
+        if self.sketch is None:
+            raise SimulationError("no observations were sketched")
+        return self.sketch.quantile(q)
+
+    def pmf(self, n_bins: int) -> np.ndarray:
+        """Approximate total-wait pmf for figure overlays (see sketch)."""
+        if self.sketch is None:
+            raise SimulationError("no observations were sketched")
+        return self.sketch.pmf(n_bins)
 
 
 class BatchMeansResult(NamedTuple):
@@ -252,12 +618,30 @@ def batch_means_ci(
     return BatchMeansResult(mean=mean, half_width=t * sem, n_batches=n_batches)
 
 
-def histogram_pmf(values: np.ndarray, n_bins: Optional[int] = None) -> np.ndarray:
+def histogram_pmf(
+    values: np.ndarray, n_bins: Optional[int] = None, *, tail: str = "raise"
+) -> np.ndarray:
     """Normalised histogram of integer-valued observations.
 
     ``out[j]`` estimates ``P(value == j)``; ``n_bins`` defaults to the
-    sample maximum plus one.
+    sample maximum plus one (no truncation).
+
+    When ``n_bins`` cuts off observations, the lost tail mass is never
+    dropped silently -- heavy-tailed waiting-time distributions live in
+    exactly that tail.  ``tail`` selects what happens:
+
+    * ``"raise"`` (default): :class:`SimulationError` naming the
+      truncated count;
+    * ``"renormalize"``: return the conditional pmf given
+      ``value < n_bins`` (sums to 1; the truncation is explicit in the
+      conditioning);
+    * ``"keep"``: normalise by the *full* sample size, so the returned
+      pmf sums to less than 1 and the deficit is the tail mass.
     """
+    if tail not in ("raise", "renormalize", "keep"):
+        raise SimulationError(
+            f"tail must be 'raise', 'renormalize' or 'keep', got {tail!r}"
+        )
     values = np.asarray(values)
     if values.size == 0:
         raise SimulationError("cannot histogram an empty sample")
@@ -265,6 +649,22 @@ def histogram_pmf(values: np.ndarray, n_bins: Optional[int] = None) -> np.ndarra
     if (ints < 0).any():
         raise SimulationError("waiting times cannot be negative")
     counts = np.bincount(ints, minlength=n_bins or 0)
-    if n_bins is not None:
+    if n_bins is not None and counts.size > n_bins:
+        dropped = int(counts[n_bins:].sum())
         counts = counts[:n_bins]
+        if dropped:
+            if tail == "raise":
+                raise SimulationError(
+                    f"{dropped} of {values.size} observations fall at or above "
+                    f"n_bins={n_bins}; pass tail='renormalize' or tail='keep' "
+                    "to make the truncated tail mass explicit"
+                )
+            if tail == "renormalize":
+                kept = values.size - dropped
+                if kept == 0:
+                    raise SimulationError(
+                        f"every observation falls at or above n_bins={n_bins}; "
+                        "nothing to renormalize"
+                    )
+                return counts / kept
     return counts / values.size

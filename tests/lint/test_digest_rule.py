@@ -25,12 +25,24 @@ SPEC = 'STACKABLE_CONFIG_FIELDS = ("p", "message_size")\n'
 
 BATCHED = 'STACK_SHAPE_FIELDS = ("k", "n_stages")\n'
 
+CONTEXT = """\
+from dataclasses import dataclass
 
-def tree(network=NETWORK, spec=SPEC, batched=BATCHED):
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    workers: int = 1
+    shard_mem: int = 0
+    stream: bool = False
+"""
+
+
+def tree(network=NETWORK, spec=SPEC, batched=BATCHED, context=CONTEXT):
     return {
         "simulation/network.py": network,
         "exec/spec.py": spec,
         "simulation/batched.py": batched,
+        "exec/context.py": context,
     }
 
 
@@ -90,6 +102,27 @@ class TestPartition:
         )
         assert codes(result) == ["RPR002"]
         assert "literal tuple" in result.findings[0].message
+
+    def test_exec_knob_colliding_with_config_field_fires(self, lint_tree):
+        """Execution knobs (shard size, worker counts) must never share
+        a name with a digest-bearing config field -- the collision is
+        the first step toward an execution detail entering digests."""
+        mutated = CONTEXT.replace(
+            "stream: bool = False",
+            "stream: bool = False\n    p: float = 0.5",
+        )
+        result = lint_tree(tree(context=mutated))
+        assert codes(result) == ["RPR002"]
+        assert "p" in result.findings[0].message
+        assert "disjoint" in result.findings[0].message
+
+    def test_missing_execution_context_is_quiet(self, lint_tree):
+        """The three original anchors suffice; ExecutionContext is an
+        optional fourth (subtrees without exec/ still lint clean)."""
+        files = tree()
+        del files["exec/context.py"]
+        result = lint_tree(files)
+        assert result.ok, result.findings
 
     def test_partial_tree_without_anchors_is_quiet(self, lint_tree):
         """Linting a subtree missing an anchor must not fire."""

@@ -7,6 +7,7 @@ from repro.simulation.network import NetworkConfig
 from repro.simulation.replication import (
     ReplicatedStatistic,
     replicate,
+    replicate_until,
     replicated_statistic,
 )
 
@@ -85,3 +86,131 @@ class TestReplicatedStatistic:
             stat.half_width
         with pytest.raises(SimulationError):
             stat.interval()
+
+
+def stage1_mean(r):
+    return float(r.stage_means[0])
+
+
+class TestReplicateUntil:
+    R_MAX = 64
+    N_CYCLES = 3_000
+
+    def test_early_stop_beats_fixed_budget(self):
+        """The tentpole contract: a low-variance scenario converges on
+        the pilot and simulates far fewer cycles than a fixed-r_max
+        study would have."""
+        out = replicate_until(
+            small_config(),
+            stage1_mean,
+            target_half_width=0.05,
+            n_cycles=self.N_CYCLES,
+            r_max=self.R_MAX,
+        )
+        assert out.converged
+        assert out.statistic.half_width <= 0.05
+        assert out.engine_cycles < self.R_MAX * self.N_CYCLES
+        assert out.n_replications < self.R_MAX
+        assert "converged" in str(out)
+
+    @pytest.mark.parametrize("p", [0.3, 0.5, 0.7])
+    def test_interval_covers_theorem_1(self, p):
+        """Early stopping must not sacrifice correctness: at every load
+        the adaptive t-interval still covers the Paper Eq. (6) mean."""
+        from fractions import Fraction
+
+        from repro.core.formulas import uniform_unit_mean
+
+        # width 128: wide enough that the finite-width bias relative
+        # to the asymptotic theorem is inside the interval (the same
+        # width the analysis validators use)
+        cfg = NetworkConfig(
+            k=2, n_stages=3, p=p, topology="random", width=128
+        )
+        out = replicate_until(
+            cfg,
+            stage1_mean,
+            target_half_width=0.06,
+            n_cycles=4_000,
+            r_max=32,
+        )
+        target = float(uniform_unit_mean(2, Fraction(p).limit_denominator(10)))
+        assert out.statistic.covers(target), (
+            f"p={p}: interval {out.statistic.interval()} misses {target}"
+        )
+
+    def test_r_max_exhaustion_reports_not_converged(self):
+        out = replicate_until(
+            small_config(),
+            stage1_mean,
+            target_half_width=1e-9,  # unreachable
+            n_cycles=400,
+            warmup=50,
+            r0=2,
+            r_max=8,
+        )
+        assert not out.converged
+        assert out.n_replications == 8
+        assert out.rounds >= 2
+        assert out.statistic.n == 8
+        assert "NOT converged" in str(out)
+
+    def test_growth_reuses_cached_rounds(self, tmp_path):
+        """A grown round re-submits earlier replicas; with the ambient
+        cache they are served, not re-simulated, so engine_cycles counts
+        each replica exactly once."""
+        from repro.exec import ExecutionContext, ResultCache, use_execution
+
+        cache = ResultCache(tmp_path / "cache")
+        with use_execution(ExecutionContext(cache=cache)):
+            out = replicate_until(
+                small_config(),
+                stage1_mean,
+                target_half_width=1e-9,
+                n_cycles=400,
+                warmup=50,
+                r0=2,
+                r_max=8,
+            )
+        assert out.rounds >= 2
+        assert cache.hits >= 2  # pilot replicas reused by round 2
+        assert out.engine_cycles == out.n_replications * 400
+
+    def test_streamed_execution_path(self):
+        """stream=True routes rounds through the streamed engine, which
+        re-derives earlier replicas bit-identically without a cache."""
+        cfg = NetworkConfig(k=2, n_stages=3, p=0.5)
+        out = replicate_until(
+            cfg,
+            stage1_mean,
+            target_half_width=1e-9,
+            n_cycles=300,
+            warmup=40,
+            r0=2,
+            r_max=8,
+            stream=True,
+        )
+        fixed = replicate_until(
+            cfg,
+            stage1_mean,
+            target_half_width=1e-9,
+            n_cycles=300,
+            warmup=40,
+            r0=8,
+            r_max=8,
+            stream=True,
+        )
+        # growth rounds extend, never perturb: the final 8-replica
+        # statistic is identical whether grown 2->4->8 or run at 8
+        assert out.statistic.values == fixed.statistic.values
+
+    def test_validation(self):
+        cfg = small_config()
+        with pytest.raises(SimulationError, match="target_half_width"):
+            replicate_until(cfg, stage1_mean, 0.0, 100)
+        with pytest.raises(SimulationError, match="r0"):
+            replicate_until(cfg, stage1_mean, 0.1, 100, r0=1)
+        with pytest.raises(SimulationError, match="r_max"):
+            replicate_until(cfg, stage1_mean, 0.1, 100, r0=8, r_max=4)
+        with pytest.raises(SimulationError, match="confidence"):
+            replicate_until(cfg, stage1_mean, 0.1, 100, confidence=2.0)

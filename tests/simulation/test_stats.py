@@ -5,7 +5,11 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.simulation.stats import (
+    BatchedTrackedMessages,
+    QuantileSketch,
     StageAccumulator,
+    StreamingTotals,
+    TotalsSummary,
     TrackedMessages,
     batch_means_ci,
     histogram_pmf,
@@ -40,6 +44,45 @@ class TestStageAccumulator:
     def test_validation(self):
         with pytest.raises(SimulationError):
             StageAccumulator(0)
+
+    def test_large_offset_regression(self):
+        # The naive total_sq - n*mean**2 form returns garbage (often a
+        # negative "variance") for a tight sample riding a huge offset;
+        # the shifted accumulator must stay exact.
+        offset = 1.0e8
+        sample = offset + np.array([0.0, 1.0, 2.0, 3.0, 4.0])
+        acc = StageAccumulator(1)
+        acc.add(np.zeros(sample.size, dtype=int), sample)
+        assert acc.means()[0] == pytest.approx(offset + 2.0, abs=1e-6)
+        assert acc.variances()[0] == pytest.approx(2.5, rel=1e-12)
+
+    def test_incremental_adds_match_single_add(self):
+        # Shift assignment is first-value-wins, so chunked feeding must
+        # reproduce the one-shot sums bit for bit (integer-valued data).
+        rng = np.random.default_rng(7)
+        waits = rng.integers(0, 50, size=1000).astype(float) + 1000.0
+        stages = rng.integers(0, 3, size=1000)
+        one = StageAccumulator(3)
+        one.add(stages, waits)
+        many = StageAccumulator(3)
+        for i in range(0, 1000, 37):
+            many.add(stages[i : i + 37], waits[i : i + 37])
+        assert np.array_equal(one.total, many.total)
+        assert np.array_equal(one.total_sq, many.total_sq)
+        assert np.array_equal(one.shift, many.shift)
+        assert np.array_equal(one.means(), many.means())
+        assert np.array_equal(one.variances(), many.variances())
+
+    def test_snapshot_returns_raw_moments(self):
+        # Metrics samplers difference cumulative snapshots, so snapshot()
+        # must keep exposing the un-shifted running sums.
+        acc = StageAccumulator(1)
+        sample = np.array([10.0, 12.0, 14.0])
+        acc.add(np.zeros(3, dtype=int), sample)
+        count, total, total_sq = acc.snapshot()
+        assert count[0] == 3
+        assert total[0] == sample.sum()
+        assert total_sq[0] == (sample * sample).sum()
 
 
 class TestTrackedMessages:
@@ -112,14 +155,178 @@ class TestHistogram:
         pmf = histogram_pmf(np.array([0, 0, 1, 2]))
         assert pmf.tolist() == [0.5, 0.25, 0.25]
 
-    def test_n_bins_truncates_and_pads(self):
-        pmf = histogram_pmf(np.array([0, 3]), n_bins=3)
-        assert pmf.tolist() == [0.5, 0.0, 0.0]
+    def test_n_bins_pads(self):
         pmf = histogram_pmf(np.array([0]), n_bins=4)
         assert len(pmf) == 4
+        assert pmf.tolist() == [1.0, 0.0, 0.0, 0.0]
+
+    def test_truncation_raises_by_default(self):
+        with pytest.raises(SimulationError, match="1 of 2 observations"):
+            histogram_pmf(np.array([0, 3]), n_bins=3)
+
+    def test_truncation_renormalize_is_conditional_pmf(self):
+        pmf = histogram_pmf(np.array([0, 0, 1, 5]), n_bins=3, tail="renormalize")
+        assert pmf.tolist() == [2 / 3, 1 / 3, 0.0]
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_truncation_keep_exposes_tail_deficit(self):
+        pmf = histogram_pmf(np.array([0, 3]), n_bins=3, tail="keep")
+        assert pmf.tolist() == [0.5, 0.0, 0.0]
+        assert 1.0 - pmf.sum() == pytest.approx(0.5)  # the tail mass
+
+    def test_no_truncation_all_modes_agree(self):
+        for tail in ("raise", "renormalize", "keep"):
+            pmf = histogram_pmf(np.array([0, 0, 1, 2]), n_bins=3, tail=tail)
+            assert pmf.tolist() == [0.5, 0.25, 0.25]
 
     def test_validation(self):
         with pytest.raises(SimulationError):
             histogram_pmf(np.array([]))
         with pytest.raises(SimulationError):
             histogram_pmf(np.array([-1.0]))
+        with pytest.raises(SimulationError):
+            histogram_pmf(np.array([1.0]), tail="truncate")
+        with pytest.raises(SimulationError, match="nothing to renormalize"):
+            histogram_pmf(np.array([5, 6]), n_bins=2, tail="renormalize")
+
+
+class TestBatchedAllocateValidation:
+    def test_unsorted_replicas_raise(self):
+        t = BatchedTrackedMessages(n_replicas=3, limit=4, n_stages=2)
+        with pytest.raises(SimulationError, match="sorted ascending"):
+            t.allocate(np.array([1, 0, 2]))
+
+    def test_sorted_replicas_allocate_like_serial(self):
+        t = BatchedTrackedMessages(n_replicas=2, limit=2, n_stages=1)
+        ids = t.allocate(np.array([0, 0, 0, 1]))
+        assert ids.tolist() == [0, 1, -1, 2]
+
+
+class TestTotalsSummary:
+    def test_matches_numpy_moments(self):
+        values = np.array([3.0, 7.0, 7.0, 11.0, 30.0])
+        s = TotalsSummary.from_values(values)
+        assert s.count == 5
+        assert s.mean == pytest.approx(values.mean())
+        assert s.variance == pytest.approx(values.var(ddof=1))
+        assert s.minimum == 3.0 and s.maximum == 30.0
+
+    def test_empty(self):
+        s = TotalsSummary.from_values(np.array([]))
+        assert s.count == 0
+        assert np.isnan(s.mean) and np.isnan(s.variance)
+
+
+class TestQuantileSketch:
+    def test_exact_on_small_samples(self):
+        values = np.arange(100, dtype=float)
+        sk = QuantileSketch.from_values(values, n_markers=129)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert sk.quantile(q) == pytest.approx(np.quantile(values, q), abs=1.0)
+
+    def test_merge_within_grid_bound(self):
+        rng = np.random.default_rng(3)
+        a = rng.exponential(4.0, size=4000)
+        b = rng.exponential(4.0, size=4000) + 2.0
+        both = np.concatenate([a, b])
+        merged = QuantileSketch.merge(
+            [QuantileSketch.from_values(a), QuantileSketch.from_values(b)]
+        )
+        assert merged.count == both.size
+        for q in (0.1, 0.5, 0.9, 0.99):
+            exact = np.quantile(both, q)
+            # bounded by the grid resolution: compare against the exact
+            # quantiles one grid step away
+            lo = np.quantile(both, max(0.0, q - 1 / 64))
+            hi = np.quantile(both, min(1.0, q + 1 / 64))
+            assert lo - 1e-9 <= merged.quantile(q) <= hi + 1e-9, q
+        assert merged.quantile(0.0) == pytest.approx(both.min())
+        assert merged.quantile(1.0) == pytest.approx(both.max())
+
+    def test_pmf_overlay_close_to_exact_histogram(self):
+        rng = np.random.default_rng(4)
+        values = np.rint(rng.gamma(4.0, 3.0, size=20000))
+        sk = QuantileSketch.from_values(values, n_markers=257)
+        approx = sk.pmf(30)
+        exact = histogram_pmf(values, n_bins=30, tail="keep")
+        assert np.abs(approx - exact).max() < 0.02
+
+    def test_determinism(self):
+        values = np.random.default_rng(5).exponential(1.0, 1000)
+        a = QuantileSketch.from_values(values)
+        b = QuantileSketch.from_values(values.copy())
+        assert np.array_equal(a.knots, b.knots)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            QuantileSketch.from_values(np.array([]))
+        with pytest.raises(SimulationError):
+            QuantileSketch.from_values(np.array([1.0]), n_markers=2)
+        sk = QuantileSketch.from_values(np.array([1.0, 2.0]))
+        with pytest.raises(SimulationError):
+            sk.quantile(1.5)
+
+
+class TestStreamingTotals:
+    def _random_case(self, seed, n_replicas=8, per=200):
+        rng = np.random.default_rng(seed)
+        replicas = np.repeat(np.arange(n_replicas), per)
+        totals = np.rint(rng.gamma(5.0, 6.0, size=replicas.size)) + 100.0
+        return totals, replicas
+
+    def test_monolithic_moments_match_numpy(self):
+        totals, replicas = self._random_case(0)
+        st = StreamingTotals.from_totals(totals, replicas, 8)
+        assert st.count == totals.size
+        assert st.mean == pytest.approx(totals.mean())
+        assert st.variance == pytest.approx(totals.var(ddof=1))
+        assert st.minimum == totals.min() and st.maximum == totals.max()
+
+    def test_sharded_moments_bit_identical(self):
+        totals, replicas = self._random_case(1)
+        mono = StreamingTotals.from_totals(totals, replicas, 8)
+        for split in (1, 2, 3, 5, 8):
+            parts = []
+            bounds = np.linspace(0, 8, split + 1).astype(int)
+            for lo, hi in zip(bounds[:-1], bounds[1:], strict=True):
+                mask = (replicas >= lo) & (replicas < hi)
+                parts.append(
+                    StreamingTotals.from_totals(
+                        totals[mask], replicas[mask] - lo, hi - lo
+                    )
+                )
+            merged = StreamingTotals.concat(parts)
+            assert merged.mean == mono.mean  # bit-identical, not approx
+            assert merged.variance == mono.variance
+            assert np.array_equal(merged.counts, mono.counts)
+            assert np.array_equal(merged.replica_means(), mono.replica_means())
+            # exact top-k tail: identical as a sorted vector
+            assert np.array_equal(merged.tail, mono.tail)
+            # sketch: approximate but within the documented bound -- one
+            # grid step in probability plus one unit of interpolation
+            # smoothing on integer-valued data
+            for q in (0.25, 0.5, 0.9):
+                lo_q = np.quantile(totals, max(0.0, q - 1 / 64))
+                hi_q = np.quantile(totals, min(1.0, q + 1 / 64))
+                assert lo_q - 1.0 <= merged.quantile(q) <= hi_q + 1.0
+
+    def test_replica_summary_matches_direct(self):
+        totals, replicas = self._random_case(2)
+        st = StreamingTotals.from_totals(totals, replicas, 8)
+        direct = TotalsSummary.from_values(totals[replicas == 3])
+        via = st.replica_summary(3)
+        assert via == direct
+
+    def test_empty_replicas_are_nan(self):
+        st = StreamingTotals.from_totals(
+            np.array([5.0]), np.array([0]), n_replicas=3
+        )
+        means = st.replica_means()
+        assert means[0] == 5.0
+        assert np.isnan(means[1]) and np.isnan(means[2])
+        assert st.replica_summary(1).count == 0
+
+    def test_tail_reservoir_is_exact_topk(self):
+        totals, replicas = self._random_case(3)
+        st = StreamingTotals.from_totals(totals, replicas, 8, tail_k=10)
+        assert np.array_equal(st.tail, np.sort(totals)[::-1][:10])
