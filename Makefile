@@ -4,7 +4,7 @@ PYTHON ?= python
 WORKERS ?= 4
 CACHE ?= .repro-cache
 
-.PHONY: install test bench bench-full scale-bench coverage tables tables-parallel sweeps-fast figures report db-report serve calibrate clean lint typecheck
+.PHONY: install test bench bench-full scale-bench coverage tables tables-parallel sweeps-fast figures report db-report serve calibrate clean lint lint-sarif lint-waivers test-sanitized typecheck
 
 PORT ?= 8765
 
@@ -13,10 +13,23 @@ DB ?= experiments.sqlite
 install:
 	$(PYTHON) -m pip install -e .[test]
 
-# Domain invariants (determinism, digest hygiene, failure hygiene);
-# pure stdlib -- see docs/static-analysis.md.
+# Domain invariants (determinism, digest hygiene, RNG discipline,
+# numeric safety); pure stdlib -- see docs/static-analysis.md.
 lint:
 	$(PYTHON) -m repro lint src/repro
+
+# The same run as a SARIF 2.1.0 log (what CI uploads as an artifact).
+lint-sarif:
+	$(PYTHON) -m repro lint src/repro --format sarif > lint.sarif
+
+# Inventory of active `repro: lint-ok` waivers and their expiry dates.
+lint-waivers:
+	$(PYTHON) -m repro lint src/repro --list-waivers
+
+# The simulation suite with the runtime sanitizer armed (every cycle
+# invariant-checked; see docs/static-analysis.md, "Runtime sanitizer").
+test-sanitized:
+	REPRO_SANITIZE=1 $(PYTHON) -m pytest tests/simulation -q
 
 # Strict typing gate (requires mypy; pinned and enforced in CI).
 typecheck:

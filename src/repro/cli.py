@@ -110,6 +110,15 @@ def build_parser() -> argparse.ArgumentParser:
         "the 95%% t-interval half-width is at most this value, instead of "
         "a fixed count (see docs/scaling.md)",
     )
+    common.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="arm the runtime sanitizer: per-cycle invariant checks "
+        "(finite statistics, non-negative queue depths, message "
+        "conservation, shard-merge consistency) that raise "
+        "SanitizerError with cycle/stage coordinates; equivalent to "
+        "REPRO_SANITIZE=1 (see docs/simulator.md)",
+    )
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -195,9 +204,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--format",
-        choices=["text", "json"],
+        choices=["text", "json", "sarif"],
         default="text",
-        help="report format (default text)",
+        help="report format (default text; 'sarif' emits SARIF 2.1.0 "
+        "for CI annotation tooling)",
+    )
+    lint.add_argument(
+        "--list-waivers",
+        action="store_true",
+        dest="list_waivers",
+        help="print the inventory of '# repro: lint-ok' waivers (path, "
+        "line, codes, expiry, reason) instead of linting",
     )
     lint.add_argument(
         "--select",
@@ -606,12 +623,26 @@ def _run_lint(args) -> int:
         RULE_CODES,
         UNUSED_SUPPRESSION_CODE,
         LintConfig,
+        collect_waivers,
         lint_paths,
         render_json,
+        render_sarif,
         render_text,
     )
 
     paths = args.paths or [Path(repro.__file__).parent]
+    if getattr(args, "list_waivers", False):
+        try:
+            waivers = collect_waivers(paths)
+        except LintError as exc:
+            print(f"lint: {exc}", file=sys.stderr)
+            return 2
+        for path, sup in waivers:
+            expiry = f" until={sup.until.isoformat()}" if sup.until else ""
+            reason = sup.reason or "(no reason: inert)"
+            print(f"{path}:{sup.line}: {', '.join(sup.codes)}{expiry} -- {reason}")
+        print(f"{len(waivers)} waiver(s)")
+        return 0
     known = (*RULE_CODES, PARSE_ERROR_CODE, UNUSED_SUPPRESSION_CODE)
     try:
         config = LintConfig.from_options(
@@ -621,7 +652,7 @@ def _run_lint(args) -> int:
     except LintError as exc:
         print(f"lint: {exc}", file=sys.stderr)
         return 2
-    render = render_json if args.format == "json" else render_text
+    render = {"json": render_json, "sarif": render_sarif}.get(args.format, render_text)
     print(render(result))
     return 0 if result.ok else 1
 
@@ -950,6 +981,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             stream=shard_mib is not None,
             shard_mem=shard_mib * 1024 * 1024 if shard_mib is not None else None,
             target_ci=getattr(args, "target_ci", None),
+            sanitize=getattr(args, "sanitize", False),
         )
         with use_execution(context):
             return _dispatch(args)

@@ -30,7 +30,7 @@ Theorem 1 when the flip probability is 1/2 (no temporal correlation).
 from __future__ import annotations
 
 from functools import cached_property
-from math import comb
+from math import comb, fsum
 
 import numpy as np
 from scipy import sparse
@@ -182,14 +182,14 @@ class MMBPQueueAnalysis:
         phase-aware version of the Theorem 1 decomposition.
         """
         seen_mean, phase_share = self._arrival_weighted
-        # same-batch predecessors, phase j: E[A(A-1)]/(2 lambda_j)
-        predecessors = 0.0
-        for j, share in enumerate(phase_share):
-            r = self.rates[j]
-            lam_j = self.k * r
-            if lam_j > 0:
-                fac2 = self.k * (self.k - 1) * r * r  # E[A(A-1)] binomial
-                predecessors += share * fac2 / (2 * lam_j)
+        # same-batch predecessors, phase j: E[A(A-1)]/(2 lambda_j),
+        # E[A(A-1)] binomial = k(k-1)r^2; fsum keeps the sum exactly
+        # rounded (RPR008: no naive float accumulation in kernel dirs)
+        predecessors = fsum(
+            share * (self.k * (self.k - 1) * r * r) / (2 * (self.k * r))
+            for share, r in zip(phase_share, self.rates)
+            if self.k * r > 0
+        )
         return seen_mean + predecessors
 
     def iid_waiting_mean(self) -> float:

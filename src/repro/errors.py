@@ -19,6 +19,7 @@ __all__ = [
     "ModelError",
     "SimulationError",
     "TopologyError",
+    "SanitizerError",
     "CalibrationError",
     "ExecutionError",
     "ExperimentDBError",
@@ -86,6 +87,37 @@ class TopologyError(SimulationError):
     Examples: a banyan network whose port count is not a power of the
     switch degree, or a wiring permutation that is not a bijection.
     """
+
+
+class SanitizerError(SimulationError):
+    """A runtime sanitizer invariant failed (``REPRO_SANITIZE=1``).
+
+    Raised by the opt-in invariant hooks around the cycle loops
+    (:mod:`repro.simulation.sanitize`): NaN/inf in waiting-time
+    statistics, negative queue depths, broken message conservation, or
+    inconsistent merged-shard moments.  The ``cycle``/``stage``/
+    ``replica`` attributes locate the first violation (``None`` where a
+    coordinate does not apply, e.g. post-run kernel checks carry no
+    per-cycle resolution).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        cycle: "int | None" = None,
+        stage: "int | None" = None,
+        replica: "int | None" = None,
+    ) -> None:
+        coords = ", ".join(
+            f"{name}={value}"
+            for name, value in (("cycle", cycle), ("stage", stage), ("replica", replica))
+            if value is not None
+        )
+        super().__init__(f"{message} [{coords}]" if coords else message)
+        self.cycle = cycle
+        self.stage = stage
+        self.replica = replica
 
 
 class CalibrationError(ReproError):

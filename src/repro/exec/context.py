@@ -14,11 +14,13 @@ loops -- library callers that never install a context see no change.
 
 from __future__ import annotations
 
+import os
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from repro.errors import ExecutionError
+from repro.simulation.sanitize import SANITIZE_ENV
 from repro.exec.cache import ResultCache
 from repro.exec.runner import BatchResult, run_many
 from repro.exec.spec import ExperimentSpec
@@ -59,6 +61,11 @@ class ExecutionContext:
     #: generators) grow replicas until the t-interval half-width of
     #: their target statistic drops below this value
     target_ci: Optional[float] = None
+    #: arm the runtime sanitizer (:mod:`repro.simulation.sanitize`) for
+    #: every simulation launched under this context; installs
+    #: ``REPRO_SANITIZE=1`` for the context's scope so forked pool
+    #: workers inherit it; an execution detail -- never enters digests
+    sanitize: bool = False
 
 
 _DEFAULT = ExecutionContext()
@@ -85,10 +92,21 @@ def use_execution(context: Optional[ExecutionContext] = None, **kwargs):
     ctx = context if context is not None else ExecutionContext(**kwargs)
     previous = _current
     _current = ctx
+    # the engines (and forked pool workers) see the sanitizer through
+    # the environment, not the context object -- export it for the
+    # block and restore the previous value on the way out
+    prior_env = os.environ.get(SANITIZE_ENV)
+    if ctx.sanitize:
+        os.environ[SANITIZE_ENV] = "1"
     try:
         yield ctx
     finally:
         _current = previous
+        if ctx.sanitize:
+            if prior_env is None:
+                os.environ.pop(SANITIZE_ENV, None)
+            else:
+                os.environ[SANITIZE_ENV] = prior_env
 
 
 def run_batch(specs: Sequence[ExperimentSpec], **overrides) -> BatchResult:

@@ -7,12 +7,16 @@ file, project-level rules over the whole in-scope set), applies
 
 Invariants of the engine itself:
 
-* a file that fails to parse yields an :data:`~repro.lint.findings.PARSE_ERROR_CODE`
-  finding instead of crashing the run (an unparseable file cannot be
-  proven clean);
+* a file that fails to parse -- or cannot be read at all (missing
+  permissions, non-UTF-8 bytes) -- yields an
+  :data:`~repro.lint.findings.PARSE_ERROR_CODE` finding instead of
+  crashing the run (a file the linter cannot see cannot be proven
+  clean); only a *nonexistent* lint target is a usage error;
 * a suppression comment whose rule codes never matched a finding is
   reported as :data:`~repro.lint.suppressions.UNUSED_SUPPRESSION_CODE`
-  so stale waivers cannot accumulate;
+  so stale waivers cannot accumulate; an **expired** waiver
+  (``until=YYYY-MM-DD`` in the past) stops covering and is itself
+  reported;
 * findings are sorted by ``(path, line, col, rule)`` -- output order is
   a pure function of the file set, never of directory iteration order.
 """
@@ -20,6 +24,7 @@ Invariants of the engine itself:
 from __future__ import annotations
 
 import ast
+import datetime as _dt
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence, Union
@@ -27,6 +32,7 @@ from typing import Iterable, Optional, Sequence, Union
 from repro.errors import LintError
 from repro.lint.config import LintConfig
 from repro.lint.findings import PARSE_ERROR_CODE, Finding
+from repro.lint.project import build_index
 from repro.lint.rules import all_rules
 from repro.lint.rules.base import FileContext, FileRule, ProjectRule, Rule
 from repro.lint.suppressions import (
@@ -35,7 +41,7 @@ from repro.lint.suppressions import (
     collect_suppressions,
 )
 
-__all__ = ["LintResult", "iter_python_files", "lint_paths"]
+__all__ = ["LintResult", "collect_waivers", "iter_python_files", "lint_paths"]
 
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".hypothesis", ".pytest_cache"})
 
@@ -90,12 +96,13 @@ def _suppress(
     findings: Iterable[Finding],
     suppressions_by_path: dict[str, list[Suppression]],
     result: LintResult,
+    today: _dt.date,
 ) -> None:
     """Route findings into ``result``, honouring suppression comments."""
     for finding in findings:
         waived = False
         for sup in suppressions_by_path.get(finding.path, ()):
-            if sup.covers(finding.line, finding.rule):
+            if sup.covers(finding.line, finding.rule, today):
                 sup.used.add(finding.rule)
                 waived = True
                 break
@@ -109,14 +116,18 @@ def lint_paths(
     paths: Iterable[Union[str, Path]],
     config: Optional[LintConfig] = None,
     rules: Optional[Sequence[Rule]] = None,
+    today: Optional[_dt.date] = None,
 ) -> LintResult:
     """Lint ``paths`` and return the sorted findings.
 
     ``config`` defaults to "all registered rules, default scopes";
     ``rules`` overrides the registry (used by the test-suite to run
-    rules in isolation or with custom scopes).
+    rules in isolation or with custom scopes); ``today`` anchors
+    waiver-expiry decisions (defaults to the wall clock, injectable so
+    tests are not time-dependent).
     """
     config = config if config is not None else LintConfig()
+    today = today if today is not None else _dt.date.today()
     active = [r for r in (rules if rules is not None else all_rules())
               if config.rule_enabled(r.code)]
     file_rules = [r for r in active if isinstance(r, FileRule)]
@@ -131,7 +142,22 @@ def lint_paths(
         try:
             source = path.read_text(encoding="utf-8")
         except (OSError, UnicodeDecodeError) as exc:
-            raise LintError(f"cannot read {display}: {exc}") from exc
+            # An unreadable or mis-encoded file is a *finding*, not a
+            # crash: the rest of the tree still gets linted, and the
+            # file itself is flagged as unprovable (same contract as a
+            # syntax error below).
+            if config.rule_enabled(PARSE_ERROR_CODE):
+                result.findings.append(
+                    Finding(
+                        path=display,
+                        line=1,
+                        col=1,
+                        rule=PARSE_ERROR_CODE,
+                        message=f"cannot read file ({exc}); an unreadable "
+                        "file cannot be proven clean",
+                    )
+                )
+            continue
         try:
             tree = ast.parse(source, filename=str(path))
         except SyntaxError as exc:
@@ -152,17 +178,39 @@ def lint_paths(
         suppressions_by_path[display] = collect_suppressions(source)
         for rule in file_rules:
             if config.scope_for(rule.code, rule.default_scope).matches(path):
-                _suppress(rule.check_file(ctx), suppressions_by_path, result)
+                _suppress(rule.check_file(ctx), suppressions_by_path, result, today)
 
+    index = build_index(contexts)
     for project_rule in project_rules:
         scope = config.scope_for(project_rule.code, project_rule.default_scope)
         in_scope = [c for c in contexts if scope.matches(c.path)]
-        _suppress(project_rule.check_project(in_scope), suppressions_by_path, result)
+        _suppress(
+            project_rule.check_project(in_scope, index),
+            suppressions_by_path,
+            result,
+            today,
+        )
 
     if config.rule_enabled(UNUSED_SUPPRESSION_CODE):
         for display, sups in suppressions_by_path.items():
             for sup in sups:
-                if not sup.used and any(config.rule_enabled(c) for c in sup.codes):
+                if sup.reason and sup.expired(today):
+                    result.findings.append(
+                        Finding(
+                            path=display,
+                            line=sup.line,
+                            col=1,
+                            rule=UNUSED_SUPPRESSION_CODE,
+                            message=(
+                                f"waiver expired on {sup.until.isoformat()} "
+                                f"(codes: {', '.join(sup.codes)}); fix the "
+                                "finding or renew the until= date"
+                                if sup.until is not None
+                                else "waiver expired"
+                            ),
+                        )
+                    )
+                elif not sup.used and any(config.rule_enabled(c) for c in sup.codes):
                     result.findings.append(
                         Finding(
                             path=display,
@@ -183,3 +231,25 @@ def lint_paths(
 
     result.findings.sort()
     return result
+
+
+def collect_waivers(
+    paths: Iterable[Union[str, Path]],
+) -> list[tuple[str, Suppression]]:
+    """Every ``repro: lint-ok`` comment under ``paths``, for inventory.
+
+    Returns ``(display_path, suppression)`` pairs sorted by path and
+    line -- the data behind ``repro lint --list-waivers``.  Unreadable
+    and unparseable files contribute no waivers (the lint run itself
+    reports them).
+    """
+    out: list[tuple[str, Suppression]] = []
+    for path in iter_python_files(paths):
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            continue
+        for sup in collect_suppressions(source):
+            out.append((_display_path(path), sup))
+    out.sort(key=lambda pair: (pair[0], pair[1].line))
+    return out

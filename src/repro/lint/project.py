@@ -1,0 +1,190 @@
+"""Whole-project index for interprocedural lint rules.
+
+Per-file rules see one syntax tree at a time; the project rules shipped
+in PR 10 (digest completeness, RNG stream discipline) need to reason
+about *reachability*: which functions a kernel entry point can call,
+and which attributes those functions read.  This module builds that
+picture once per :func:`repro.lint.engine.lint_paths` invocation:
+
+* a **module table** mapping dotted module names to parsed files,
+* a **symbol table** of top-level functions, classes and methods
+  (``Class.method`` qualified names),
+* a **call graph** over those symbols, resolved by name, and
+* a breadth-first **reachability closure** over the call graph.
+
+The resolution is deliberately conservative (an over-approximation):
+``self.x()`` links to every known method named ``x``, and a bare
+``f()`` links to every known function named ``f``.  For lint purposes
+that is the right bias -- reachability rules want to see *at least*
+everything a call site might hit, so a missed edge can hide a bug but
+a spurious edge only widens the checked set.  The index never raises
+on partial trees; rules decide what absence of an anchor means.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterable, List, Sequence, Set, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - avoids a cycle with the rule registry
+    from repro.lint.rules.base import FileContext
+
+__all__ = ["FunctionInfo", "ProjectIndex", "build_index"]
+
+
+def _dotted_name(node: ast.AST) -> "str | None":
+    """``a.b.c`` for a Name/Attribute chain, else ``None``.
+
+    Local twin of :func:`repro.lint.rules.base.dotted_name`; duplicated
+    here because the index must stay importable before the rule
+    registry finishes loading (the registry's rules import *this*
+    module).
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@dataclass(frozen=True)
+class FunctionInfo:
+    """One function or method known to the project index.
+
+    ``qualname`` is ``name`` for module-level functions and
+    ``Class.method`` for methods; ``module`` is the dotted module name
+    derived from the file path (best-effort -- fixture trees get their
+    relative path, installed packages their ``repro.*`` name).
+    """
+
+    module: str
+    qualname: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef
+    ctx: "FileContext"
+
+    @property
+    def name(self) -> str:
+        return self.qualname.rsplit(".", 1)[-1]
+
+
+class ProjectIndex:
+    """Symbol table + call graph over every in-scope file.
+
+    Construction never fails: unresolved names simply contribute no
+    edges.  Lookup helpers below are what rules are expected to use.
+    """
+
+    def __init__(self, files: "Sequence[FileContext]") -> None:
+        self.files: "Tuple[FileContext, ...]" = tuple(files)
+        #: dotted module name -> FileContext (last one wins on clashes,
+        #: which cannot happen for a real package tree).
+        self.modules: "Dict[str, FileContext]" = {}
+        #: qualified name -> every FunctionInfo carrying it (fixture
+        #: trees may define the same helper twice).
+        self.functions: Dict[str, List[FunctionInfo]] = {}
+        #: bare (unqualified) name -> FunctionInfo list.
+        self.by_name: Dict[str, List[FunctionInfo]] = {}
+        #: caller FunctionInfo id -> set of callee FunctionInfo ids.
+        self._edges: Dict[int, Set[int]] = {}
+        self._by_id: Dict[int, FunctionInfo] = {}
+        for ctx in self.files:
+            self._index_file(ctx)
+        for info in self._by_id.values():
+            self._edges[id(info.node)] = self._resolve_calls(info)
+
+    # -- construction -------------------------------------------------
+
+    def _index_file(self, ctx: "FileContext") -> None:
+        module = module_name(ctx)
+        self.modules[module] = ctx
+        for node in ctx.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._add_function(FunctionInfo(module, node.name, node, ctx))
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        qualname = f"{node.name}.{item.name}"
+                        self._add_function(FunctionInfo(module, qualname, item, ctx))
+
+    def _add_function(self, info: FunctionInfo) -> None:
+        self.functions.setdefault(info.qualname, []).append(info)
+        self.by_name.setdefault(info.name, []).append(info)
+        self._by_id[id(info.node)] = info
+
+    def _resolve_calls(self, info: FunctionInfo) -> Set[int]:
+        """Name-resolve every call expression inside ``info``."""
+        callees: Set[int] = set()
+        for node in ast.walk(info.node):
+            if not isinstance(node, ast.Call):
+                continue
+            target = _dotted_name(node.func)
+            if target is None:
+                continue
+            tail = target.rsplit(".", 1)[-1]
+            for candidate in self.by_name.get(tail, ()):
+                callees.add(id(candidate.node))
+        return callees
+
+    # -- lookup -------------------------------------------------------
+
+    def find(self, qualname: str) -> List[FunctionInfo]:
+        """All functions whose qualified name *ends with* ``qualname``.
+
+        ``find("ClockedEngine.run")`` matches the method wherever the
+        class lives; ``find("run_stacked")`` matches only module-level
+        functions of that bare name (a dotted pattern never matches a
+        bare function, and vice versa).
+        """
+        dotted = "." in qualname
+        out: List[FunctionInfo] = []
+        for name, infos in self.functions.items():
+            if dotted:
+                if name == qualname or name.endswith("." + qualname):
+                    out.extend(infos)
+            elif name == qualname:
+                out.extend(infos)
+        return out
+
+    def callees(self, info: FunctionInfo) -> List[FunctionInfo]:
+        return [self._by_id[i] for i in sorted(self._edges.get(id(info.node), ()))]
+
+    def reachable(self, roots: Iterable[FunctionInfo]) -> List[FunctionInfo]:
+        """Breadth-first closure over the call graph, roots included."""
+        seen: Set[int] = set()
+        order: List[FunctionInfo] = []
+        queue = deque(roots)
+        while queue:
+            info = queue.popleft()
+            key = id(info.node)
+            if key in seen:
+                continue
+            seen.add(key)
+            order.append(info)
+            queue.extend(self.callees(info))
+        return order
+
+
+def module_name(ctx: "FileContext") -> str:
+    """Best-effort dotted module name for a linted file.
+
+    Installed-package files resolve to their real ``repro.*`` name;
+    fixture trees (arbitrary tmp dirs) fall back to the display path
+    with separators replaced, which is still unique per file.
+    """
+    parts = list(ctx.path.parts)
+    if "repro" in parts:
+        parts = parts[parts.index("repro") :]
+    stem = [p[:-3] if p.endswith(".py") else p for p in parts]
+    if stem and stem[-1] == "__init__":
+        stem = stem[:-1]
+    return ".".join(stem)
+
+
+def build_index(files: "Sequence[FileContext]") -> ProjectIndex:
+    """Build the project index the engine hands to every ProjectRule."""
+    return ProjectIndex(files)

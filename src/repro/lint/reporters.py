@@ -1,8 +1,12 @@
-"""Render a :class:`~repro.lint.engine.LintResult` as text or JSON.
+"""Render a :class:`~repro.lint.engine.LintResult` as text, JSON or SARIF.
 
-Both reporters return strings -- printing is the CLI layer's job
+All reporters return strings -- printing is the CLI layer's job
 (which is exactly what rule RPR004 enforces).  The JSON schema is
 versioned and pinned by the test-suite, so tooling can consume it.
+The SARIF reporter emits a minimal SARIF 2.1.0 log -- the format CI
+annotation tooling (e.g. GitHub code scanning) ingests -- with one
+``result`` per finding and the full rule catalogue in the driver
+metadata.
 """
 
 from __future__ import annotations
@@ -10,11 +14,17 @@ from __future__ import annotations
 import json
 
 from repro.lint.engine import LintResult
+from repro.lint.findings import PARSE_ERROR_CODE
+from repro.lint.rules import all_rules
+from repro.lint.suppressions import UNUSED_SUPPRESSION_CODE
 
-__all__ = ["REPORT_SCHEMA_VERSION", "render_json", "render_text"]
+__all__ = ["REPORT_SCHEMA_VERSION", "SARIF_VERSION", "render_json", "render_sarif", "render_text"]
 
 #: Bumped when the JSON report layout changes shape.
 REPORT_SCHEMA_VERSION = 1
+
+#: The SARIF spec version the reporter emits.
+SARIF_VERSION = "2.1.0"
 
 
 def render_text(result: LintResult) -> str:
@@ -46,5 +56,85 @@ def render_json(result: LintResult) -> str:
         "counts": result.counts(),
         "suppressed": result.suppressed,
         "ok": result.ok,
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _sarif_rule_catalogue() -> list[dict]:
+    """Driver rule metadata: every registered rule plus the two
+    engine pseudo-codes (parse errors, stale/expired waivers)."""
+    rules = [
+        {
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.why},
+        }
+        for rule in all_rules()
+    ]
+    rules.append(
+        {
+            "id": PARSE_ERROR_CODE,
+            "name": "parse-error",
+            "shortDescription": {
+                "text": "a file the linter cannot parse or read cannot be proven clean"
+            },
+        }
+    )
+    rules.append(
+        {
+            "id": UNUSED_SUPPRESSION_CODE,
+            "name": "stale-waiver",
+            "shortDescription": {
+                "text": "suppression comments must be reasoned, matching and unexpired"
+            },
+        }
+    )
+    return sorted(rules, key=lambda r: str(r["id"]))
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 log for CI annotation tooling.
+
+    One ``result`` per finding, ``level: error`` throughout (every
+    repro.lint finding is a broken invariant, not a style nit), with
+    relative artifact URIs so annotations land on the right lines in a
+    checkout.
+    """
+    sarif_results = [
+        {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in result.findings
+    ]
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.lint",
+                        "rules": _sarif_rule_catalogue(),
+                    }
+                },
+                "results": sarif_results,
+            }
+        ],
     }
     return json.dumps(doc, indent=2, sort_keys=True)

@@ -11,7 +11,10 @@ from repro.lint.rules.base import FileContext, FileRule, ProjectRule, Rule
 from repro.lint.rules.defaults import MutableDefaultRule
 from repro.lint.rules.determinism import DeterminismRule
 from repro.lint.rules.digest import DigestPartitionRule
+from repro.lint.rules.digest_flow import DigestFlowRule
+from repro.lint.rules.numeric import NumericSafetyRule
 from repro.lint.rules.purity import PurityRule
+from repro.lint.rules.rng_streams import RngStreamRule
 from repro.lint.rules.silent_except import SilentExceptRule
 
 __all__ = [
@@ -22,9 +25,12 @@ __all__ = [
     "Rule",
     "all_rules",
     "DeterminismRule",
+    "DigestFlowRule",
     "DigestPartitionRule",
     "MutableDefaultRule",
+    "NumericSafetyRule",
     "PurityRule",
+    "RngStreamRule",
     "SilentExceptRule",
 ]
 
@@ -34,6 +40,9 @@ _RULE_CLASSES: tuple[type[Rule], ...] = (
     SilentExceptRule,
     PurityRule,
     MutableDefaultRule,
+    DigestFlowRule,
+    RngStreamRule,
+    NumericSafetyRule,
 )
 
 #: All registered rule codes, in catalogue order.

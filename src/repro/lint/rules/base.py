@@ -17,10 +17,13 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.lint.config import PathScope
 from repro.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle broken at runtime
+    from repro.lint.project import ProjectIndex
 
 __all__ = ["FileContext", "FileRule", "ProjectRule", "Rule", "dotted_name"]
 
@@ -70,9 +73,20 @@ class FileRule(Rule):
 
 
 class ProjectRule(Rule):
-    """A rule needing every in-scope file at once (cross-module)."""
+    """A rule needing every in-scope file at once (cross-module).
 
-    def check_project(self, files: Sequence[FileContext]) -> Iterator[Finding]:
+    The engine also hands over the whole-project
+    :class:`~repro.lint.project.ProjectIndex` (symbol table + call
+    graph); rules that only need the raw files may ignore it.  The
+    index covers *every* linted file, while ``files`` is pre-filtered
+    to this rule's scope.
+    """
+
+    def check_project(
+        self,
+        files: Sequence[FileContext],
+        index: "Optional[ProjectIndex]" = None,
+    ) -> Iterator[Finding]:
         raise NotImplementedError
 
 

@@ -28,11 +28,14 @@ assignments); linting a subtree without them is silently fine.
 from __future__ import annotations
 
 import ast
-from typing import Iterator, Optional, Sequence
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.lint.config import PathScope
 from repro.lint.findings import Finding
 from repro.lint.rules.base import FileContext, ProjectRule
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.lint.project import ProjectIndex
 
 __all__ = ["DigestPartitionRule"]
 
@@ -94,7 +97,11 @@ class DigestPartitionRule(ProjectRule):
     )
     default_scope = PathScope()
 
-    def check_project(self, files: Sequence[FileContext]) -> Iterator[Finding]:
+    def check_project(
+        self,
+        files: Sequence[FileContext],
+        index: "Optional[ProjectIndex]" = None,
+    ) -> Iterator[Finding]:
         config_ctx: Optional[FileContext] = None
         config_fields: Optional[list[str]] = None
         stackable_ctx: Optional[FileContext] = None

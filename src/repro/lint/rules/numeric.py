@@ -1,0 +1,183 @@
+"""RPR008: numeric safety in the simulation kernels.
+
+PR 9's ``StageAccumulator`` bug -- waiting-time second moments drifting
+under catastrophic cancellation because a hot loop summed floats
+naively -- is a *class* of bug, not an instance.  This rule flags the
+three shapes that class takes in this codebase:
+
+1. **Naive float accumulation in a loop.**  ``total = 0.0`` followed
+   by ``total += ...`` inside a ``for``/``while`` body accumulates
+   rounding error linearly in the cycle count.  Kernel sums must use a
+   compensated/shifted scheme (see ``simulation/stats.py``) or a
+   vectorised ``np.sum`` reduction.
+2. **In-place ops on possibly-aliased views.**  ``a[idx] += f(a)``
+   reads and writes the same buffer; with fancy indexing the read may
+   observe partially-updated elements.  Compute the right-hand side
+   into a temporary first.
+3. **Comparisons that promote through NaN.**  Direct comparison
+   against ``nan`` is always false and hides poisoned values, and a
+   chained comparison whose operand is a float expression
+   (``lo <= x[i] < hi`` on float data) silently passes NaN through
+   both links.  Test with ``np.isnan``/``math.isnan`` and split float
+   chains explicitly.
+
+Scope: kernel directories only (:data:`~repro.lint.config.KERNEL_DIRS`)
+-- analysis and report layers may trade precision for clarity; the
+kernels may not.  Integer-flavoured chains (``0 <= warmup < n``) are
+deliberately exempt: only chains with a float literal, subscript or
+attribute operand fire.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.lint.config import KERNEL_DIRS, PathScope
+from repro.lint.findings import Finding
+from repro.lint.rules.base import FileContext, FileRule, dotted_name
+
+__all__ = ["NumericSafetyRule"]
+
+#: Names recognised as NaN when compared against directly.
+_NAN_NAMES = frozenset({"nan", "NaN", "NAN"})
+
+
+def _is_float_zero_assign(stmt: ast.stmt, name: str) -> bool:
+    """``name = 0.0`` (or another float literal) as a statement."""
+    if not isinstance(stmt, ast.Assign):
+        return False
+    if not any(isinstance(t, ast.Name) and t.id == name for t in stmt.targets):
+        return False
+    return isinstance(stmt.value, ast.Constant) and isinstance(stmt.value.value, float)
+
+
+def _names_in(node: ast.AST) -> Set[str]:
+    return {n.id for n in ast.walk(node) if isinstance(n, ast.Name)}
+
+
+def _is_nan_operand(node: ast.expr) -> bool:
+    """``np.nan`` / ``math.nan`` / ``float("nan")``."""
+    target = dotted_name(node)
+    if target is not None and target.rsplit(".", 1)[-1] in _NAN_NAMES:
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and dotted_name(node.func) == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.lower() == "nan"
+    )
+
+
+def _is_float_flavoured(node: ast.expr) -> bool:
+    """Operands that plausibly carry float/NaN-able data.
+
+    Float literals and subscripts (array element reads) count; bare
+    names, attributes and int literals do not -- that keeps integer
+    loop-bound chains like ``0 <= warmup < n_cycles`` and
+    ``0 <= tid < self.limit`` quiet.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    return isinstance(node, ast.Subscript)
+
+
+class NumericSafetyRule(FileRule):
+    code = "RPR008"
+    name = "numeric-safety"
+    why = (
+        "kernel float sums must be compensated, in-place array ops "
+        "alias-free, and NaN-able comparisons explicit, or moments "
+        "drift and poisoned values pass silently"
+    )
+    default_scope = PathScope(dirs=KERNEL_DIRS)
+
+    def check_file(self, ctx: FileContext) -> Iterator[Finding]:
+        # Compares directly under `not` are *rejection* guards: NaN
+        # fails the chain and falls through to the raise/else branch,
+        # which is exactly the desired handling -- exempt them.
+        negated = {
+            id(node.operand)
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not)
+        }
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_accumulation(ctx, node)
+            elif isinstance(node, ast.AugAssign):
+                yield from self._check_aliasing(ctx, node)
+            elif isinstance(node, ast.Compare) and id(node) not in negated:
+                yield from self._check_compare(ctx, node)
+
+    # -- 1: naive float accumulation ---------------------------------
+
+    def _check_accumulation(
+        self, ctx: FileContext, fn: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterator[Finding]:
+        float_zeros: Set[str] = set()
+        for stmt in fn.body:
+            for sub in ast.walk(stmt) if isinstance(stmt, (ast.For, ast.While)) else ():
+                if (
+                    isinstance(sub, ast.AugAssign)
+                    and isinstance(sub.op, ast.Add)
+                    and isinstance(sub.target, ast.Name)
+                    and sub.target.id in float_zeros
+                ):
+                    yield ctx.finding(
+                        sub,
+                        self.code,
+                        f"naive float accumulation: {sub.target.id!r} is "
+                        "initialised to a float literal and summed with "
+                        "'+=' in a loop; rounding error grows linearly -- "
+                        "use a compensated sum (simulation/stats.py) or a "
+                        "vectorised reduction",
+                    )
+            if isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and _is_float_zero_assign(stmt, target.id)
+                    ):
+                        float_zeros.add(target.id)
+
+    # -- 2: aliased in-place array ops -------------------------------
+
+    def _check_aliasing(self, ctx: FileContext, node: ast.AugAssign) -> Iterator[Finding]:
+        if not isinstance(node.target, ast.Subscript):
+            return
+        base = node.target.value
+        base_name = dotted_name(base)
+        if base_name is None:
+            return
+        if base_name.rsplit(".", 1)[-1] in _names_in(node.value):
+            yield ctx.finding(
+                node,
+                self.code,
+                f"in-place op on {base_name!r} whose right-hand side also "
+                f"reads {base_name!r}: with advanced indexing the read may "
+                "see partially-updated elements -- compute into a "
+                "temporary first",
+            )
+
+    # -- 3: NaN-promoting comparisons --------------------------------
+
+    def _check_compare(self, ctx: FileContext, node: ast.Compare) -> Iterator[Finding]:
+        operands = [node.left, *node.comparators]
+        if any(_is_nan_operand(op) for op in operands):
+            yield ctx.finding(
+                node,
+                self.code,
+                "direct comparison against NaN is always False and hides "
+                "poisoned values; use np.isnan/math.isnan",
+            )
+            return
+        if len(node.ops) >= 2 and any(_is_float_flavoured(op) for op in operands):
+            yield ctx.finding(
+                node,
+                self.code,
+                "chained comparison over float-flavoured operands: NaN "
+                "passes both links silently and dtype promotion is "
+                "implicit -- split the chain and test NaN explicitly",
+            )

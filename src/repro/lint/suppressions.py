@@ -6,11 +6,17 @@ above it)::
     risky_call()  # repro: lint-ok RPR001 -- profiling only, never enters results
     # repro: lint-ok RPR003, RPR004 -- deliberate swallow: broken sink must not kill the batch
     risky_block()
+    temporary()  # repro: lint-ok RPR008 until=2026-12-31 -- tracked in issue 42
 
 The reason text after the dash is **mandatory**: a suppression that
 does not say *why* the invariant may be ignored does not suppress
 anything (the original finding stands).  Both ASCII ``--``/``-`` and
 the em dash are accepted as the separator.
+
+An optional ``until=YYYY-MM-DD`` clause makes the waiver **expire**:
+past that date it stops covering findings (they resurface) and the
+engine additionally reports the comment itself as an expired waiver,
+so temporary exemptions cannot quietly become permanent.
 
 Suppressions are collected from the token stream (so a matching string
 literal never counts) and matched per rule code; a suppression comment
@@ -21,19 +27,23 @@ from accumulating.
 
 from __future__ import annotations
 
+import datetime as _dt
 import io
 import re
 import tokenize
 from dataclasses import dataclass, field
+from typing import Optional
 
 __all__ = ["UNUSED_SUPPRESSION_CODE", "Suppression", "collect_suppressions"]
 
-#: Pseudo-rule code for suppression comments that matched no finding.
+#: Pseudo-rule code for suppression comments that matched no finding,
+#: carry no reason, or have expired.
 UNUSED_SUPPRESSION_CODE = "RPR009"
 
 _PATTERN = re.compile(
     r"#\s*repro:\s*lint-ok\s+"
     r"(?P<codes>RPR\d{3}(?:\s*,\s*RPR\d{3})*)"
+    r"(?:\s+until=(?P<until>\d{4}-\d{2}-\d{2}))?"
     r"(?:\s*(?:--|-|–|—)\s*(?P<reason>\S.*))?"
 )
 
@@ -45,17 +55,34 @@ class Suppression:
     line: int
     codes: tuple[str, ...]
     reason: str
+    #: expiry date from an ``until=YYYY-MM-DD`` clause (``None`` = never)
+    until: Optional[_dt.date] = None
     #: rule codes that actually suppressed a finding (engine bookkeeping)
     used: set[str] = field(default_factory=set)
 
-    def covers(self, line: int, rule: str) -> bool:
+    def expired(self, today: _dt.date) -> bool:
+        """Whether the waiver's ``until=`` date has passed.
+
+        The expiry day itself still covers: ``until=2026-01-01`` means
+        "valid through 2026-01-01", matching how humans read deadlines.
+        """
+        return self.until is not None and today > self.until
+
+    def covers(self, line: int, rule: str, today: Optional[_dt.date] = None) -> bool:
         """Whether this comment waives ``rule`` findings on ``line``.
 
         A comment covers its own line and the line directly below it
-        (the standalone-comment-above form); an empty reason covers
-        nothing.
+        (the standalone-comment-above form); an empty reason or an
+        expired ``until=`` date covers nothing.
         """
-        return bool(self.reason) and rule in self.codes and line in (self.line, self.line + 1)
+        if today is None:
+            today = _dt.date.today()
+        return (
+            bool(self.reason)
+            and not self.expired(today)
+            and rule in self.codes
+            and line in (self.line, self.line + 1)
+        )
 
 
 def collect_suppressions(source: str) -> list[Suppression]:
@@ -63,7 +90,10 @@ def collect_suppressions(source: str) -> list[Suppression]:
 
     Tokenisation errors are ignored (the caller has already parsed the
     file, so the only way to get here with bad tokens is an encoding
-    edge case -- no comments is the safe answer).
+    edge case -- no comments is the safe answer).  A malformed
+    ``until=`` date parses as "no expiry" but also swallows the date
+    text into the reason; the strict ISO pattern in the regex keeps
+    that from happening silently for well-formed dates.
     """
     out: list[Suppression] = []
     try:
@@ -78,5 +108,12 @@ def collect_suppressions(source: str) -> list[Suppression]:
             continue
         codes = tuple(c.strip() for c in match.group("codes").split(","))
         reason = (match.group("reason") or "").strip()
-        out.append(Suppression(line=tok.start[0], codes=codes, reason=reason))
+        until: Optional[_dt.date] = None
+        raw_until = match.group("until")
+        if raw_until is not None:
+            try:
+                until = _dt.date.fromisoformat(raw_until)
+            except ValueError:
+                until = None  # 2026-13-99 etc.: treated as unexpiring
+        out.append(Suppression(line=tok.start[0], codes=codes, reason=reason, until=until))
     return out

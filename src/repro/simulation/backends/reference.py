@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Optional
 import numpy as np
 
 from repro.simulation.backends.base import register_backend
+from repro.simulation.sanitize import sanitizer_enabled
 
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
     from repro.simulation.batched import BatchedClockedEngine
@@ -64,8 +65,11 @@ class NumpyBackend:
     # ------------------------------------------------------------------
     def run(self, engine: "BatchedClockedEngine", n_cycles: int, warmup: int) -> None:
         end = engine.now + n_cycles
+        sanitize = sanitizer_enabled()
         while engine.now < end:
             self.step(engine)
+            if sanitize:
+                engine.sanitize_state(engine.now - 1)
 
     def step(self, engine: "BatchedClockedEngine") -> None:
         """One clock cycle of every replica (inject / serve / tick)."""

@@ -62,7 +62,13 @@ from repro.obs.profiling import PhaseTimers
 from repro.simulation.backends import ComputeBackend, NumpyBackend, resolve_backend
 from repro.simulation.engine import build_routing_tables
 from repro.simulation.network import NetworkConfig, NetworkResult
-from repro.simulation.rng import DEFAULT_SEED
+from repro.simulation.rng import DEFAULT_SEED, spawn_stacked_rngs
+from repro.simulation.sanitize import (
+    check_conservation,
+    check_queue_depths,
+    check_stage_stats,
+    sanitizer_enabled,
+)
 from repro.simulation.stats import BatchedTrackedMessages, StageAccumulator
 from repro.simulation.switch import RingBufferQueues
 from repro.simulation.topology import MultistageTopology
@@ -182,6 +188,25 @@ class BatchedClockedEngine:
         resolved = resolve_backend(backend, self)
         self.backend_name = resolved.name
         resolved.run(self, n_cycles, warmup)
+        # backends with a live per-cycle loop (numpy) already sanitized
+        # every cycle; this end-of-run pass is what covers pre-drawn
+        # kernels (numba), whose loop state is opaque until it returns
+        if sanitizer_enabled():
+            self.sanitize_state(self.now - 1)
+
+    def sanitize_state(self, cycle: int) -> None:
+        """Run the sanitizer invariant hooks against current state."""
+        check_stage_stats(self.stats, cycle=cycle, n_stages=self.n_stages)
+        check_queue_depths(
+            self.queues.counts, cycle=cycle, ports_per_replica=self.ports_per_replica
+        )
+        check_conservation(
+            int(self.injected.sum()),
+            int(self.completed.sum()),
+            self.in_flight,
+            self.queues.dropped,
+            cycle=cycle,
+        )
 
     def step(self) -> None:
         """Simulate one clock cycle of every replica (reference backend)."""
@@ -245,8 +270,7 @@ def _build_stacked_engine(configs: Sequence[NetworkConfig]) -> BatchedClockedEng
         )
     n_replicas = len(configs)
     entropy = [DEFAULT_SEED if c.seed is None else int(c.seed) for c in configs]
-    children = np.random.SeedSequence(entropy).spawn(2)
-    traffic_rng, routing_rng = (np.random.default_rng(c) for c in children)
+    traffic_rng, routing_rng = spawn_stacked_rngs(entropy)
 
     topology = first.build_topology()
     traffic = NetworkTrafficGenerator(

@@ -31,6 +31,12 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.obs.base import ObserverSet
 from repro.obs.profiling import PhaseTimers
+from repro.simulation.sanitize import (
+    check_conservation,
+    check_queue_depths,
+    check_stage_stats,
+    sanitizer_enabled,
+)
 from repro.simulation.stats import StageAccumulator, TrackedMessages
 from repro.simulation.switch import RingBufferQueues
 from repro.simulation.topology import MultistageTopology
@@ -177,15 +183,36 @@ class ClockedEngine:
     # simulation loop
     # ------------------------------------------------------------------
     def run(self, n_cycles: int, warmup: int = 0) -> None:
-        """Advance ``n_cycles``; discard statistics before ``warmup``."""
+        """Advance ``n_cycles``; discard statistics before ``warmup``.
+
+        With ``REPRO_SANITIZE=1`` every cycle is followed by the
+        invariant hooks of :mod:`repro.simulation.sanitize` (finite
+        statistics, non-negative queue depths, message conservation).
+        """
         if n_cycles < 1:
             raise SimulationError(f"n_cycles must be >= 1, got {n_cycles}")
         if not 0 <= warmup < n_cycles:
             raise SimulationError(f"warmup {warmup} outside [0, {n_cycles})")
         self.measure_from = self.now + warmup
         end = self.now + n_cycles
+        sanitize = sanitizer_enabled()
         while self.now < end:
             self.step()
+            if sanitize:
+                self._sanitize_cycle()
+
+    def _sanitize_cycle(self) -> None:
+        """One round of sanitizer checks (cycle just simulated)."""
+        t = self.now - 1
+        check_stage_stats(self.stats, cycle=t)
+        check_queue_depths(self.queues.counts, cycle=t)
+        check_conservation(
+            self.injected,
+            self.completed,
+            self.in_flight,
+            self.queues.dropped,
+            cycle=t,
+        )
 
     def step(self) -> None:
         """Simulate one clock cycle."""

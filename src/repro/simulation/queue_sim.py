@@ -70,6 +70,7 @@ def lindley_unfinished_work(work_per_cycle: np.ndarray) -> np.ndarray:
     return s_cum - running_min
 
 
+# repro: lint-ok RPR007 -- scalar single-queue model: one stream feeds arrivals and service with a fixed serial interleaving, so the coupled sequence is the replayable unit
 def simulate_first_stage_queue(
     arrivals: ArrivalProcess,
     service: ServiceProcess,

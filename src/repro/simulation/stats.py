@@ -25,6 +25,7 @@ import numpy as np
 from scipy import stats as sps
 
 from repro.errors import SimulationError
+from repro.simulation.sanitize import check_merged_totals, sanitizer_enabled
 
 __all__ = [
     "BatchedTrackedMessages",
@@ -478,7 +479,10 @@ class StreamingTotals:
             tail = np.sort(top)[::-1].copy()
         else:
             tail = np.sort(tails)[::-1].copy()
-        return cls(counts, mins, maxs, sums, sumsq, sketch, tail, tail_k)
+        merged = cls(counts, mins, maxs, sums, sumsq, sketch, tail, tail_k)
+        if sanitizer_enabled():
+            check_merged_totals(merged, parts)
+        return merged
 
     @property
     def n_replicas(self) -> int:

@@ -51,6 +51,12 @@ from repro.simulation.batched import STACK_SHAPE_FIELDS
 from repro.simulation.engine import build_routing_tables
 from repro.simulation.network import NetworkConfig, NetworkResult
 from repro.simulation.rng import spawn_rngs
+from repro.simulation.sanitize import (
+    check_conservation,
+    check_queue_depths,
+    check_stage_stats,
+    sanitizer_enabled,
+)
 from repro.simulation.stats import (
     BatchedTrackedMessages,
     StageAccumulator,
@@ -345,6 +351,11 @@ def run_streamed(
             msg_done,
         )
         stats.refresh_unseen()
+        if sanitizer_enabled():
+            # the JIT loop's queue state is gone when it returns; the
+            # moment bins and per-replica completion counts are what can
+            # still be vouched for
+            check_stage_stats(stats, cycle=n_cycles - 1, n_stages=n_stages)
         high_water = q_high
     else:
         high_water = _run_numpy_stream(
@@ -451,6 +462,7 @@ def _run_numpy_stream(
     }
     queues = RingBufferQueues(n_ports, fields, capacity=64)
     busy = np.zeros(n_ports, dtype=np.int64)
+    sanitize = sanitizer_enabled()
     for t in range(n_cycles):
         measuring = t >= warmup
         lo, hi = int(pre.offsets[t]), int(pre.offsets[t + 1])
@@ -514,4 +526,16 @@ def _run_numpy_stream(
                     track=msg["track"][moving],
                 )
         np.subtract(busy, 1, out=busy, where=busy > 0)
+        if sanitize:
+            check_stage_stats(stats, cycle=t, n_stages=n_stages)
+            check_queue_depths(queues.counts, cycle=t, ports_per_replica=ppr)
+            # every pre-drawn arrival through cycle t is either done or
+            # still buffered (a popped message re-queues or completes
+            # within its cycle)
+            check_conservation(
+                int(pre.offsets[t + 1]),
+                int(completed.sum()),
+                int(queues.counts.sum()),
+                cycle=t,
+            )
     return queues.high_water()

@@ -1,0 +1,189 @@
+"""RPR006: kernel-reachable config reads must be in the digest partition.
+
+Mirrors :mod:`tests.lint.test_digest_rule` in structure, but mutates the
+*dataflow* side of the invariant: RPR002 proves declared fields are
+classified; these fixtures prove a *kernel read* of an unclassified
+field is caught even when the declaration drifts out of the lists.
+The rule runs in isolation (``rules=[DigestFlowRule()]``) so the
+partition mutations do not also trip RPR002.
+"""
+
+from repro.lint.rules.digest_flow import DigestFlowRule
+from tests.lint.helpers import codes
+
+NETWORK = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    k: int = 2
+    n_stages: int = 3
+    p: float = 0.5
+    bulk_size: int = 1
+    seed: int = 19880101
+"""
+
+SPEC_LISTS = 'STACKABLE_CONFIG_FIELDS = ("p", "bulk_size")\n'
+
+BATCHED_LISTS = 'STACK_SHAPE_FIELDS = ("k", "n_stages")\n'
+
+ENGINE = """\
+class ClockedEngine:
+    def __init__(self, config):
+        self.config = config
+
+    def run(self, n_cycles):
+        for _ in range(n_cycles):
+            self.step()
+
+    def step(self):
+        inject(self.config)
+
+
+def inject(config):
+    return config.p * config.bulk_size
+"""
+
+EXPERIMENT_SPEC = """\
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    config: object = None
+    n_cycles: int = 0
+    warmup: int = 0
+    label: str = ""
+
+    def identity(self):
+        return {
+            "config": self.config,
+            "n_cycles": self.n_cycles,
+            "warmup": self.warmup,
+        }
+"""
+
+
+def tree(engine=ENGINE, spec_lists=SPEC_LISTS, **extra):
+    files = {
+        "simulation/network.py": NETWORK,
+        "exec/spec.py": spec_lists,
+        "simulation/batched.py": BATCHED_LISTS,
+        "simulation/engine.py": engine,
+    }
+    files.update(extra)
+    return files
+
+
+def lint(lint_tree, files):
+    return lint_tree(files, rules=[DigestFlowRule()])
+
+
+class TestConfigLeg:
+    def test_partitioned_reads_are_quiet(self, lint_tree):
+        result = lint(lint_tree, tree())
+        assert result.ok, result.findings
+
+    def test_kernel_read_of_unpartitioned_field_fires(self, lint_tree):
+        """THE invariant: drop a kernel-read field from the lists and
+        the read -- two call-graph hops below the entry point -- is
+        caught."""
+        result = lint(
+            lint_tree, tree(spec_lists='STACKABLE_CONFIG_FIELDS = ("p",)\n')
+        )
+        assert codes(result) == ["RPR006"]
+        finding = result.findings[0]
+        assert "bulk_size" in finding.message
+        assert "inject" in finding.message
+        assert "digest partition" in finding.message
+
+    def test_unreachable_read_is_quiet(self, lint_tree):
+        """A read in dead code never runs, so it cannot poison caches."""
+        dead = ENGINE.replace(
+            "def inject(config):\n    return config.p * config.bulk_size",
+            "def inject(config):\n    return config.p\n\n\n"
+            "def orphan(config):\n    return config.bulk_size",
+        )
+        result = lint(
+            lint_tree,
+            tree(engine=dead, spec_lists='STACKABLE_CONFIG_FIELDS = ("p",)\n'),
+        )
+        assert result.ok, result.findings
+
+    def test_undeclared_attribute_is_quiet(self, lint_tree):
+        """Only declared NetworkConfig fields count as config reads --
+        a stray local named ``config`` holding another object must not
+        drown the rule in noise."""
+        noisy = ENGINE.replace(
+            "return config.p * config.bulk_size",
+            "return config.p * config.not_a_field",
+        )
+        result = lint(lint_tree, tree(engine=noisy))
+        assert result.ok, result.findings
+
+    def test_seed_read_is_quiet(self, lint_tree):
+        """``seed`` partitions the config by fiat (RPR002's contract)."""
+        seeded = ENGINE.replace(
+            "return config.p * config.bulk_size",
+            "return config.p + config.seed",
+        )
+        result = lint(lint_tree, tree(engine=seeded))
+        assert result.ok, result.findings
+
+    def test_partial_tree_is_quiet(self, lint_tree):
+        """No partition anchors in scope -> nothing to check against."""
+        result = lint(
+            lint_tree,
+            {"simulation/engine.py": ENGINE, "simulation/network.py": NETWORK},
+        )
+        assert result.ok, result.findings
+
+
+class TestSpecLeg:
+    def test_kernel_read_of_non_identity_spec_field_fires(self, lint_tree):
+        kernel = (
+            "def stream_totals(spec):\n"
+            "    return helper(spec)\n"
+            "\n"
+            "\n"
+            "def helper(spec):\n"
+            "    return spec.label\n"
+        )
+        result = lint(
+            lint_tree,
+            tree(**{
+                "exec/experiment.py": EXPERIMENT_SPEC,
+                "simulation/streamed.py": kernel,
+            }),
+        )
+        assert codes(result) == ["RPR006"]
+        finding = result.findings[0]
+        assert "label" in finding.message
+        assert "identity()" in finding.message
+
+    def test_display_layer_label_read_is_quiet(self, lint_tree):
+        """Reporting layers legitimately read non-identity metadata;
+        only reads inside the kernel directories are hazards."""
+        kernel = "def stream_totals(spec):\n    return render(spec)\n"
+        display = "def render(spec):\n    return spec.label\n"
+        result = lint(
+            lint_tree,
+            tree(**{
+                "exec/experiment.py": EXPERIMENT_SPEC,
+                "simulation/streamed.py": kernel,
+                "api/report.py": display,
+            }),
+        )
+        assert result.ok, result.findings
+
+    def test_identity_field_read_is_quiet(self, lint_tree):
+        kernel = "def stream_totals(spec):\n    return spec.n_cycles\n"
+        result = lint(
+            lint_tree,
+            tree(**{
+                "exec/experiment.py": EXPERIMENT_SPEC,
+                "simulation/streamed.py": kernel,
+            }),
+        )
+        assert result.ok, result.findings

@@ -1,5 +1,7 @@
 """Engine invariants: suppressions, pseudo-codes, ordering, config."""
 
+from datetime import date
+
 import pytest
 
 from repro.errors import LintError
@@ -8,6 +10,7 @@ from repro.lint import (
     RULE_CODES,
     UNUSED_SUPPRESSION_CODE,
     LintConfig,
+    collect_waivers,
     iter_python_files,
     lint_paths,
 )
@@ -99,6 +102,79 @@ class TestSuppressions:
         result = lint_tree(
             {"mod.py": "x = 1  # repro: lint-ok RPR001 -- waived\n"},
             config=LintConfig(select=frozenset({"RPR004"})),
+        )
+        assert result.ok, result.findings
+
+
+class TestExpiringWaivers:
+    WAIVED = "import random  # repro: lint-ok RPR001 until=2026-06-30 -- migration window\n"
+
+    def test_unexpired_waiver_covers(self, lint_tree):
+        result = lint_tree({"mod.py": self.WAIVED}, today=date(2026, 6, 1))
+        assert result.ok, result.findings
+        assert result.suppressed == 1
+
+    def test_expiry_day_itself_still_covers(self, lint_tree):
+        result = lint_tree({"mod.py": self.WAIVED}, today=date(2026, 6, 30))
+        assert result.ok, result.findings
+
+    def test_expired_waiver_exposes_finding_and_is_flagged(self, lint_tree):
+        """Past the date the waiver is void: the original finding comes
+        back AND the stale waiver itself is reported."""
+        result = lint_tree({"mod.py": self.WAIVED}, today=date(2026, 7, 1))
+        assert codes(result) == ["RPR001", UNUSED_SUPPRESSION_CODE]
+        stale = result.findings[1]
+        assert "expired on 2026-06-30" in stale.message
+        assert "renew" in stale.message
+
+    def test_malformed_date_never_expires(self, lint_tree):
+        """An unparseable until= clause degrades to an unexpiring
+        waiver rather than silently voiding the suppression."""
+        result = lint_tree(
+            {
+                "mod.py": (
+                    "import random"
+                    "  # repro: lint-ok RPR001 until=2026-13-99 -- bad date\n"
+                )
+            },
+            today=date(2030, 1, 1),
+        )
+        assert result.ok, result.findings
+
+    def test_collect_waivers_inventories_the_tree(self, tmp_path):
+        (tmp_path / "a.py").write_text(self.WAIVED)
+        (tmp_path / "b.py").write_text(
+            "x = 1  # repro: lint-ok RPR004 -- fixture\n"
+        )
+        waivers = collect_waivers([tmp_path])
+        assert [(p.rsplit("/", 1)[-1], s.line) for p, s in waivers] == [
+            ("a.py", 1),
+            ("b.py", 1),
+        ]
+        assert waivers[0][1].until == date(2026, 6, 30)
+        assert waivers[0][1].reason == "migration window"
+        assert waivers[1][1].until is None
+
+
+class TestUnreadableFiles:
+    def test_non_utf8_file_is_a_finding_not_a_crash(self, tmp_path):
+        """An unreadable file cannot be proven clean; surfacing it as a
+        pinned RPR000 finding keeps 'exit 0' meaning 'whole tree
+        checked'."""
+        (tmp_path / "latin.py").write_bytes(b"# caf\xe9\nx = 1\n")
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        result = lint_paths([tmp_path])
+        assert codes(result) == [PARSE_ERROR_CODE]
+        finding = result.findings[0]
+        assert "cannot read file" in finding.message
+        assert finding.line == 1 and finding.col == 1
+        assert result.files_checked == 2
+        assert not result.ok
+
+    def test_read_error_respects_rule_selection(self, tmp_path):
+        (tmp_path / "latin.py").write_bytes(b"# caf\xe9\n")
+        result = lint_paths(
+            [tmp_path], config=LintConfig(select=frozenset({"RPR001"}))
         )
         assert result.ok, result.findings
 

@@ -59,6 +59,38 @@ class TestOptions:
         assert main(["lint", str(path)]) == 1
         capsys.readouterr()
 
+    def test_sarif_format(self, tmp_path, capsys):
+        write(tmp_path, "import random\n")
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+        assert doc["runs"][0]["results"][0]["ruleId"] == "RPR001"
+
+    def test_sarif_clean_run_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path), "--format", "sarif"]) == 0
+        assert json.loads(capsys.readouterr().out)["runs"][0]["results"] == []
+
+
+class TestListWaivers:
+    def test_inventory_lists_path_codes_expiry_and_reason(self, tmp_path, capsys):
+        write(
+            tmp_path,
+            "import random  # repro: lint-ok RPR001 until=2099-01-01 -- fixture waiver\n",
+        )
+        assert main(["lint", str(tmp_path), "--list-waivers"]) == 0
+        out = capsys.readouterr().out
+        assert "mod.py:1:" in out
+        assert "RPR001" in out
+        assert "until=2099-01-01" in out
+        assert "fixture waiver" in out
+        assert "1 waiver(s)" in out
+
+    def test_waiverless_tree(self, tmp_path, capsys):
+        write(tmp_path, "x = 1\n")
+        assert main(["lint", str(tmp_path), "--list-waivers"]) == 0
+        assert "0 waiver(s)" in capsys.readouterr().out
+
 
 def test_default_target_is_the_installed_package(capsys):
     """Bare ``python -m repro lint`` lints the shipped sources -- and

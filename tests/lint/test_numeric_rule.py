@@ -1,0 +1,162 @@
+"""RPR008: numeric safety in kernel code.
+
+PR 9's ``StageAccumulator`` drift bug is the motivating instance: each
+fixture seeds one member of that bug class (naive accumulation, aliased
+in-place ops, NaN-promoting comparisons) and asserts the rule catches
+it, plus the deliberate exemptions that keep the real tree quiet.
+Runs in isolation (``rules=[NumericSafetyRule()]``).
+"""
+
+from repro.lint.rules.numeric import NumericSafetyRule
+from tests.lint.helpers import codes
+
+
+def lint(lint_tree, files):
+    return lint_tree(files, rules=[NumericSafetyRule()])
+
+
+def kernel(source):
+    return {"simulation/kernel.py": source}
+
+
+class TestAccumulation:
+    def test_naive_float_sum_in_loop_fires(self, lint_tree):
+        """THE invariant: the exact shape of PR 9's moment-drift bug."""
+        result = lint(
+            lint_tree,
+            kernel(
+                "def total_wait(waits):\n"
+                "    total = 0.0\n"
+                "    for w in waits:\n"
+                "        total += w\n"
+                "    return total\n"
+            ),
+        )
+        assert codes(result) == ["RPR008"]
+        assert "naive float accumulation" in result.findings[0].message
+        assert "'total'" in result.findings[0].message
+
+    def test_integer_accumulator_is_quiet(self, lint_tree):
+        """Int sums are exact; only float-literal seeds fire."""
+        result = lint(
+            lint_tree,
+            kernel(
+                "def count(items):\n"
+                "    n = 0\n"
+                "    for item in items:\n"
+                "        n += 1\n"
+                "    return n\n"
+            ),
+        )
+        assert result.ok, result.findings
+
+    def test_loop_free_float_add_is_quiet(self, lint_tree):
+        result = lint(
+            lint_tree,
+            kernel(
+                "def shift(x):\n"
+                "    total = 0.0\n"
+                "    total += x\n"
+                "    return total\n"
+            ),
+        )
+        assert result.ok, result.findings
+
+
+class TestAliasing:
+    def test_inplace_op_reading_its_own_target_fires(self, lint_tree):
+        result = lint(
+            lint_tree,
+            kernel(
+                "def smear(a):\n"
+                "    a[1:] += a[:-1]\n"
+            ),
+        )
+        assert codes(result) == ["RPR008"]
+        assert "partially-updated" in result.findings[0].message
+
+    def test_inplace_op_from_other_buffer_is_quiet(self, lint_tree):
+        result = lint(
+            lint_tree,
+            kernel(
+                "def add(a, b, idx):\n"
+                "    a[idx] += b[idx]\n"
+            ),
+        )
+        assert result.ok, result.findings
+
+
+class TestComparisons:
+    def test_direct_nan_compare_fires(self, lint_tree):
+        result = lint(
+            lint_tree,
+            kernel(
+                "import numpy as np\n"
+                "\n"
+                "\n"
+                "def poisoned(x):\n"
+                "    return x == np.nan\n"
+            ),
+        )
+        assert codes(result) == ["RPR008"]
+        assert "np.isnan" in result.findings[0].message
+
+    def test_float_call_nan_compare_fires(self, lint_tree):
+        result = lint(
+            lint_tree,
+            kernel(
+                "def poisoned(x):\n"
+                '    return x != float("nan")\n'
+            ),
+        )
+        assert codes(result) == ["RPR008"]
+
+    def test_chained_float_compare_fires(self, lint_tree):
+        result = lint(
+            lint_tree,
+            kernel(
+                "def in_band(x, i):\n"
+                "    return 0.0 <= x[i] < 1.0\n"
+            ),
+        )
+        assert codes(result) == ["RPR008"]
+        assert "chained comparison" in result.findings[0].message
+
+    def test_integer_bound_chain_is_quiet(self, lint_tree):
+        """``0 <= warmup < n_cycles`` is the idiomatic bound check."""
+        result = lint(
+            lint_tree,
+            kernel(
+                "def check(warmup, n_cycles):\n"
+                "    return 0 <= warmup < n_cycles\n"
+            ),
+        )
+        assert result.ok, result.findings
+
+    def test_negated_rejection_guard_is_exempt(self, lint_tree):
+        """``if not lo <= p <= hi: raise`` sends NaN to the raise
+        branch -- exactly the desired handling."""
+        result = lint(
+            lint_tree,
+            kernel(
+                "def validate(p):\n"
+                "    if not 0.0 <= p <= 1.0:\n"
+                '        raise ValueError("p out of range")\n'
+            ),
+        )
+        assert result.ok, result.findings
+
+    def test_analysis_layer_out_of_scope(self, lint_tree):
+        result = lint(
+            lint_tree,
+            {
+                "analysis/report.py": (
+                    "def total(waits):\n"
+                    "    total = 0.0\n"
+                    "    for w in waits:\n"
+                    "        total += w\n"
+                    "    return total\n"
+                )
+            },
+        )
+        assert result.ok, result.findings

@@ -1,8 +1,14 @@
-"""The text and JSON reporters; the JSON schema is pinned here."""
+"""The text, JSON and SARIF reporters; output schemas are pinned here."""
 
 import json
 
-from repro.lint import REPORT_SCHEMA_VERSION, render_json, render_text
+from repro.lint import (
+    REPORT_SCHEMA_VERSION,
+    RULE_CODES,
+    render_json,
+    render_sarif,
+    render_text,
+)
 
 
 def test_json_schema_is_pinned(lint_tree):
@@ -53,3 +59,32 @@ def test_text_report_clean_summary(lint_tree):
     )
     text = render_text(result)
     assert text == "clean: 1 file(s), 0 findings, 1 suppressed"
+
+
+def test_sarif_log_structure(lint_tree):
+    """SARIF 2.1.0 shape: one run, full rule catalogue, one result per
+    finding with a physical location CI annotators can pin to a line."""
+    result = lint_tree({"mod.py": "import random\n"})
+    doc = json.loads(render_sarif(result))
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "repro.lint"
+    catalogue = [rule["id"] for rule in driver["rules"]]
+    # every registered rule plus the two engine pseudo-codes, sorted
+    assert catalogue == sorted(set(RULE_CODES) | {"RPR000", "RPR009"})
+    (res,) = run["results"]
+    assert res["ruleId"] == "RPR001"
+    assert res["level"] == "error"
+    (loc,) = res["locations"]
+    physical = loc["physicalLocation"]
+    assert physical["artifactLocation"]["uri"].endswith("mod.py")
+    assert physical["artifactLocation"]["uriBaseId"] == "%SRCROOT%"
+    assert physical["region"] == {"startLine": 1, "startColumn": 1}
+
+
+def test_sarif_clean_run_has_empty_results(lint_tree):
+    result = lint_tree({"mod.py": "x = 1\n"})
+    doc = json.loads(render_sarif(result))
+    assert doc["runs"][0]["results"] == []
